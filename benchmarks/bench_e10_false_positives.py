@@ -1,0 +1,30 @@
+"""E10: false-positive resistance (soundness of the ownership claim).
+
+Archives the unmarked-data / wrong-key trials and asserts zero false
+detections across all of them.
+"""
+
+from benchmarks.conftest import BENCH_CONFIG, archive
+from repro.core import Watermark, WmXMLDecoder, WmXMLEncoder
+from repro.datasets import bibliography
+from repro.harness import e10_false_positives
+
+
+def test_e10_false_positives(benchmark, results_dir):
+    document = bibliography.generate_document(bibliography.BibliographyConfig(
+        books=BENCH_CONFIG.books, editors=BENCH_CONFIG.editors,
+        seed=BENCH_CONFIG.seed))
+    scheme = bibliography.default_scheme(BENCH_CONFIG.gamma)
+    watermark = Watermark.from_message(BENCH_CONFIG.message)
+    result = WmXMLEncoder(scheme, BENCH_CONFIG.secret_key).embed(
+        document, watermark)
+    stranger = WmXMLDecoder("an-adversarys-guess", alpha=BENCH_CONFIG.alpha)
+
+    outcome = benchmark(
+        lambda: stranger.detect(result.document, result.record, scheme.shape,
+                                expected=watermark))
+    assert not outcome.detected
+
+    table = e10_false_positives(BENCH_CONFIG, trials=10)
+    archive(results_dir, "e10_false_positives", table)
+    assert all(count == 0 for count in table.column("detections"))

@@ -1,0 +1,28 @@
+"""E1 (Figure 1): reorganisation preserves information & query answers.
+
+Times the shred -> rebuild reorganisation and archives the
+query-answer-equivalence table.
+"""
+
+from benchmarks.conftest import BENCH_CONFIG, archive
+from repro.datasets import bibliography
+from repro.harness import e1_reorganization_equivalence
+from repro.rewriting import reorganize
+
+
+def test_e1_reorganization(benchmark, results_dir):
+    document = bibliography.generate_document(bibliography.BibliographyConfig(
+        books=BENCH_CONFIG.books, editors=BENCH_CONFIG.editors,
+        seed=BENCH_CONFIG.seed))
+    source = bibliography.book_shape()
+    target = bibliography.publisher_shape()
+
+    result = benchmark(lambda: reorganize(document, source, target))
+    assert result.lossless
+
+    table = e1_reorganization_equivalence(BENCH_CONFIG)
+    archive(results_dir, "e1_reorganization", table)
+    # Every template binding must answer identically on both shapes.
+    for row in table.rows:
+        answered, total = row[2].split("/")
+        assert answered == total, row

@@ -1,0 +1,36 @@
+"""E3 (§4 part 1): "the watermark capacity is fully utilized".
+
+Times embedding at the default density and archives the utilisation-
+versus-gamma table, asserting the 1/gamma shape.
+"""
+
+from benchmarks.conftest import BENCH_CONFIG, archive
+from repro.core import Watermark, WmXMLEncoder
+from repro.datasets import bibliography
+from repro.harness import e3_capacity
+
+
+def test_e3_capacity(benchmark, results_dir):
+    document = bibliography.generate_document(bibliography.BibliographyConfig(
+        books=BENCH_CONFIG.books, editors=BENCH_CONFIG.editors,
+        seed=BENCH_CONFIG.seed))
+    scheme = bibliography.default_scheme(BENCH_CONFIG.gamma)
+    watermark = Watermark.from_message(BENCH_CONFIG.message)
+    encoder = WmXMLEncoder(scheme, BENCH_CONFIG.secret_key)
+
+    result = benchmark(lambda: encoder.embed(document, watermark))
+    assert result.stats.selected_groups > 0
+
+    table = e3_capacity(BENCH_CONFIG, gammas=(1, 2, 4, 8, 16))
+    archive(results_dir, "e3_capacity", table)
+    utilisations = table.column("utilisation")
+    gammas = table.column("gamma")
+    # gamma=1 uses every candidate; larger gamma tracks 1/gamma within
+    # binomial noise (3 sigma).
+    assert utilisations[0] == 1.0
+    candidates = table.column("candidate-groups")[0]
+    for gamma, utilisation in zip(gammas[1:], utilisations[1:]):
+        expected = 1.0 / gamma
+        sigma = (expected * (1 - expected) / candidates) ** 0.5
+        assert abs(utilisation - expected) <= 3 * sigma + 1e-9, (
+            gamma, utilisation)

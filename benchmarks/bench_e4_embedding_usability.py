@@ -1,0 +1,34 @@
+"""E4 (§4 part 1): "usability would not be seriously degraded".
+
+Times the usability evaluation and archives usability-after-embedding
+versus gamma, asserting the paper's claim (never destroyed; >= 0.97
+strict at every density).
+"""
+
+from benchmarks.conftest import BENCH_CONFIG, archive
+from repro.core import (
+    UsabilityBaseline,
+    Watermark,
+    WmXMLEncoder,
+)
+from repro.datasets import bibliography
+from repro.harness import e4_embedding_usability
+
+
+def test_e4_embedding_usability(benchmark, results_dir):
+    document = bibliography.generate_document(bibliography.BibliographyConfig(
+        books=BENCH_CONFIG.books, editors=BENCH_CONFIG.editors,
+        seed=BENCH_CONFIG.seed))
+    scheme = bibliography.default_scheme(BENCH_CONFIG.gamma)
+    result = WmXMLEncoder(scheme, BENCH_CONFIG.secret_key).embed(
+        document, Watermark.from_message(BENCH_CONFIG.message))
+    baseline = UsabilityBaseline.snapshot(document, scheme.shape,
+                                          scheme.templates)
+
+    report = benchmark(lambda: baseline.evaluate(result.document))
+    assert not report.destroyed()
+
+    table = e4_embedding_usability(BENCH_CONFIG, gammas=(1, 2, 4, 8))
+    archive(results_dir, "e4_embedding_usability", table)
+    assert all(strict >= 0.97 for strict in table.column("usability-strict"))
+    assert not any(table.column("destroyed"))

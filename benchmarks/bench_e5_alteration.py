@@ -1,0 +1,46 @@
+"""E5 (§4 attack A): alteration sweep — the detection/usability crossover.
+
+The paper's central demonstration claim: "(i) the watermark can still be
+successfully reconstructed if these attacks have not destroyed the data
+usability or (ii) once the attacks manage to destroy the watermark, the
+data usability will also be destroyed."
+
+The assertion encodes exactly that implication over the sweep.
+"""
+
+from benchmarks.conftest import BENCH_CONFIG, archive
+from repro.attacks import ValueAlterationAttack
+from repro.core import Watermark, WmXMLDecoder, WmXMLEncoder
+from repro.datasets import bibliography
+from repro.harness import e5_alteration_sweep
+
+
+def test_e5_alteration(benchmark, results_dir):
+    document = bibliography.generate_document(bibliography.BibliographyConfig(
+        books=BENCH_CONFIG.books, editors=BENCH_CONFIG.editors,
+        seed=BENCH_CONFIG.seed))
+    scheme = bibliography.default_scheme(BENCH_CONFIG.gamma)
+    watermark = Watermark.from_message(BENCH_CONFIG.message)
+    result = WmXMLEncoder(scheme, BENCH_CONFIG.secret_key).embed(
+        document, watermark)
+    attack = ValueAlterationAttack(0.2, seed=1)
+    decoder = WmXMLDecoder(BENCH_CONFIG.secret_key, alpha=BENCH_CONFIG.alpha)
+
+    def attacked_detection():
+        attacked = attack.apply(result.document).document
+        return decoder.detect(attacked, result.record, scheme.shape,
+                              expected=watermark)
+
+    outcome = benchmark(attacked_detection)
+    assert outcome.detected
+
+    table = e5_alteration_sweep(BENCH_CONFIG)
+    archive(results_dir, "e5_alteration", table)
+    detected = table.column("detected")
+    destroyed = table.column("usability-destroyed")
+    # Paper claim (ii): wherever the watermark is gone, usability is too.
+    for was_detected, was_destroyed in zip(detected, destroyed):
+        if not was_detected:
+            assert was_destroyed
+    # And the mark must outlive usability somewhere in the sweep.
+    assert any(d and u for d, u in zip(detected, destroyed))

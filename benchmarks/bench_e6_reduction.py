@@ -1,0 +1,41 @@
+"""E6 (§4 attack B): subset/reduction sweep.
+
+Detection must survive far below half the data; the assertion requires
+detection at a 25% subset and monotone-ish vote decay.
+"""
+
+from benchmarks.conftest import BENCH_CONFIG, archive
+from repro.attacks import ReductionAttack
+from repro.core import Watermark, WmXMLDecoder, WmXMLEncoder
+from repro.datasets import bibliography
+from repro.harness import e6_reduction_sweep
+
+
+def test_e6_reduction(benchmark, results_dir):
+    document = bibliography.generate_document(bibliography.BibliographyConfig(
+        books=BENCH_CONFIG.books, editors=BENCH_CONFIG.editors,
+        seed=BENCH_CONFIG.seed))
+    scheme = bibliography.default_scheme(BENCH_CONFIG.gamma)
+    watermark = Watermark.from_message(BENCH_CONFIG.message)
+    result = WmXMLEncoder(scheme, BENCH_CONFIG.secret_key).embed(
+        document, watermark)
+    attack = ReductionAttack(0.5, seed=2)
+    decoder = WmXMLDecoder(BENCH_CONFIG.secret_key, alpha=BENCH_CONFIG.alpha)
+
+    def subset_detection():
+        attacked = attack.apply(result.document).document
+        return decoder.detect(attacked, result.record, scheme.shape,
+                              expected=watermark)
+
+    outcome = benchmark(subset_detection)
+    assert outcome.detected
+
+    table = e6_reduction_sweep(BENCH_CONFIG)
+    archive(results_dir, "e6_reduction", table)
+    by_keep = dict(zip(table.column("keep-fraction"),
+                       table.column("detected")))
+    assert by_keep[1.0] and by_keep[0.5] and by_keep[0.25]
+    votes = table.column("votes")
+    assert votes == sorted(votes, reverse=True)  # fewer data, fewer votes
+    # Surviving votes never *contradict* the mark: match ratio stays 1.
+    assert all(r == 1.0 for r in table.column("match-ratio"))

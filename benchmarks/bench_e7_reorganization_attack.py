@@ -1,0 +1,53 @@
+"""E7 (§4 attack C): structural attacks, WmXML versus the baselines.
+
+Archives the scheme x attack matrix and asserts the paper's qualitative
+table:
+
+* WmXML with rewriting survives shuffle, reorganisation, and both;
+* WmXML without rewriting gets nothing from a reorganised copy;
+* Agrawal-Kiernan-style physical paths die under shuffle already;
+* Sion-style labels survive shuffle but die under reorganisation.
+"""
+
+from benchmarks.conftest import BENCH_CONFIG, archive
+from repro.attacks import SiblingShuffleAttack
+from repro.baselines import AKWatermarker
+from repro.core import Watermark
+from repro.datasets import bibliography
+from repro.harness import e7_reorganization_matrix
+
+
+def test_e7_reorganization_matrix(benchmark, results_dir):
+    document = bibliography.generate_document(bibliography.BibliographyConfig(
+        books=BENCH_CONFIG.books, editors=BENCH_CONFIG.editors,
+        seed=BENCH_CONFIG.seed))
+    scheme = bibliography.default_scheme(BENCH_CONFIG.gamma)
+    watermark = Watermark.from_message(BENCH_CONFIG.message)
+    ak = AKWatermarker(BENCH_CONFIG.secret_key, scheme.shape,
+                       scheme.carriers, gamma=BENCH_CONFIG.gamma)
+    marked, record = ak.embed(document, watermark)
+    shuffle = SiblingShuffleAttack(seed=3)
+
+    def shuffled_ak_detection():
+        return ak.detect(shuffle.apply(marked).document, record, watermark)
+
+    outcome = benchmark(shuffled_ak_detection)
+    assert not outcome.detected  # the baseline's weakness, timed
+
+    table = e7_reorganization_matrix(BENCH_CONFIG)
+    archive(results_dir, "e7_reorganization_matrix", table)
+
+    verdict = {
+        (row[0], row[1]): row[5] for row in table.rows
+    }
+    assert verdict[("WmXML (rewritten)", "none")]
+    assert verdict[("WmXML (rewritten)", "sibling-shuffle")]
+    assert verdict[("WmXML (rewritten)", "reorganisation")]
+    assert verdict[("WmXML (rewritten)", "shuffle+reorg")]
+    assert not verdict[("WmXML (no rewriting)", "reorganisation")]
+    assert verdict[("Agrawal-Kiernan", "none")]
+    assert not verdict[("Agrawal-Kiernan", "sibling-shuffle")]
+    assert not verdict[("Agrawal-Kiernan", "reorganisation")]
+    assert verdict[("Sion-labeling", "none")]
+    assert verdict[("Sion-labeling", "sibling-shuffle")]
+    assert not verdict[("Sion-labeling", "reorganisation")]

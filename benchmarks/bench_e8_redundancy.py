@@ -1,0 +1,47 @@
+"""E8 (§4 attack D): redundancy removal; FD-aware identification ablation.
+
+WmXML's FD-identified carrier embeds the same bit into every duplicate,
+so unification rewrites nothing; the per-occurrence baselines lose the
+disagreeing half of their duplicate votes.
+"""
+
+from benchmarks.conftest import BENCH_CONFIG, archive
+from repro.attacks import RedundancyUnificationAttack
+from repro.core import Watermark, WmXMLDecoder, WmXMLEncoder
+from repro.datasets import bibliography
+from repro.harness import e8_redundancy
+
+
+def test_e8_redundancy(benchmark, results_dir):
+    document = bibliography.generate_document(bibliography.BibliographyConfig(
+        books=BENCH_CONFIG.books, editors=BENCH_CONFIG.editors,
+        seed=BENCH_CONFIG.seed))
+    scheme = bibliography.default_scheme(1)
+    watermark = Watermark.from_message(BENCH_CONFIG.message)
+    result = WmXMLEncoder(scheme, BENCH_CONFIG.secret_key).embed(
+        document, watermark)
+    attack = RedundancyUnificationAttack(bibliography.semantic_fd(),
+                                         strategy="majority", seed=4)
+    decoder = WmXMLDecoder(BENCH_CONFIG.secret_key, alpha=BENCH_CONFIG.alpha)
+
+    def unified_detection():
+        attacked = attack.apply(result.document).document
+        return decoder.detect(attacked, result.record, scheme.shape,
+                              expected=watermark)
+
+    outcome = benchmark(unified_detection)
+    assert outcome.detected
+    assert outcome.match_ratio == 1.0
+
+    table = e8_redundancy(BENCH_CONFIG)
+    archive(results_dir, "e8_redundancy", table)
+    for row in table.rows:
+        scheme_name, strategy, rewritten, _, ratio, _, detected = row
+        if scheme_name.startswith("WmXML"):
+            # FD folding: nothing to rewrite, full match, always detected.
+            assert rewritten == 0
+            assert ratio == 1.0
+            assert detected
+        elif strategy != "(clean)":
+            # Per-occurrence identification loses votes to unification.
+            assert ratio < 1.0, row

@@ -1,0 +1,61 @@
+"""E9 (§3 system): encoder / decoder / query-engine throughput.
+
+pytest-benchmark timings for the three pipeline stages plus the archived
+size-scaling table.
+"""
+
+from benchmarks.conftest import BENCH_CONFIG, archive
+from repro.core import Watermark, WmXMLDecoder, WmXMLEncoder
+from repro.datasets import bibliography
+from repro.harness import e9_performance
+from repro.xmlmodel import parse, serialize
+from repro.xpath import compile_xpath
+
+
+def _document():
+    return bibliography.generate_document(bibliography.BibliographyConfig(
+        books=BENCH_CONFIG.books, editors=BENCH_CONFIG.editors,
+        seed=BENCH_CONFIG.seed))
+
+
+def test_e9_embed_throughput(benchmark, results_dir):
+    document = _document()
+    scheme = bibliography.default_scheme(BENCH_CONFIG.gamma)
+    encoder = WmXMLEncoder(scheme, BENCH_CONFIG.secret_key)
+    watermark = Watermark.from_message(BENCH_CONFIG.message)
+
+    result = benchmark(lambda: encoder.embed(document, watermark))
+    assert result.stats.selected_groups > 0
+
+    table = e9_performance(BENCH_CONFIG, sizes=(25, 50, 100, 200))
+    archive(results_dir, "e9_performance", table)
+    assert all(ms < 10_000 for ms in table.column("embed-ms"))
+
+
+def test_e9_detect_throughput(benchmark):
+    document = _document()
+    scheme = bibliography.default_scheme(BENCH_CONFIG.gamma)
+    watermark = Watermark.from_message(BENCH_CONFIG.message)
+    result = WmXMLEncoder(scheme, BENCH_CONFIG.secret_key).embed(
+        document, watermark)
+    decoder = WmXMLDecoder(BENCH_CONFIG.secret_key)
+
+    outcome = benchmark(
+        lambda: decoder.detect(result.document, result.record, scheme.shape,
+                               expected=watermark))
+    assert outcome.detected
+
+
+def test_e9_parser_throughput(benchmark):
+    text = serialize(_document())
+
+    document = benchmark(lambda: parse(text))
+    assert document.root.tag == "db"
+
+
+def test_e9_xpath_throughput(benchmark):
+    document = _document()
+    query = compile_xpath("/db/book[year > 1995]/title")
+
+    titles = benchmark(lambda: query.select_strings(document))
+    assert titles

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""The paper's §1 motivating scenario: a job agent vs a listing thief.
+
+"An example is a job agent's web site, who would like to prevent his job
+advertisements from being stolen and posted on other web sites."
+
+The thief does what real scrapers do:
+
+1. steals the feed,
+2. keeps only the lucrative subset (reduction),
+3. reorganises it per employer page (re-organisation),
+4. rounds salaries and unifies duplicated company facts to "clean" it
+   (alteration + redundancy removal).
+
+The agent then proves ownership from the stolen copy alone, using the
+stored query set Q, the secret key, and query rewriting.
+
+Run:  python examples/job_agent.py
+"""
+
+from repro.attacks import (
+    CompositeAttack,
+    RedundancyUnificationAttack,
+    ReductionAttack,
+    ReorganizationAttack,
+    SiblingShuffleAttack,
+)
+from repro.core import (
+    UsabilityBaseline,
+    Watermark,
+    WmXMLDecoder,
+    WmXMLEncoder,
+)
+from repro.datasets import jobs
+
+SECRET_KEY = "job-agent-master-key"
+MESSAGE = "(c) AcmeJobs feed"
+
+
+def main() -> None:
+    # The agent publishes a 200-posting feed, watermarked.
+    config = jobs.JobsConfig(jobs=200, companies=12, cities=10, seed=3)
+    feed = jobs.generate_document(config)
+    scheme = jobs.default_scheme(gamma=3)
+    watermark = Watermark.from_message(MESSAGE)
+
+    encoder = WmXMLEncoder(scheme, SECRET_KEY)
+    published = encoder.embed(feed, watermark)
+    print(f"published feed: {feed.count_elements()} elements, "
+          f"{published.stats.selected_groups} marked groups "
+          f"({published.stats.nodes_modified} perturbed values)")
+
+    # --- the thief strikes ---------------------------------------------------
+    thief = CompositeAttack([
+        ReductionAttack(keep_fraction=0.6, seed=13),
+        SiblingShuffleAttack(seed=13),
+        ReorganizationAttack(jobs.listing_shape(), jobs.by_company_shape()),
+        RedundancyUnificationAttack(jobs.semantic_fds()[0],
+                                    strategy="majority", seed=13),
+    ])
+    stolen = thief.apply(published.document)
+    print(f"\nthief's pipeline: {' -> '.join(stolen.params['sequence'])}")
+    print(f"stolen copy: "
+          f"{len(list(stolen.document.iter_elements('job')))} of 200 "
+          "postings, reorganised by company")
+
+    # --- the agent proves ownership -------------------------------------------
+    decoder = WmXMLDecoder(SECRET_KEY, alpha=1e-3)
+    # The agent inspects the thief's site and models its organisation —
+    # that model is the schema mapping of paper Figure 2; detection
+    # rewrites every stored query against it.
+    outcome = decoder.detect(stolen.document, published.record,
+                             jobs.by_company_shape(), expected=watermark)
+    print(f"\ndetection on the stolen copy: {outcome}")
+
+    # The stolen copy is still useful to the thief (that is the point of
+    # stealing); usability of the *surviving* subset is high.
+    baseline = UsabilityBaseline.snapshot(feed, jobs.listing_shape(),
+                                          scheme.templates)
+    report = baseline.evaluate(stolen.document, jobs.by_company_shape())
+    print(f"thief's copy usability vs full feed: {report}")
+    print("(the lost strict share is exactly the discarded 40% of "
+          "postings — what the thief kept still answers correctly)")
+
+    # A competitor without the key cannot claim the same feed.
+    impostor = WmXMLDecoder("competitor-guess", alpha=1e-3)
+    claim = impostor.detect(stolen.document, published.record,
+                            jobs.by_company_shape(), expected=watermark)
+    print(f"\nimpostor with wrong key: {claim}")
+
+    assert outcome.detected and not claim.detected
+    print("\njob-agent scenario OK: ownership proven from the stolen copy")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""WmXML — a system for watermarking XML data.
+
+A from-scratch Python reproduction of *"WmXML: A System for Watermarking
+XML Data"* (Zhou, Pang, Tan, Mangla; VLDB 2005).  See README.md for the
+architecture overview, DESIGN.md for the system inventory, and
+EXPERIMENTS.md for the paper-versus-measured results.
+
+Package map (bottom-up):
+
+* :mod:`repro.xmlmodel`   — XML tree model, parser, serialisers
+* :mod:`repro.xpath`      — XPath 1.0-subset query engine
+* :mod:`repro.semantics`  — schemas, keys, FDs, records, shapes
+* :mod:`repro.rewriting`  — logical queries, rewriting, reorganisation
+* :mod:`repro.core`       — the WmXML encoder/decoder and plug-ins
+* :mod:`repro.attacks`    — the §4 attack suite
+* :mod:`repro.baselines`  — Agrawal-Kiernan / Sion comparison schemes
+* :mod:`repro.datasets`   — seeded demo datasets (bibliography/jobs/library)
+* :mod:`repro.harness`    — experiments E1-E10 and result tables
+* :mod:`repro.cli`        — the ``wmxml`` command-line tool
+
+The most common entry points are re-exported here::
+
+    from repro import (Watermark, WatermarkingScheme, WmXMLEncoder,
+                       WmXMLDecoder, CarrierSpec, KeyIdentifier,
+                       FDIdentifier, UsabilityTemplate)
+"""
+
+from repro.core import (
+    CarrierSpec,
+    DetectionResult,
+    EmbeddingResult,
+    FDIdentifier,
+    KeyIdentifier,
+    UsabilityBaseline,
+    UsabilityTemplate,
+    Watermark,
+    WatermarkRecord,
+    WatermarkingScheme,
+    WmXMLDecoder,
+    WmXMLEncoder,
+)
+from repro.semantics import DocumentShape, XMLFD, XMLKey, level, shape
+from repro.xmlmodel import parse, parse_file, pretty, serialize, write_file
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CarrierSpec",
+    "DetectionResult",
+    "DocumentShape",
+    "EmbeddingResult",
+    "FDIdentifier",
+    "KeyIdentifier",
+    "UsabilityBaseline",
+    "UsabilityTemplate",
+    "Watermark",
+    "WatermarkRecord",
+    "WatermarkingScheme",
+    "WmXMLDecoder",
+    "WmXMLEncoder",
+    "XMLFD",
+    "XMLKey",
+    "__version__",
+    "level",
+    "parse",
+    "parse_file",
+    "pretty",
+    "serialize",
+    "shape",
+    "write_file",
+]

@@ -1,0 +1,34 @@
+"""The §4 attack suite: alteration, reduction, reorganisation, redundancy.
+
+All attacks are pure (input documents are never mutated), seeded, and
+report their damage via :class:`~repro.attacks.base.AttackReport` so
+experiments can sweep attack magnitude against detection and usability.
+"""
+
+from repro.attacks.alteration import (
+    NodeDeletionAttack,
+    NodeInsertionAttack,
+    ValueAlterationAttack,
+)
+from repro.attacks.base import Attack, AttackReport, CompositeAttack
+from repro.attacks.collusion import CollusionAttack
+from repro.attacks.reduction import ReductionAttack
+from repro.attacks.redundancy import RedundancyUnificationAttack
+from repro.attacks.reorganization import (
+    ReorganizationAttack,
+    SiblingShuffleAttack,
+)
+
+__all__ = [
+    "Attack",
+    "AttackReport",
+    "CollusionAttack",
+    "CompositeAttack",
+    "NodeDeletionAttack",
+    "NodeInsertionAttack",
+    "RedundancyUnificationAttack",
+    "ReductionAttack",
+    "ReorganizationAttack",
+    "SiblingShuffleAttack",
+    "ValueAlterationAttack",
+]

@@ -1,0 +1,156 @@
+"""Attack A — data alteration (paper §4).
+
+"Modify the elements or the structures of the semi-structured data to
+destroy the embedded watermark."
+
+Three variants:
+
+* :class:`ValueAlterationAttack` — rewrite a fraction of leaf/attribute
+  values with plausible noise (numbers get re-randomised, text gets
+  shuffled words).  This targets the watermark *bits*.
+* :class:`NodeDeletionAttack` — delete a fraction of elements outright,
+  structure included.  This targets both bits and identifiers.
+* :class:`NodeInsertionAttack` — inject fabricated sibling elements,
+  diluting the data (and any detector that re-derives candidates).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.attacks.base import Attack, AttackReport
+from repro.xmlmodel.tree import Document, Element, Text
+
+
+def _leaf_slots(document: Document) -> list[tuple]:
+    """All mutable value slots: leaf elements and attributes."""
+    slots: list[tuple] = []
+    for element in document.iter_elements():
+        if element.is_leaf() and element.text.strip():
+            slots.append(("text", element))
+        for name in element.attributes:
+            slots.append(("attr", element, name))
+    return slots
+
+
+def _perturb_value(value: str, rng: random.Random) -> str:
+    """Plausible-looking replacement for a value (type-aware noise)."""
+    stripped = value.strip()
+    try:
+        number = float(stripped)
+    except ValueError:
+        number = None
+    if number is not None:
+        scale = abs(number) if number else 1.0
+        noised = number + rng.uniform(0.5, 1.5) * scale * rng.choice((-1, 1))
+        if stripped.lstrip("+-").isdigit():
+            return str(int(round(noised)))
+        return f"{noised:.2f}"
+    words = stripped.split()
+    if len(words) > 1:
+        rng.shuffle(words)
+        return " ".join(words) + " (edited)"
+    return stripped + "-altered"
+
+
+class ValueAlterationAttack(Attack):
+    """Rewrite a fraction of values with noise."""
+
+    name = "value-alteration"
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        super().__init__(seed)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        self.rate = rate
+
+    def apply(self, document: Document) -> AttackReport:
+        attacked = document.copy()
+        rng = self.rng()
+        modifications = 0
+        for slot in _leaf_slots(attacked):
+            if rng.random() >= self.rate:
+                continue
+            if slot[0] == "text":
+                element = slot[1]
+                element.set_text(_perturb_value(element.text, rng))
+            else:
+                _, element, attr_name = slot
+                element.set_attribute(
+                    attr_name,
+                    _perturb_value(element.attributes[attr_name], rng))
+            modifications += 1
+        return AttackReport(attacked, self.name,
+                            {"rate": self.rate, "seed": self.seed},
+                            modifications)
+
+
+class NodeDeletionAttack(Attack):
+    """Delete a fraction of elements (optionally restricted by tag)."""
+
+    name = "node-deletion"
+
+    def __init__(self, rate: float, tag: Optional[str] = None,
+                 seed: int = 0) -> None:
+        super().__init__(seed)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        self.rate = rate
+        self.tag = tag
+
+    def apply(self, document: Document) -> AttackReport:
+        attacked = document.copy()
+        rng = self.rng()
+        candidates = [
+            element for element in attacked.iter_elements(self.tag)
+            if element.parent is not None
+        ]
+        modifications = 0
+        for element in candidates:
+            if rng.random() >= self.rate:
+                continue
+            if element.parent is None:
+                continue  # an ancestor was already deleted
+            element.detach()
+            modifications += 1
+        return AttackReport(
+            attacked, self.name,
+            {"rate": self.rate, "tag": self.tag, "seed": self.seed},
+            modifications)
+
+
+class NodeInsertionAttack(Attack):
+    """Insert fabricated clones next to a fraction of elements."""
+
+    name = "node-insertion"
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        super().__init__(seed)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        self.rate = rate
+
+    def apply(self, document: Document) -> AttackReport:
+        attacked = document.copy()
+        rng = self.rng()
+        targets = [
+            element for element in attacked.iter_elements()
+            if element.parent is not None and rng.random() < self.rate
+        ]
+        modifications = 0
+        for element in targets:
+            clone = element.copy()
+            for leaf in clone.iter_elements():
+                if isinstance(leaf, Element) and leaf.is_leaf() \
+                        and leaf.text.strip():
+                    leaf.set_text(_perturb_value(leaf.text, rng))
+            for name in list(clone.attributes):
+                clone.set_attribute(
+                    name, _perturb_value(clone.attributes[name], rng))
+            parent = element.parent
+            parent.insert(element.index_in_parent() + 1, clone)
+            modifications += 1
+        return AttackReport(attacked, self.name,
+                            {"rate": self.rate, "seed": self.seed},
+                            modifications)

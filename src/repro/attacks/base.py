@@ -1,0 +1,83 @@
+"""Attack framework: seeded adversarial transformations of documents.
+
+The demonstration (paper §4) performs four attack families on a
+watermarked document: (A) data alteration, (B) data reduction, (C) data
+re-organisation, and (D) redundancy removal.  Every attack here:
+
+* is a pure function of (document, parameters, seed) — attacks never
+  mutate their input, they return a transformed copy;
+* reports what it did in an :class:`AttackReport` so experiments can
+  correlate attack magnitude with detection/usability outcomes.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.xmlmodel.tree import Document
+
+
+@dataclass
+class AttackReport:
+    """The attacked document plus bookkeeping about the damage done."""
+
+    document: Document
+    attack: str
+    params: dict[str, Any] = field(default_factory=dict)
+    modifications: int = 0
+
+    def __str__(self) -> str:
+        rendered = ", ".join(f"{k}={v}" for k, v in self.params.items())
+        return f"{self.attack}({rendered}): {self.modifications} modifications"
+
+
+class Attack(ABC):
+    """Base class for adversarial transformations."""
+
+    #: Human-readable attack family name.
+    name: str = ""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def rng(self) -> random.Random:
+        """A fresh RNG so repeated applications are reproducible."""
+        return random.Random(f"{self.name}:{self.seed}")
+
+    @abstractmethod
+    def apply(self, document: Document) -> AttackReport:
+        """Return the attacked copy of ``document``."""
+
+    def __call__(self, document: Document) -> AttackReport:
+        return self.apply(document)
+
+
+class CompositeAttack(Attack):
+    """Apply several attacks in sequence (a realistic adversary chains)."""
+
+    name = "composite"
+
+    def __init__(self, attacks: list[Attack], seed: int = 0) -> None:
+        super().__init__(seed)
+        if not attacks:
+            raise ValueError("composite attack needs at least one attack")
+        self.attacks = list(attacks)
+
+    def apply(self, document: Document) -> AttackReport:
+        current = document
+        total = 0
+        parts: list[str] = []
+        for attack in self.attacks:
+            report = attack.apply(current)
+            current = report.document
+            total += report.modifications
+            parts.append(report.attack)
+        return AttackReport(
+            document=current,
+            attack=self.name,
+            params={"sequence": parts},
+            modifications=total,
+        )

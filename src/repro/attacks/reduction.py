@@ -1,0 +1,58 @@
+"""Attack B — data reduction (paper §4).
+
+"Selectively use a subset of the semi-structured data and discard the
+rest."  The thief republishes only part of the stolen feed, hoping the
+surviving part carries too little of the watermark to prove anything.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attacks.base import Attack, AttackReport
+from repro.xmlmodel.tree import Document, Element
+
+
+class ReductionAttack(Attack):
+    """Keep a random fraction of the entity elements, drop the rest.
+
+    ``entity_tag`` names the repeating entity (``book``, ``job``,
+    ``item``...); when omitted, the direct element children of the root
+    are treated as the entities.
+    """
+
+    name = "reduction"
+
+    def __init__(self, keep_fraction: float, entity_tag: Optional[str] = None,
+                 seed: int = 0) -> None:
+        super().__init__(seed)
+        if not 0.0 <= keep_fraction <= 1.0:
+            raise ValueError("keep_fraction must be in [0, 1]")
+        self.keep_fraction = keep_fraction
+        self.entity_tag = entity_tag
+
+    def _entities(self, document: Document) -> list[Element]:
+        if self.entity_tag is None:
+            return document.root.child_elements()
+        return list(document.iter_elements(self.entity_tag))
+
+    def apply(self, document: Document) -> AttackReport:
+        attacked = document.copy()
+        rng = self.rng()
+        entities = self._entities(attacked)
+        keep_count = round(len(entities) * self.keep_fraction)
+        keep_count = max(0, min(keep_count, len(entities)))
+        keep = set(
+            id(element)
+            for element in rng.sample(entities, keep_count))
+        modifications = 0
+        for element in entities:
+            if id(element) in keep or element.parent is None:
+                continue
+            element.detach()
+            modifications += 1
+        return AttackReport(
+            attacked, self.name,
+            {"keep_fraction": self.keep_fraction,
+             "entity_tag": self.entity_tag, "seed": self.seed},
+            modifications)

@@ -1,0 +1,77 @@
+"""Attack D — redundancy removal (paper §4, challenge C).
+
+"Identify and remove redundancies within the data."  The adversary
+exploits a known (or mined) functional dependency: if ``editor ->
+publisher``, all publisher values for one editor are semantically the
+same datum, so overwriting them with a single representative destroys
+any watermark bits hidden in their *differences* — which is exactly how
+FD-unaware schemes (one independent mark per occurrence) die.
+
+WmXML survives because FD-identified carriers embed the *same* bit with
+the *same* perturbation into every duplicate: unification preserves the
+mark (paper §2.3).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.attacks.base import Attack, AttackReport
+from repro.core.encoder import write_node_value
+from repro.semantics.fds import XMLFD
+from repro.xmlmodel.tree import Document
+from repro.xpath import node_string_value
+
+
+class RedundancyUnificationAttack(Attack):
+    """Make every FD-duplicate group hold one representative value.
+
+    Strategies:
+
+    * ``first``    — the document-order first occurrence wins,
+    * ``majority`` — the most common value wins (ties: first seen),
+    * ``random``   — a random member's value wins (seeded).
+    """
+
+    name = "redundancy-unification"
+
+    def __init__(self, fd: XMLFD, strategy: str = "majority",
+                 seed: int = 0) -> None:
+        super().__init__(seed)
+        if strategy not in ("first", "majority", "random"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.fd = fd
+        self.strategy = strategy
+
+    def _representative(self, values: list[str], rng) -> str:
+        if self.strategy == "first":
+            return values[0]
+        if self.strategy == "random":
+            return rng.choice(values)
+        counts = Counter(values)
+        best = max(counts.values())
+        for value in values:  # first-seen among the most common
+            if counts[value] == best:
+                return value
+        raise AssertionError("unreachable")
+
+    def apply(self, document: Document) -> AttackReport:
+        attacked = document.copy()
+        rng = self.rng()
+        modifications = 0
+        groups = 0
+        for group in self.fd.redundancy_groups(attacked):
+            if len(group) < 2:
+                continue
+            groups += 1
+            values = [node_string_value(node) for node in group.nodes]
+            representative = self._representative(values, rng)
+            for node, value in zip(group.nodes, values):
+                if value != representative:
+                    write_node_value(node, representative)
+                    modifications += 1
+        return AttackReport(
+            attacked, self.name,
+            {"fd": self.fd.name, "strategy": self.strategy,
+             "groups": groups, "seed": self.seed},
+            modifications)

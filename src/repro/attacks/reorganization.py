@@ -1,0 +1,68 @@
+"""Attack C — data re-organisation (paper §4).
+
+"Reorganize the data according to a new schema and reorder the data
+elements."  Two components, composable:
+
+* :class:`ReorganizationAttack` — restructure the document to a
+  different :class:`DocumentShape` (Figure 1's db1 -> db2), defeating
+  any watermark identified by physical paths;
+* :class:`SiblingShuffleAttack` — permute the order of children
+  everywhere, defeating position-based identification without even
+  changing the schema.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack, AttackReport
+from repro.rewriting.reorganizer import reorganize
+from repro.semantics.shape import DocumentShape
+from repro.xmlmodel.tree import Document, Element, Text
+
+
+class ReorganizationAttack(Attack):
+    """Restructure to a new shape (information-preserving by default)."""
+
+    name = "reorganization"
+
+    def __init__(self, source_shape: DocumentShape,
+                 target_shape: DocumentShape,
+                 allow_lossy: bool = False, seed: int = 0) -> None:
+        super().__init__(seed)
+        self.source_shape = source_shape
+        self.target_shape = target_shape
+        self.allow_lossy = allow_lossy
+
+    def apply(self, document: Document) -> AttackReport:
+        result = reorganize(document, self.source_shape, self.target_shape,
+                            allow_lossy=self.allow_lossy)
+        return AttackReport(
+            result.document, self.name,
+            {"from": self.source_shape.name, "to": self.target_shape.name,
+             "dropped": list(result.dropped_fields)},
+            result.row_count)
+
+
+class SiblingShuffleAttack(Attack):
+    """Shuffle the child order of every element."""
+
+    name = "sibling-shuffle"
+
+    def apply(self, document: Document) -> AttackReport:
+        attacked = document.copy()
+        rng = self.rng()
+        modifications = 0
+        for element in attacked.iter_elements():
+            significant = [
+                child for child in element.children
+                if not (isinstance(child, Text) and not child.value.strip())
+            ]
+            if len(significant) < 2:
+                continue
+            for child in list(element.children):
+                child.detach()
+            rng.shuffle(significant)
+            for child in significant:
+                element.append(child)
+            modifications += 1
+        return AttackReport(attacked, self.name, {"seed": self.seed},
+                            modifications)

@@ -1,0 +1,25 @@
+"""Baseline watermarkers the paper compares against.
+
+* :class:`~repro.baselines.agrawal_kiernan.AKWatermarker` — the
+  relational state of the art ([1]) transplanted to XML: physical-path
+  identification;
+* :class:`~repro.baselines.sion.SionWatermarker` — the prior
+  semi-structured scheme ([5]): structural content labels.
+
+Both share WmXML's selection/embedding/voting machinery, so experiment
+outcomes isolate the identification mechanism — the paper's actual
+contribution.
+"""
+
+from repro.baselines.agrawal_kiernan import AKRecord, AKWatermarker
+from repro.baselines.base import BaselineWatermarker
+from repro.baselines.sion import SionRecord, SionSlot, SionWatermarker
+
+__all__ = [
+    "AKRecord",
+    "AKWatermarker",
+    "BaselineWatermarker",
+    "SionRecord",
+    "SionSlot",
+    "SionWatermarker",
+]

@@ -1,0 +1,136 @@
+"""Agrawal–Kiernan-style baseline: physical-path identification.
+
+The relational watermarking scheme the paper cites ([1], VLDB 2002)
+identifies a marked cell by its primary key — which, transplanted
+naively to XML (where the adversary controls the organisation), becomes
+"identify the marked node by its physical path", e.g.
+``/db/book[17]/year[1]``.
+
+The scheme shares WmXML's machinery (keyed selection, plug-ins, voting)
+but stores *concrete positional XPath* in its record.  Consequences the
+experiments demonstrate:
+
+* sibling reordering shifts positions — detection reads the wrong nodes;
+* schema reorganisation invalidates every stored path — detection reads
+  nothing;
+* FD duplicates get independent identities — redundancy unification
+  erases roughly half the duplicate marks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.base import BaselineWatermarker
+from repro.core.algorithms import create_algorithm
+from repro.core.decoder import DetectionResult
+from repro.core.encoder import read_node_value, write_node_value
+from repro.core.identity import CarrierSpec
+from repro.core.watermark import VoteTally, Watermark
+from repro.semantics.shape import DocumentShape
+from repro.xmlmodel.tree import Document
+from repro.xpath import XPathError, compile_xpath
+from repro.xpath.values import AttributeNode
+
+
+@dataclass
+class AKRecord:
+    """Stored queries: concrete positional paths, one per marked node."""
+
+    nbits: int
+    gamma: int
+    queries: list[tuple[str, int, str, tuple]] = field(default_factory=list)
+    # each entry: (physical_path, bit_index, algorithm, params)
+
+
+class AKWatermarker(BaselineWatermarker):
+    """Physical-path watermarker over the same carrier fields as WmXML."""
+
+    name = "agrawal-kiernan"
+
+    def __init__(self, secret_key, shape: DocumentShape,
+                 carriers: list[CarrierSpec], gamma: int = 4,
+                 alpha: float = 1e-3) -> None:
+        super().__init__(secret_key, gamma, alpha)
+        self.shape = shape
+        self.carriers = list(carriers)
+
+    # -- embedding ------------------------------------------------------------
+
+    def embed(self, document: Document,
+              watermark: Watermark) -> tuple[Document, AKRecord]:
+        marked = document.copy()
+        record = AKRecord(nbits=len(watermark), gamma=self.gamma)
+        rows = self.shape.shred(marked)
+        seen: set = set()
+        for row in rows:
+            for carrier in self.carriers:
+                node = row.nodes.get(carrier.field)
+                if node is None:
+                    continue
+                key = node if isinstance(node, AttributeNode) else id(node)
+                if key in seen:
+                    continue
+                seen.add(key)
+                path = (node.path() if isinstance(node, AttributeNode)
+                        else _physical_path(node))
+                if not self.prf.selects(path, self.gamma):
+                    continue
+                bit_index = self.prf.bit_index(path, len(watermark))
+                algorithm = create_algorithm(carrier.algorithm,
+                                             carrier.param_map)
+                value = read_node_value(node)
+                if not algorithm.applicable(value):
+                    continue
+                bit = watermark.bits[bit_index]
+                new_value = algorithm.embed(value, bit, self.prf, path)
+                write_node_value(node, new_value)
+                record.queries.append(
+                    (path, bit_index, carrier.algorithm, carrier.params))
+        return marked, record
+
+    # -- detection ------------------------------------------------------------
+
+    def detect(self, document: Document, record: AKRecord,
+               expected: Watermark) -> DetectionResult:
+        tally = VoteTally()
+        answered = 0
+        rejected = 0
+        for path, bit_index, algorithm_name, params in record.queries:
+            # Authenticate the stored entry against the key (see the
+            # WmXML decoder): the derivation is deterministic, so any
+            # rejection proves the record/key pair is bogus.
+            if (not self.prf.selects(path, record.gamma)
+                    or self.prf.bit_index(path, record.nbits) != bit_index):
+                rejected += 1
+                continue
+            algorithm = create_algorithm(
+                algorithm_name, {name: value for name, value in params})
+            try:
+                nodes = compile_xpath(path).select(document)
+            except XPathError:
+                nodes = []
+            got_vote = False
+            for node in nodes:
+                value = read_node_value(node)
+                bit = algorithm.extract(value, self.prf, path)
+                if bit is None:
+                    continue
+                tally.add(bit_index, bit)
+                got_vote = True
+            if got_vote:
+                answered += 1
+        return self._result(tally, len(record.queries), answered,
+                            expected, record.nbits,
+                            queries_rejected=rejected)
+
+
+def _physical_path(node) -> str:
+    """Positional path for element and text nodes."""
+    from repro.xmlmodel.tree import Element, Text
+
+    if isinstance(node, Element):
+        return node.path()
+    if isinstance(node, Text) and node.parent is not None:
+        return f"{node.parent.path()}/text()"
+    raise TypeError(f"cannot build a physical path for {type(node).__name__}")

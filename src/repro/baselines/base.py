@@ -1,0 +1,71 @@
+"""Common interface for the comparison watermarkers.
+
+The paper positions WmXML against the relational state of the art
+(Agrawal–Kiernan [1]) and the only prior semi-structured scheme (Sion et
+al. [5]).  Both are implemented here behind the same embed/detect
+interface as WmXML so every experiment can run all three on identical
+documents and attacks.
+
+A baseline watermarker differs from WmXML only in **how carrier
+instances are identified**:
+
+* WmXML — semantic identity from keys/FDs + logical queries (rewritable),
+* Agrawal–Kiernan style — physical paths (positions),
+* Sion style — structural content labels (position-free but
+  organisation-bound).
+
+Everything else — the keyed 1-in-gamma selection, bit-index assignment,
+per-type plug-ins, majority voting, binomial significance — is shared,
+which makes the comparison a controlled ablation of the identification
+mechanism (exactly the paper's §2.3 argument).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Union
+
+from repro.core.crypto import KeyedPRF
+from repro.core.decoder import DetectionResult
+from repro.core.watermark import Watermark, binomial_pvalue
+from repro.xmlmodel.tree import Document
+
+
+class BaselineWatermarker(ABC):
+    """Embed/detect interface shared by the comparison schemes."""
+
+    #: Scheme name used in experiment tables.
+    name: str = ""
+
+    def __init__(self, secret_key: Union[str, bytes],
+                 gamma: int = 4, alpha: float = 1e-3) -> None:
+        self.prf = KeyedPRF(secret_key)
+        self.gamma = gamma
+        self.alpha = alpha
+
+    @abstractmethod
+    def embed(self, document: Document, watermark: Watermark):
+        """Return (marked document, detection record)."""
+
+    @abstractmethod
+    def detect(self, document: Document, record,
+               expected: Watermark) -> DetectionResult:
+        """Verify ``expected`` against a suspected document."""
+
+    def _result(self, tally, record_queries: int, queries_answered: int,
+                expected: Watermark, nbits: int,
+                queries_rejected: int = 0) -> DetectionResult:
+        matching, total = tally.matching_votes(expected)
+        p_value = binomial_pvalue(matching, total)
+        return DetectionResult(
+            votes_total=total,
+            votes_matching=matching,
+            queries_total=record_queries,
+            queries_answered=queries_answered,
+            p_value=p_value,
+            detected=queries_rejected == 0 and p_value < self.alpha,
+            alpha=self.alpha,
+            recovered_bits=tally.reconstruct(nbits),
+            recovered_fraction=tally.recovered_fraction(nbits),
+            queries_rejected=queries_rejected,
+        )

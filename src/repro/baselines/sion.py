@@ -1,0 +1,152 @@
+"""Sion-et-al-style baseline: structural content labels.
+
+The prior semi-structured scheme the paper compares against ([5], IWDW
+2003) labels nodes through the *structure and content around them*
+rather than through positions.  Our faithful-in-spirit instantiation
+labels a carrier node by:
+
+* its own tag (or attribute name), and
+* the order-insensitive multiset of its entity's non-carrier leaf
+  values (carrier values are excluded so embedding does not move the
+  label).
+
+This survives sibling reordering (labels ignore order) and value noise
+on non-carrier siblings only partially — and, as the paper argues,
+it fails against:
+
+* **semantic reorganisation** — restructuring relocates the context a
+  label hashes, so recomputed labels match nothing;
+* **redundancy removal** — duplicates live in different contexts, get
+  independent labels and bits, and unification erases the disagreeing
+  half.
+
+Detection re-derives labels by scanning the suspected document (the
+scheme stores no queries — that is its design), so it needs to know
+which (tag/attribute, entity tag) slots were used.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.baselines.base import BaselineWatermarker
+from repro.core.algorithms import create_algorithm
+from repro.core.decoder import DetectionResult
+from repro.core.encoder import read_node_value, write_node_value
+from repro.core.watermark import VoteTally, Watermark
+from repro.xmlmodel.tree import Document, Element
+from repro.xpath.values import AttributeNode
+
+
+@dataclass(frozen=True)
+class SionSlot:
+    """One carrier slot: where bits live inside each entity.
+
+    ``kind`` is 'leaf' (child element text) or 'attribute'.
+    """
+
+    entity_tag: str
+    kind: str
+    name: str
+    algorithm: str
+    params: tuple = ()
+
+
+@dataclass
+class SionRecord:
+    """The scheme's stored state: slots only — no per-node queries."""
+
+    nbits: int
+    gamma: int
+    slots: list[SionSlot] = field(default_factory=list)
+
+
+class SionWatermarker(BaselineWatermarker):
+    """Structural-label watermarker."""
+
+    name = "sion-labeling"
+
+    def __init__(self, secret_key, slots: list[SionSlot],
+                 gamma: int = 4, alpha: float = 1e-3) -> None:
+        super().__init__(secret_key, gamma, alpha)
+        self.slots = list(slots)
+
+    # -- labels ------------------------------------------------------------
+
+    def _label(self, entity: Element, slot: SionSlot) -> str:
+        """Order-insensitive content label of a carrier instance."""
+        carrier_names = {
+            (other.kind, other.name)
+            for other in self.slots if other.entity_tag == slot.entity_tag
+        }
+        pieces: list[str] = []
+        for child in entity.child_elements():
+            if ("leaf", child.tag) in carrier_names:
+                continue
+            if child.is_leaf():
+                pieces.append(f"E:{child.tag}={child.text.strip()}")
+        for name in entity.attributes:
+            if ("attribute", name) in carrier_names:
+                continue
+            pieces.append(f"A:{name}={entity.attributes[name]}")
+        digest = hashlib.sha256(
+            "\x1f".join(sorted(pieces)).encode("utf-8")).hexdigest()
+        return f"{slot.entity_tag}/{slot.kind}:{slot.name}/{digest}"
+
+    def _instances(self, document: Document, slot: SionSlot):
+        """(label, node) for every instance of a slot in the document."""
+        for entity in document.iter_elements(slot.entity_tag):
+            if slot.kind == "leaf":
+                for child in entity.child_elements(slot.name):
+                    yield self._label(entity, slot), child
+            elif slot.name in entity.attributes:
+                yield self._label(entity, slot), AttributeNode(
+                    entity, slot.name)
+
+    # -- embedding ------------------------------------------------------------
+
+    def embed(self, document: Document,
+              watermark: Watermark) -> tuple[Document, SionRecord]:
+        marked = document.copy()
+        record = SionRecord(nbits=len(watermark), gamma=self.gamma,
+                            slots=list(self.slots))
+        for slot in self.slots:
+            algorithm = create_algorithm(
+                slot.algorithm, {name: value for name, value in slot.params})
+            for label, node in self._instances(marked, slot):
+                if not self.prf.selects(label, self.gamma):
+                    continue
+                value = read_node_value(node)
+                if not algorithm.applicable(value):
+                    continue
+                bit_index = self.prf.bit_index(label, len(watermark))
+                bit = watermark.bits[bit_index]
+                write_node_value(
+                    node, algorithm.embed(value, bit, self.prf, label))
+        return marked, record
+
+    # -- detection ------------------------------------------------------------
+
+    def detect(self, document: Document, record: SionRecord,
+               expected: Watermark) -> DetectionResult:
+        tally = VoteTally()
+        candidates = 0
+        answered = 0
+        for slot in record.slots:
+            algorithm = create_algorithm(
+                slot.algorithm, {name: value for name, value in slot.params})
+            for label, node in self._instances(document, slot):
+                candidates += 1
+                if not self.prf.selects(label, self.gamma):
+                    continue
+                value = read_node_value(node)
+                bit = algorithm.extract(value, self.prf, label)
+                if bit is None:
+                    continue
+                bit_index = self.prf.bit_index(label, record.nbits)
+                tally.add(bit_index, bit)
+                answered += 1
+        return self._result(tally, candidates, answered, expected,
+                            record.nbits)

@@ -1,0 +1,378 @@
+"""The ``wmxml`` command-line tool — the demo system's front door.
+
+Mirrors the workflow of the paper's demonstration (§4):
+
+* ``wmxml generate`` — synthesise a dataset (bibliography / jobs /
+  library) to an XML file;
+* ``wmxml embed`` — watermark a document with a secret key and a
+  message, writing the marked document and the query-set record Q;
+* ``wmxml detect`` — verify a watermark in a suspected document, with
+  optional query rewriting for a reorganised organisation;
+* ``wmxml attack`` — apply one of the §4 attacks to a document;
+* ``wmxml usability`` — score a document's usability against the
+  original via the profile's query templates;
+* ``wmxml discover`` — mine candidate keys and FDs from a document;
+* ``wmxml experiment`` — run one of the E1-E10 experiments.
+
+Dataset *profiles* bundle the shapes, schemes, and templates so the CLI
+stays declarative; custom deployments use the library API directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import Optional
+
+from repro.attacks import (
+    NodeDeletionAttack,
+    NodeInsertionAttack,
+    RedundancyUnificationAttack,
+    ReductionAttack,
+    ReorganizationAttack,
+    SiblingShuffleAttack,
+    ValueAlterationAttack,
+)
+from repro.core import (
+    UsabilityBaseline,
+    Watermark,
+    WatermarkRecord,
+    WmXMLDecoder,
+    WmXMLEncoder,
+)
+from repro.datasets import bibliography, jobs, library
+from repro.harness import EXPERIMENTS, ExperimentConfig
+from repro.semantics import (
+    discover_fds,
+    discover_keys,
+    infer_schema,
+    parse_dtd,
+    render_dtd,
+    validate,
+)
+from repro.xmlmodel import parse_file, write_file
+
+
+class Profile:
+    """A dataset profile: shapes, scheme factory, generator."""
+
+    def __init__(self, name: str, module, shapes: dict) -> None:
+        self.name = name
+        self.module = module
+        self.shapes = shapes
+
+    def shape(self, name: Optional[str]):
+        if name is None:
+            return next(iter(self.shapes.values()))
+        try:
+            return self.shapes[name]
+        except KeyError:
+            raise SystemExit(
+                f"unknown shape {name!r} for profile {self.name!r}; "
+                f"choices: {sorted(self.shapes)}")
+
+
+PROFILES = {
+    "bibliography": Profile("bibliography", bibliography, {
+        "book-centric": bibliography.book_shape(),
+        "publisher-centric": bibliography.publisher_shape(),
+        "editor-centric": bibliography.editor_shape(),
+    }),
+    "jobs": Profile("jobs", jobs, {
+        "job-listing": jobs.listing_shape(),
+        "jobs-by-company": jobs.by_company_shape(),
+        "jobs-by-city": jobs.by_city_shape(),
+    }),
+    "library": Profile("library", library, {
+        "library-catalogue": library.catalogue_shape(),
+        "library-by-category": library.by_category_shape(),
+    }),
+}
+
+
+def _profile(name: str) -> Profile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown profile {name!r}; choices: {sorted(PROFILES)}")
+
+
+# -- subcommand handlers ------------------------------------------------------------
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    profile = _profile(args.profile)
+    module = profile.module
+    if args.profile == "bibliography":
+        doc = module.generate_document(module.BibliographyConfig(
+            books=args.size, seed=args.seed))
+    elif args.profile == "jobs":
+        doc = module.generate_document(module.JobsConfig(
+            jobs=args.size, seed=args.seed))
+    else:
+        doc = module.generate_document(module.LibraryConfig(
+            items=args.size, seed=args.seed))
+    write_file(args.output, doc)
+    print(f"wrote {args.profile} dataset ({args.size} entities) "
+          f"to {args.output}")
+    return 0
+
+
+def cmd_embed(args: argparse.Namespace) -> int:
+    profile = _profile(args.profile)
+    scheme = profile.module.default_scheme(gamma=args.gamma)
+    document = parse_file(args.input, strip_whitespace=True)
+    watermark = Watermark.from_message(args.message)
+    encoder = WmXMLEncoder(scheme, args.key)
+    result = encoder.embed(document, watermark)
+    write_file(args.output, result.document)
+    result.record.save(args.record)
+    stats = result.stats
+    print(f"embedded {len(watermark)}-bit watermark: "
+          f"{stats.selected_groups}/{stats.capacity_groups} groups "
+          f"selected (gamma={args.gamma}), "
+          f"{stats.nodes_modified} nodes perturbed")
+    print(f"marked document: {args.output}")
+    print(f"query set Q:     {args.record}  (keep with your secret key)")
+    return 0
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    profile = _profile(args.profile)
+    shape = profile.shape(args.shape)
+    document = parse_file(args.input, strip_whitespace=True)
+    record = WatermarkRecord.load(args.record)
+    decoder = WmXMLDecoder(args.key, alpha=args.alpha)
+    expected = Watermark.from_message(args.message) if args.message else None
+    outcome = decoder.detect(document, record, shape, expected=expected)
+    print(outcome)
+    if outcome.recovered_message:
+        print(f"recovered message: {outcome.recovered_message!r}")
+    if outcome.queries_rejected:
+        print(f"warning: {outcome.queries_rejected} stored queries failed "
+              "key authentication")
+    return 0 if outcome.detected else 1
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    profile = _profile(args.profile)
+    document = parse_file(args.input, strip_whitespace=True)
+    if args.kind == "alter":
+        attack = ValueAlterationAttack(args.rate, seed=args.seed)
+    elif args.kind == "delete":
+        attack = NodeDeletionAttack(args.rate, seed=args.seed)
+    elif args.kind == "insert":
+        attack = NodeInsertionAttack(args.rate, seed=args.seed)
+    elif args.kind == "reduce":
+        attack = ReductionAttack(args.rate, seed=args.seed)
+    elif args.kind == "shuffle":
+        attack = SiblingShuffleAttack(seed=args.seed)
+    elif args.kind == "reorganize":
+        source = profile.shape(args.shape)
+        target = profile.shape(args.to_shape)
+        attack = ReorganizationAttack(source, target)
+    elif args.kind == "unify":
+        fds = (profile.module.semantic_fds()
+               if hasattr(profile.module, "semantic_fds")
+               else [profile.module.semantic_fd()])
+        attack = RedundancyUnificationAttack(fds[0], seed=args.seed)
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown attack {args.kind!r}")
+    report = attack.apply(document)
+    write_file(args.output, report.document)
+    print(report)
+    print(f"attacked document: {args.output}")
+    return 0
+
+
+def cmd_usability(args: argparse.Namespace) -> int:
+    profile = _profile(args.profile)
+    original_shape = profile.shape(args.shape)
+    current_shape = profile.shape(args.current_shape or args.shape)
+    original = parse_file(args.original, strip_whitespace=True)
+    suspected = parse_file(args.input, strip_whitespace=True)
+    templates = profile.module.usability_templates()
+    baseline = UsabilityBaseline.snapshot(original, original_shape,
+                                          templates)
+    report = baseline.evaluate(suspected, current_shape)
+    print(report)
+    for score in report.per_template:
+        print(f"  {score.template}: strict={score.strict:.3f} "
+              f"jaccard={score.jaccard:.3f} ({score.queries} queries)")
+    print("usability destroyed" if report.destroyed()
+          else "usability preserved")
+    return 0
+
+
+def cmd_discover(args: argparse.Namespace) -> int:
+    profile = _profile(args.profile)
+    shape = profile.shape(args.shape)
+    document = parse_file(args.input, strip_whitespace=True)
+    rows = shape.shred(document)
+    fields = list(shape.field_names)
+    print(f"shredded {len(rows)} rows with fields: {', '.join(fields)}")
+    print("\ncandidate keys:")
+    for key in discover_keys(rows, fields):
+        print(f"  {key}")
+    print("\ncandidate functional dependencies:")
+    for fd in discover_fds(rows, fields):
+        print(f"  {fd}")
+    return 0
+
+
+def cmd_schema(args: argparse.Namespace) -> int:
+    document = parse_file(args.input, strip_whitespace=True)
+    if args.validate_dtd:
+        with open(args.validate_dtd, "r", encoding="utf-8") as handle:
+            schema = parse_dtd(handle.read())
+        violations = validate(schema, document)
+        if violations:
+            print(f"{len(violations)} violation(s):")
+            for violation in violations[:25]:
+                print(f"  {violation}")
+            return 1
+        print("document is valid against the DTD")
+        return 0
+    schema = infer_schema(document)
+    dtd_text = render_dtd(schema)
+    print(dtd_text, end="")
+    if args.dtd:
+        with open(args.dtd, "w", encoding="utf-8") as handle:
+            handle.write(dtd_text)
+        print(f"\nwrote {args.dtd}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(books=args.size, seed=args.seed)
+    if args.id == "all":
+        from repro.harness import render_report, run_all
+
+        tables = run_all(config, progress=print)
+        print(render_report(tables))
+        if args.csv:
+            with open(args.csv, "w", encoding="utf-8") as handle:
+                handle.write(render_report(tables))
+            print(f"wrote {args.csv}")
+        return 0
+    try:
+        runner = EXPERIMENTS[args.id]
+    except KeyError:
+        raise SystemExit(
+            f"unknown experiment {args.id!r}; choices: "
+            f"{sorted(EXPERIMENTS)} or 'all'")
+    table = runner(config)
+    print(table)
+    if args.csv:
+        table.to_csv(args.csv)
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+# -- parser ------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="wmxml",
+        description="WmXML: watermarking XML data (VLDB 2005 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesise a dataset")
+    gen.add_argument("--profile", default="bibliography",
+                     choices=sorted(PROFILES))
+    gen.add_argument("--size", type=int, default=100)
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument("--output", "-o", required=True)
+    gen.set_defaults(handler=cmd_generate)
+
+    embed = sub.add_parser("embed", help="embed a watermark")
+    embed.add_argument("--profile", default="bibliography",
+                       choices=sorted(PROFILES))
+    embed.add_argument("--input", "-i", required=True)
+    embed.add_argument("--output", "-o", required=True)
+    embed.add_argument("--record", "-r", required=True,
+                       help="where to save the query set Q (JSON)")
+    embed.add_argument("--key", "-k", required=True)
+    embed.add_argument("--message", "-m", required=True)
+    embed.add_argument("--gamma", type=int, default=4)
+    embed.set_defaults(handler=cmd_embed)
+
+    detect = sub.add_parser("detect", help="detect a watermark")
+    detect.add_argument("--profile", default="bibliography",
+                        choices=sorted(PROFILES))
+    detect.add_argument("--input", "-i", required=True)
+    detect.add_argument("--record", "-r", required=True)
+    detect.add_argument("--key", "-k", required=True)
+    detect.add_argument("--message", "-m",
+                        help="expected message (verification mode)")
+    detect.add_argument("--shape", help="current organisation of the data "
+                        "(enables query rewriting)")
+    detect.add_argument("--alpha", type=float, default=1e-3)
+    detect.set_defaults(handler=cmd_detect)
+
+    attack = sub.add_parser("attack", help="apply a §4 attack")
+    attack.add_argument("--profile", default="bibliography",
+                        choices=sorted(PROFILES))
+    attack.add_argument("--input", "-i", required=True)
+    attack.add_argument("--output", "-o", required=True)
+    attack.add_argument("--kind", required=True,
+                        choices=["alter", "delete", "insert", "reduce",
+                                 "shuffle", "reorganize", "unify"])
+    attack.add_argument("--rate", type=float, default=0.2,
+                        help="alteration rate / keep fraction")
+    attack.add_argument("--seed", type=int, default=0)
+    attack.add_argument("--shape", help="current shape (reorganize)")
+    attack.add_argument("--to-shape", help="target shape (reorganize)")
+    attack.set_defaults(handler=cmd_attack)
+
+    usability = sub.add_parser("usability",
+                               help="score usability vs the original")
+    usability.add_argument("--profile", default="bibliography",
+                           choices=sorted(PROFILES))
+    usability.add_argument("--original", required=True)
+    usability.add_argument("--input", "-i", required=True)
+    usability.add_argument("--shape", help="original organisation")
+    usability.add_argument("--current-shape",
+                           help="suspected document's organisation")
+    usability.set_defaults(handler=cmd_usability)
+
+    discover = sub.add_parser("discover",
+                              help="mine candidate keys and FDs")
+    discover.add_argument("--profile", default="bibliography",
+                          choices=sorted(PROFILES))
+    discover.add_argument("--input", "-i", required=True)
+    discover.add_argument("--shape")
+    discover.set_defaults(handler=cmd_discover)
+
+    schema = sub.add_parser(
+        "schema", help="infer a schema (as DTD) or validate against one")
+    schema.add_argument("--input", "-i", required=True)
+    schema.add_argument("--dtd", help="write the inferred DTD here")
+    schema.add_argument("--validate-dtd",
+                        help="validate the document against this DTD")
+    schema.set_defaults(handler=cmd_schema)
+
+    experiment = sub.add_parser("experiment",
+                                help="run an E1-E10 experiment")
+    experiment.add_argument("id", choices=sorted(EXPERIMENTS) + ["all"])
+    experiment.add_argument("--size", type=int, default=120,
+                            help="dataset size (books)")
+    experiment.add_argument("--seed", type=int, default=42)
+    experiment.add_argument("--csv", help="also write the table as CSV")
+    experiment.set_defaults(handler=cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point for the ``wmxml`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Plug-in watermarking algorithms (the WA_i boxes of Figure 4).
+
+Importing this package registers every built-in plug-in:
+
+* ``numeric``     — digit-parity embedding for decimals/integers,
+* ``categorical`` — keyed pair-swap over a closed domain,
+* ``text-case``   — case parity of one keyed character,
+* ``binary-lsb``  — LSB embedding into base64 binary payloads (images),
+* ``date``        — day-of-month parity for ISO dates.
+"""
+
+from repro.core.algorithms.base import (
+    AlgorithmError,
+    WatermarkAlgorithm,
+    algorithm_names,
+    create_algorithm,
+    register_algorithm,
+)
+from repro.core.algorithms.binary import BinaryLSBAlgorithm
+from repro.core.algorithms.categorical import CategoricalAlgorithm
+from repro.core.algorithms.dates import DateAlgorithm
+from repro.core.algorithms.numeric import NumericAlgorithm
+from repro.core.algorithms.text import TextCaseAlgorithm
+
+__all__ = [
+    "AlgorithmError",
+    "BinaryLSBAlgorithm",
+    "CategoricalAlgorithm",
+    "DateAlgorithm",
+    "NumericAlgorithm",
+    "TextCaseAlgorithm",
+    "WatermarkAlgorithm",
+    "algorithm_names",
+    "create_algorithm",
+    "register_algorithm",
+]

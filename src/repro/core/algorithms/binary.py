@@ -1,0 +1,93 @@
+"""Binary/image watermark plug-in: keyed LSB embedding.
+
+The original WmXML demo supported images; XML carries binary payloads as
+base64 text, so this plug-in:
+
+* decodes the payload,
+* derives ``spread`` distinct byte offsets from HMAC(key, identity),
+* forces the least-significant bit of each chosen byte to the watermark
+  bit,
+* re-encodes.
+
+Extraction reads the same offsets and takes the majority, which makes a
+single carrier instance internally redundant — flipping a few random
+bytes of the payload rarely erases the bit.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+from typing import Any, Optional
+
+from repro.core.algorithms.base import (
+    AlgorithmError,
+    WatermarkAlgorithm,
+    register_algorithm,
+)
+from repro.core.crypto import KeyedPRF
+
+
+@register_algorithm
+class BinaryLSBAlgorithm(WatermarkAlgorithm):
+    """LSB embedding into base64-encoded binary payloads."""
+
+    name = "binary-lsb"
+
+    def __init__(self, spread: int = 8) -> None:
+        if spread < 1:
+            raise AlgorithmError("spread must be >= 1")
+        self.spread = spread
+
+    def params(self) -> dict[str, Any]:
+        return {"spread": self.spread}
+
+    # -- payload handling ------------------------------------------------------------
+
+    @staticmethod
+    def _decode(value: str) -> Optional[bytearray]:
+        stripped = value.strip()
+        if not stripped or len(stripped) % 4 != 0:
+            return None
+        try:
+            return bytearray(base64.b64decode(stripped, validate=True))
+        except (binascii.Error, ValueError):
+            return None
+
+    # -- plug-in interface ------------------------------------------------------------
+
+    def applicable(self, value: str) -> bool:
+        payload = self._decode(value)
+        return payload is not None and len(payload) > 0
+
+    def embed(self, value: str, bit: int, prf: KeyedPRF, identity: str) -> str:
+        payload = self._decode(value)
+        if not payload:
+            return value
+        for offset in prf.offsets(identity, self.spread, len(payload)):
+            payload[offset] = (payload[offset] & 0xFE) | bit
+        return base64.b64encode(bytes(payload)).decode("ascii")
+
+    def extract(self, value: str, prf: KeyedPRF, identity: str) -> Optional[int]:
+        payload = self._decode(value)
+        if not payload:
+            return None
+        bits = [
+            payload[offset] & 1
+            for offset in prf.offsets(identity, self.spread, len(payload))
+        ]
+        if not bits:
+            return None
+        ones = sum(bits)
+        if ones * 2 == len(bits):
+            return None  # tie: unreadable
+        return 1 if ones * 2 > len(bits) else 0
+
+    def distortion(self, original: str, marked: str) -> float:
+        before, after = self._decode(original), self._decode(marked)
+        if before is None or after is None or len(before) != len(after):
+            return 1.0
+        if not before:
+            return 0.0
+        changed = sum(1 for a, b in zip(before, after) if a != b)
+        return changed / len(before)

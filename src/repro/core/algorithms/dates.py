@@ -1,0 +1,71 @@
+"""Date watermark plug-in: day-of-month parity.
+
+ISO dates (``YYYY-MM-DD``) carry a bit in the parity of the day: even
+encodes 0, odd encodes 1.  Embedding moves the day by one, in a keyed
+direction, clamped to ``[1, 28]`` so the result is always a valid
+calendar date in any month.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Optional
+
+from repro.core.algorithms.base import WatermarkAlgorithm, register_algorithm
+from repro.core.crypto import KeyedPRF
+
+_DATE_RE = re.compile(r"^(\d{4})-(\d{2})-(\d{2})$")
+
+
+@register_algorithm
+class DateAlgorithm(WatermarkAlgorithm):
+    """Day-parity embedding for ISO ``YYYY-MM-DD`` dates."""
+
+    name = "date"
+
+    def params(self) -> dict[str, Any]:
+        return {}
+
+    @staticmethod
+    def _parse(value: str) -> Optional[tuple[int, int, int]]:
+        match = _DATE_RE.match(value.strip())
+        if not match:
+            return None
+        year, month, day = (int(g) for g in match.groups())
+        if not (1 <= month <= 12 and 1 <= day <= 31):
+            return None
+        return year, month, day
+
+    # -- plug-in interface ------------------------------------------------------------
+
+    def applicable(self, value: str) -> bool:
+        return self._parse(value) is not None
+
+    def embed(self, value: str, bit: int, prf: KeyedPRF, identity: str) -> str:
+        parsed = self._parse(value)
+        if parsed is None:
+            return value
+        year, month, day = parsed
+        if day % 2 != bit:
+            direction = 1 if prf.bit("date-dir", identity) else -1
+            day += direction
+            # Walk back into the always-valid [1, 28] range in parity-
+            # preserving steps (±2), so the result is a real date in any
+            # month; worst case moves three days (31 -> 28).
+            while day > 28:
+                day -= 2
+            while day < 1:
+                day += 2
+        return f"{year:04d}-{month:02d}-{day:02d}"
+
+    def extract(self, value: str, prf: KeyedPRF, identity: str) -> Optional[int]:
+        parsed = self._parse(value)
+        if parsed is None:
+            return None
+        return parsed[2] % 2
+
+    def distortion(self, original: str, marked: str) -> float:
+        before, after = self._parse(original), self._parse(marked)
+        if before is None or after is None:
+            return 1.0
+        return abs(before[2] - after[2]) / 31.0

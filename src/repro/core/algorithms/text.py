@@ -1,0 +1,66 @@
+"""Text watermark plug-in: keyed case parity.
+
+Free-text fields carry a bit in the letter case of one pseudo-randomly
+chosen alphabetic character (skipping the first character, so headline
+capitalisation is never disturbed): lowercase encodes 0, uppercase
+encodes 1.  The position is derived from HMAC(key, identity), so an
+adversary cannot tell which character (of which element) matters.
+
+This is the reproduction's stand-in for the linguistic text-marking
+plug-ins real systems use; it exercises the same code path (typed
+dispatch, keyed position choice, deterministic re-embedding) with a
+perturbation of exactly one character.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.algorithms.base import WatermarkAlgorithm, register_algorithm
+from repro.core.crypto import KeyedPRF
+
+
+@register_algorithm
+class TextCaseAlgorithm(WatermarkAlgorithm):
+    """Case-parity embedding into one keyed character position."""
+
+    name = "text-case"
+
+    def params(self) -> dict[str, Any]:
+        return {}
+
+    @staticmethod
+    def _letter_positions(value: str) -> list[int]:
+        """Indices of case-toggleable characters beyond the first one."""
+        return [
+            index
+            for index, char in enumerate(value)
+            if index > 0 and char.isalpha() and char.upper() != char.lower()
+        ]
+
+    def _carrier_position(self, value: str, prf: KeyedPRF,
+                          identity: str) -> Optional[int]:
+        positions = self._letter_positions(value)
+        if not positions:
+            return None
+        choice = prf.integer("text-pos", identity, str(len(positions)))
+        return positions[choice % len(positions)]
+
+    # -- plug-in interface ------------------------------------------------------------
+
+    def applicable(self, value: str) -> bool:
+        return bool(self._letter_positions(value))
+
+    def embed(self, value: str, bit: int, prf: KeyedPRF, identity: str) -> str:
+        position = self._carrier_position(value, prf, identity)
+        if position is None:
+            return value
+        char = value[position]
+        marked = char.upper() if bit else char.lower()
+        return value[:position] + marked + value[position + 1:]
+
+    def extract(self, value: str, prf: KeyedPRF, identity: str) -> Optional[int]:
+        position = self._carrier_position(value, prf, identity)
+        if position is None:
+            return None
+        return 1 if value[position].isupper() else 0

@@ -1,0 +1,108 @@
+"""Keyed pseudo-random functions for watermark decisions.
+
+Every decision WmXML makes — which carrier groups to mark, which
+watermark bit a group carries, which direction to perturb, which byte
+offsets of a binary payload to touch — is derived from
+HMAC-SHA256(secret key, purpose ‖ inputs).  Purpose strings separate the
+decision domains so no two uses of the PRF ever collide, and the secret
+key never appears in any stored artefact (the paper's step 1: "A secret
+key is used to select a number of data elements ... safeguard the set of
+queries Q along with the secret key").
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Iterable, Sequence, Union
+
+_SEPARATOR = b"\x1f"
+
+
+class KeyedPRF:
+    """HMAC-SHA256 pseudo-random function with purpose separation."""
+
+    __slots__ = ("_key",)
+
+    def __init__(self, secret_key: Union[str, bytes]) -> None:
+        if isinstance(secret_key, str):
+            secret_key = secret_key.encode("utf-8")
+        if not secret_key:
+            raise ValueError("secret key must not be empty")
+        self._key = secret_key
+
+    def fingerprint(self) -> str:
+        """Short public fingerprint of the key (safe to store)."""
+        return self.digest("fingerprint").hex()[:16]
+
+    # -- primitives ------------------------------------------------------------
+
+    def digest(self, purpose: str, *parts: str) -> bytes:
+        """Raw 32-byte HMAC over purpose and parts."""
+        message = _SEPARATOR.join(
+            [purpose.encode("utf-8")] + [p.encode("utf-8") for p in parts])
+        return hmac.new(self._key, message, hashlib.sha256).digest()
+
+    def integer(self, purpose: str, *parts: str) -> int:
+        """A uniform 64-bit integer derived from the inputs."""
+        return int.from_bytes(self.digest(purpose, *parts)[:8], "big")
+
+    def bit(self, purpose: str, *parts: str) -> int:
+        """A single pseudo-random bit."""
+        return self.digest(purpose, *parts)[0] & 1
+
+    def stream(self, purpose: str, count: int, *parts: str) -> bytes:
+        """``count`` pseudo-random bytes (counter-mode expansion)."""
+        blocks: list[bytes] = []
+        counter = 0
+        while sum(len(b) for b in blocks) < count:
+            blocks.append(self.digest(purpose, *parts, str(counter)))
+            counter += 1
+        return b"".join(blocks)[:count]
+
+    # -- watermark decisions ------------------------------------------------------------
+
+    def selects(self, identity: str, gamma: int) -> bool:
+        """The 1-in-gamma selection test (Agrawal–Kiernan style).
+
+        With ``gamma == 1`` every candidate is selected.
+        """
+        if gamma < 1:
+            raise ValueError("gamma must be >= 1")
+        return self.integer("wm-select", identity) % gamma == 0
+
+    def bit_index(self, identity: str, nbits: int) -> int:
+        """Which watermark bit the identified group carries."""
+        if nbits < 1:
+            raise ValueError("watermark must have at least one bit")
+        return self.integer("wm-bitindex", identity) % nbits
+
+    def offsets(self, identity: str, count: int, modulus: int) -> list[int]:
+        """``count`` distinct offsets in ``[0, modulus)`` for this identity.
+
+        Used by the binary (image) plug-in to pick which payload bytes
+        carry the mark.  When ``modulus <= count`` every offset is used.
+        """
+        if modulus <= 0:
+            return []
+        if modulus <= count:
+            return list(range(modulus))
+        chosen: list[int] = []
+        seen: set[int] = set()
+        counter = 0
+        while len(chosen) < count:
+            value = self.integer("wm-offset", identity, str(counter)) % modulus
+            counter += 1
+            if value not in seen:
+                seen.add(value)
+                chosen.append(value)
+        return chosen
+
+    def shuffle_key(self, purpose: str, item: str) -> int:
+        """Sort key for keyed (secret) orderings of domains."""
+        return self.integer(purpose, item)
+
+    def keyed_order(self, purpose: str, items: Sequence[str]) -> list[str]:
+        """The items sorted by their keyed shuffle keys."""
+        return sorted(items, key=lambda item: (
+            self.shuffle_key(purpose, item), item))

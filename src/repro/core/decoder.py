@@ -1,0 +1,224 @@
+"""Watermark detection (paper §2.2, step 3; the Decoder of Figure 4).
+
+"Execute the same set of queries to retrieve the data elements or
+structure units embedded with watermark bits, and reconstruct the
+watermark from them.  As the schema and the XML data could be
+reorganized by attackers, these queries may have to be rewritten for the
+reorganized data."
+
+The decoder therefore takes the stored :class:`WatermarkRecord` (the
+query set Q) plus the :class:`DocumentShape` the *suspected* document
+currently has.  When the shapes differ, compilation against the new
+shape **is** the query rewriting of Figure 2 — no other adjustment is
+needed because Q is stored in logical form.
+
+Detection modes:
+
+* **verification** — the owner supplies the expected watermark; votes
+  agreeing with it are counted and a binomial p-value bounds the
+  probability that unmarked data matches this well by chance;
+* **blind reconstruction** — per-bit majority voting recovers the
+  embedded message without prior knowledge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.core.algorithms import WatermarkAlgorithm, create_algorithm
+from repro.core.crypto import KeyedPRF
+from repro.core.encoder import read_node_value
+from repro.core.record import WatermarkRecord
+from repro.core.watermark import (
+    VoteTally,
+    Watermark,
+    binomial_pvalue,
+    bit_error_rate,
+)
+from repro.rewriting.rewriter import compile_logical
+from repro.semantics.errors import RecordError
+from repro.semantics.shape import DocumentShape
+from repro.xmlmodel.tree import Document
+from repro.xpath import XPathError, compile_xpath
+
+
+@dataclass
+class DetectionResult:
+    """Everything the decoder can say about a suspected document."""
+
+    votes_total: int
+    votes_matching: int
+    queries_total: int
+    queries_answered: int
+    p_value: float
+    detected: bool
+    alpha: float
+    recovered_bits: list[Optional[int]] = field(default_factory=list)
+    recovered_message: Optional[str] = None
+    bit_error: Optional[float] = None
+    recovered_fraction: float = 0.0
+    queries_rejected: int = 0
+
+    @property
+    def match_ratio(self) -> float:
+        if self.votes_total == 0:
+            return 0.0
+        return self.votes_matching / self.votes_total
+
+    @property
+    def query_survival(self) -> float:
+        if self.queries_total == 0:
+            return 0.0
+        return self.queries_answered / self.queries_total
+
+    def __str__(self) -> str:
+        verdict = "DETECTED" if self.detected else "not detected"
+        return (
+            f"{verdict}: {self.votes_matching}/{self.votes_total} votes "
+            f"match (p={self.p_value:.2e}), "
+            f"{self.queries_answered}/{self.queries_total} queries answered")
+
+
+class WmXMLDecoder:
+    """The decoder component of the WmXML architecture."""
+
+    def __init__(self, secret_key: Union[str, bytes],
+                 alpha: float = 1e-3) -> None:
+        if not 0 < alpha < 1:
+            raise ValueError("alpha must be in (0, 1)")
+        self.prf = KeyedPRF(secret_key)
+        self.alpha = alpha
+        self._algorithms: dict[str, WatermarkAlgorithm] = {}
+
+    def _algorithm(self, name: str, params: dict) -> WatermarkAlgorithm:
+        cache_key = name + repr(sorted(params.items()))
+        algorithm = self._algorithms.get(cache_key)
+        if algorithm is None:
+            algorithm = create_algorithm(name, params)
+            self._algorithms[cache_key] = algorithm
+        return algorithm
+
+    # -- public API ------------------------------------------------------------
+
+    def detect(
+        self,
+        document: Document,
+        record: WatermarkRecord,
+        shape: DocumentShape,
+        expected: Optional[Watermark] = None,
+        indexed: bool = False,
+    ) -> DetectionResult:
+        """Run the query set Q against ``document`` and tally votes.
+
+        ``shape`` describes the document's *current* organisation; when
+        it differs from the embedding-time shape, each logical query is
+        recompiled — i.e. rewritten — for it.
+
+        ``indexed=True`` answers the queries through a
+        :class:`~repro.rewriting.executor.LogicalExecutor` (one shred +
+        inverted indexes) instead of per-query XPath evaluation, turning
+        detection from O(|Q|·|doc|) into O(|doc| + |Q|) — same votes,
+        same verdict.
+
+        Every stored query is first *authenticated against the key*: its
+        keyed selection and bit index must re-derive from (key,
+        identity).  The derivation is deterministic, so the owner's key
+        authenticates **every** entry; a single rejected entry proves the
+        record does not belong to the presented key, and the claim is
+        refused outright (``detected=False``) no matter how the votes
+        fall.  This closes the accidental-authentication forgery: a
+        wrong key that happens to pass the 1-in-(gamma*nbits) check for
+        a few entries would otherwise harvest their honestly-embedded —
+        hence perfectly matching — votes.
+        """
+        executor = None
+        if indexed:
+            from repro.rewriting.executor import LogicalExecutor
+
+            executor = LogicalExecutor(document, shape)
+        tally = VoteTally()
+        queries_answered = 0
+        queries_rejected = 0
+        for wm_query in record.queries:
+            if not self._authentic(wm_query, record):
+                queries_rejected += 1
+                continue
+            algorithm = self._algorithm(wm_query.algorithm,
+                                        wm_query.param_map)
+            if executor is not None:
+                try:
+                    nodes = executor.execute(wm_query.query)
+                except RecordError:
+                    nodes = []
+            else:
+                nodes = self._execute(document, wm_query.query, shape)
+            answered = False
+            for node in nodes:
+                value = read_node_value(node)
+                bit = algorithm.extract(value, self.prf, wm_query.identity)
+                if bit is None:
+                    continue
+                tally.add(wm_query.bit_index, bit)
+                answered = True
+            if answered:
+                queries_answered += 1
+
+        recovered = tally.reconstruct(record.nbits)
+        recovered_message = self._decode_message(recovered)
+
+        if expected is not None:
+            matching, total = tally.matching_votes(expected)
+            p_value = binomial_pvalue(matching, total)
+            bit_error: Optional[float] = bit_error_rate(recovered, expected)
+        else:
+            # Blind mode: judge the strength of the majority consensus.
+            matching = sum(
+                max(tally.zeros.get(i, 0), tally.ones.get(i, 0))
+                for i in tally.indices())
+            total = tally.total_votes
+            p_value = binomial_pvalue(matching, total)
+            bit_error = None
+
+        record_authentic = queries_rejected == 0
+        return DetectionResult(
+            votes_total=total,
+            votes_matching=matching,
+            queries_total=len(record.queries),
+            queries_answered=queries_answered,
+            p_value=p_value,
+            detected=record_authentic and p_value < self.alpha,
+            alpha=self.alpha,
+            recovered_bits=recovered,
+            recovered_message=recovered_message,
+            bit_error=bit_error,
+            recovered_fraction=tally.recovered_fraction(record.nbits),
+            queries_rejected=queries_rejected,
+        )
+
+    # -- helpers ------------------------------------------------------------
+
+    def _authentic(self, wm_query, record: WatermarkRecord) -> bool:
+        """True when the stored entry re-derives from the presented key."""
+        return (
+            self.prf.selects(wm_query.identity, record.gamma)
+            and self.prf.bit_index(wm_query.identity, record.nbits)
+            == wm_query.bit_index
+        )
+
+    @staticmethod
+    def _execute(document: Document, query, shape: DocumentShape) -> list:
+        try:
+            xpath = compile_logical(query, shape)
+            return compile_xpath(xpath).select(document)
+        except (XPathError, RecordError):
+            # A query that no longer compiles or matches contributes no
+            # votes; detection degrades gracefully.
+            return []
+
+    @staticmethod
+    def _decode_message(recovered: list[Optional[int]]) -> Optional[str]:
+        if any(bit is None for bit in recovered):
+            return None
+        return Watermark([bit for bit in recovered if bit is not None]
+                         ).to_message()

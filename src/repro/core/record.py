@@ -1,0 +1,111 @@
+"""The persisted watermark record: the query set Q plus metadata.
+
+Paper §2.2, step 1: "Create queries as identifiers of these data
+elements or structure units, and safeguard the set of queries (denoted
+by Q) along with the secret key."
+
+A :class:`WatermarkRecord` is that artefact.  It is JSON-serialisable so
+the owner can store it next to (but never inside) the published data.
+It contains **no secret material**: identities, logical queries, bit
+indices and algorithm parameters are all safe to keep in escrow — an
+adversary holding the record but not the key still cannot forge or
+surgically erase the mark, because embedding decisions (digit
+directions, byte offsets, domain orderings) all require the key.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.rewriting.logical import LogicalQuery
+
+
+@dataclass(frozen=True)
+class WatermarkQuery:
+    """One identity query of Q with its embedding bookkeeping."""
+
+    identity: str
+    query: LogicalQuery
+    bit_index: int
+    field: str
+    algorithm: str
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @property
+    def param_map(self) -> dict[str, Any]:
+        return {name: value for name, value in self.params}
+
+    def to_dict(self) -> dict:
+        return {
+            "identity": self.identity,
+            "query": self.query.to_dict(),
+            "bit_index": self.bit_index,
+            "field": self.field,
+            "algorithm": self.algorithm,
+            "params": [[name, value] for name, value in self.params],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WatermarkQuery":
+        return cls(
+            identity=data["identity"],
+            query=LogicalQuery.from_dict(data["query"]),
+            bit_index=data["bit_index"],
+            field=data["field"],
+            algorithm=data["algorithm"],
+            params=tuple((name, value) for name, value in data["params"]),
+        )
+
+
+@dataclass
+class WatermarkRecord:
+    """Everything the decoder needs besides the secret key and the data."""
+
+    gamma: int
+    nbits: int
+    shape_name: str
+    key_fingerprint: str
+    queries: list[WatermarkQuery] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "format": "wmxml-record-v1",
+            "gamma": self.gamma,
+            "nbits": self.nbits,
+            "shape_name": self.shape_name,
+            "key_fingerprint": self.key_fingerprint,
+            "queries": [query.to_dict() for query in self.queries],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WatermarkRecord":
+        if data.get("format") != "wmxml-record-v1":
+            raise ValueError("not a WmXML watermark record")
+        return cls(
+            gamma=data["gamma"],
+            nbits=data["nbits"],
+            shape_name=data["shape_name"],
+            key_fingerprint=data["key_fingerprint"],
+            queries=[WatermarkQuery.from_dict(q) for q in data["queries"]],
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WatermarkRecord":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "WatermarkRecord":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def __len__(self) -> int:
+        return len(self.queries)

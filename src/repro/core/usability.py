@@ -1,0 +1,250 @@
+"""Data usability measured by query-template correctness (paper §2.1).
+
+"A set of query templates, e.g. ``db/book[title]/author``, are specified
+by user to depict data usability.  After watermarking or attacks, if a
+certain fraction of the results to these query templates are destroyed,
+the usability of the XML data is regarded destroyed."
+
+A :class:`UsabilityTemplate` is the logical form of such a template:
+condition fields (the bracketed parameters) and a target field.  The
+evaluator
+
+1. snapshots the original document: for every observed binding of the
+   condition fields, the expected set of target values;
+2. re-runs each instantiated query against a (possibly watermarked,
+   attacked, or reorganised) document — compiling against whatever
+   shape that document has — and scores the answers.
+
+Two scores are reported: **strict** (fraction of instantiated queries
+answered exactly) and **jaccard** (mean set overlap, which degrades
+smoothly under partial damage).  Numeric targets may declare a relative
+``tolerance`` so that imperceptible perturbations — the watermark's own
+embeddings — do not count as damage, while large alterations do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.rewriting.logical import LogicalQuery
+from repro.rewriting.rewriter import compile_logical
+from repro.semantics.errors import RecordError
+from repro.semantics.shape import DocumentShape
+from repro.xmlmodel.tree import Document
+from repro.xpath import XPathError, compile_xpath
+
+
+@dataclass(frozen=True)
+class UsabilityTemplate:
+    """One query template: target field and condition (parameter) fields.
+
+    ``tolerance`` declares a relative numeric slack; ``casefold``
+    declares that letter case is immaterial to this consumer.  Both are
+    the user's statement of what "correct" means — imperceptible
+    perturbations within them are not damage (paper §2.1).
+    """
+
+    name: str
+    target: str
+    conditions: tuple[str, ...]
+    tolerance: float = 0.0
+    casefold: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.conditions:
+            raise ValueError(
+                f"template {self.name!r} needs at least one condition field")
+        if self.target in self.conditions:
+            raise ValueError(
+                f"template {self.name!r}: target repeats a condition")
+        if self.tolerance < 0:
+            raise ValueError("tolerance must be >= 0")
+
+    def normalise(self, values: set[str]) -> set[str]:
+        """Apply the template's declared insensitivities to a value set."""
+        if self.casefold:
+            return {value.casefold() for value in values}
+        return values
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "target": self.target,
+            "conditions": list(self.conditions),
+            "tolerance": self.tolerance,
+            "casefold": self.casefold,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "UsabilityTemplate":
+        return cls(data["name"], data["target"],
+                   tuple(data["conditions"]), data.get("tolerance", 0.0),
+                   data.get("casefold", False))
+
+
+def values_match(expected: str, actual: str, tolerance: float) -> bool:
+    """Value equality with optional relative numeric tolerance."""
+    if expected == actual:
+        return True
+    if tolerance <= 0:
+        return False
+    try:
+        want, got = float(expected), float(actual)
+    except ValueError:
+        return False
+    return abs(got - want) <= tolerance * max(abs(want), 1e-12)
+
+
+def set_overlap(expected: set[str], actual: set[str],
+                tolerance: float) -> tuple[int, int]:
+    """(matched pairs, union size) under tolerance-aware greedy pairing."""
+    if tolerance <= 0:
+        matched = len(expected & actual)
+        union = len(expected | actual)
+        return matched, union
+    remaining = list(actual)
+    matched = 0
+    for want in expected:
+        for index, got in enumerate(remaining):
+            if values_match(want, got, tolerance):
+                matched += 1
+                del remaining[index]
+                break
+    union = len(expected) + len(actual) - matched
+    return matched, union
+
+
+@dataclass
+class InstantiatedQuery:
+    """One concrete query produced from a template binding."""
+
+    template: UsabilityTemplate
+    query: LogicalQuery
+    expected: frozenset[str]
+
+
+@dataclass
+class TemplateScore:
+    """Per-template usability outcome."""
+
+    template: str
+    queries: int
+    exact: int
+    jaccard_sum: float
+
+    @property
+    def strict(self) -> float:
+        return self.exact / self.queries if self.queries else 0.0
+
+    @property
+    def jaccard(self) -> float:
+        return self.jaccard_sum / self.queries if self.queries else 0.0
+
+
+@dataclass
+class UsabilityReport:
+    """Aggregate usability of a document versus the snapshot."""
+
+    strict: float
+    jaccard: float
+    per_template: list[TemplateScore] = field(default_factory=list)
+    queries: int = 0
+
+    def destroyed(self, threshold: float = 0.5) -> bool:
+        """The paper's destruction criterion: too many answers broken."""
+        return self.strict < threshold
+
+    def __str__(self) -> str:
+        return (f"usability strict={self.strict:.3f} "
+                f"jaccard={self.jaccard:.3f} over {self.queries} queries")
+
+
+class UsabilityBaseline:
+    """Expected template answers snapshot from the original document."""
+
+    def __init__(self, instantiated: list[InstantiatedQuery],
+                 shape: DocumentShape) -> None:
+        self.instantiated = instantiated
+        self.shape = shape
+
+    @classmethod
+    def snapshot(
+        cls,
+        document: Document,
+        shape: DocumentShape,
+        templates: Sequence[UsabilityTemplate],
+    ) -> "UsabilityBaseline":
+        """Instantiate every template over the document's bindings."""
+        rows = shape.shred(document)
+        instantiated: list[InstantiatedQuery] = []
+        for template in templates:
+            bindings: dict[tuple[str, ...], set[str]] = {}
+            order: list[tuple[str, ...]] = []
+            for row in rows:
+                needed = template.conditions + (template.target,)
+                if any(name not in row.values for name in needed):
+                    continue
+                key = row.key(template.conditions)
+                if key not in bindings:
+                    bindings[key] = set()
+                    order.append(key)
+                bindings[key].add(row.values[template.target])
+            for key in order:
+                query = LogicalQuery.create(
+                    template.target, dict(zip(template.conditions, key)))
+                instantiated.append(InstantiatedQuery(
+                    template, query, frozenset(bindings[key])))
+        return cls(instantiated, shape)
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(
+        self,
+        document: Document,
+        shape: Optional[DocumentShape] = None,
+    ) -> UsabilityReport:
+        """Score ``document`` against the snapshot.
+
+        ``shape`` names the document's current organisation (defaults to
+        the snapshot's); passing the reorganised shape exercises the
+        template-rewriting path.
+        """
+        target_shape = shape or self.shape
+        scores: dict[str, TemplateScore] = {}
+        for item in self.instantiated:
+            score = scores.get(item.template.name)
+            if score is None:
+                score = TemplateScore(item.template.name, 0, 0, 0.0)
+                scores[item.template.name] = score
+            score.queries += 1
+            actual = item.template.normalise(
+                self._answer(document, item.query, target_shape))
+            expected = item.template.normalise(set(item.expected))
+            tolerance = item.template.tolerance
+            matched, union = set_overlap(expected, actual, tolerance)
+            exact = (matched == len(expected) == len(actual))
+            if exact:
+                score.exact += 1
+            score.jaccard_sum += matched / union if union else 1.0
+        per_template = list(scores.values())
+        total_queries = sum(s.queries for s in per_template)
+        total_exact = sum(s.exact for s in per_template)
+        total_jaccard = sum(s.jaccard_sum for s in per_template)
+        return UsabilityReport(
+            strict=total_exact / total_queries if total_queries else 0.0,
+            jaccard=total_jaccard / total_queries if total_queries else 0.0,
+            per_template=per_template,
+            queries=total_queries,
+        )
+
+    @staticmethod
+    def _answer(document: Document, query: LogicalQuery,
+                shape: DocumentShape) -> set[str]:
+        try:
+            xpath = compile_logical(query, shape)
+            return set(compile_xpath(xpath).select_strings(document))
+        except (XPathError, RecordError):
+            # A query that cannot even be posed returns no answer — the
+            # paper's notion of a destroyed result.
+            return set()

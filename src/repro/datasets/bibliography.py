@@ -1,0 +1,188 @@
+"""Bibliography dataset: the paper's own db1.xml domain, at scale.
+
+Generates publication databases with exactly the semantics WmXML
+exploits:
+
+* ``title`` is the key of ``book`` ("the title of each publication is
+  usually unique"),
+* the FD ``editor -> publisher`` holds ("an editor only works for one
+  publisher") and produces genuine redundancy — many books share an
+  editor, duplicating the publisher value,
+* ``author`` is multi-valued,
+* ``year`` (numeric), ``price`` (decimal) and ``publisher``
+  (categorical) are the carrier fields.
+
+Two shapes are provided: the paper's book-centric db1 organisation and
+the publisher/author-centric db2 organisation of Figure 1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core import (
+    CarrierSpec,
+    FDIdentifier,
+    KeyIdentifier,
+    UsabilityTemplate,
+    WatermarkingScheme,
+)
+from repro.datasets import vocab
+from repro.semantics import DocumentShape, Row, XMLFD, XMLKey, level, shape
+from repro.xmlmodel.tree import Document
+
+
+@dataclass(frozen=True)
+class BibliographyConfig:
+    """Generator knobs.
+
+    ``editors`` controls redundancy: fewer editors for the same number
+    of books means larger FD duplicate groups.
+    """
+
+    books: int = 100
+    editors: int = 12
+    seed: int = 7
+    max_authors: int = 3
+
+
+def book_shape() -> DocumentShape:
+    """The db1.xml (book-centric) organisation."""
+    return shape(
+        "book-centric",
+        "db",
+        [
+            level(
+                "book",
+                group_by=["title"],
+                attributes={"publisher": "publisher"},
+                leaves={
+                    "title": "title",
+                    "author": "author",
+                    "editor": "editor",
+                    "year": "year",
+                    "price": "price",
+                },
+            ),
+        ],
+    )
+
+
+def publisher_shape() -> DocumentShape:
+    """The db2.xml (publisher/author-centric) organisation of Figure 1."""
+    return shape(
+        "publisher-centric",
+        "db",
+        [
+            level("publisher", group_by=["publisher"],
+                  attributes={"name": "publisher"}),
+            level("author", group_by=["author"],
+                  attributes={"name": "author"}),
+            level("book", group_by=["title"], text_field="title",
+                  leaves={"editor": "editor", "year": "year",
+                          "price": "price"}),
+        ],
+    )
+
+
+def editor_shape() -> DocumentShape:
+    """A third organisation (editor-centric), for the Figure 2 fan-out."""
+    return shape(
+        "editor-centric",
+        "db",
+        [
+            level("editor", group_by=["editor"],
+                  attributes={"name": "editor",
+                              "publisher": "publisher"}),
+            level("book", group_by=["title"],
+                  leaves={"title": "title", "author": "author",
+                          "year": "year", "price": "price"}),
+        ],
+    )
+
+
+def generate_rows(config: BibliographyConfig) -> list[Row]:
+    """Synthesise the logical relation (one row per book-author pair)."""
+    rng = random.Random(config.seed)
+    editors = [
+        f"{rng.choice(vocab.FIRST_NAMES)} {rng.choice(vocab.LAST_NAMES)}"
+        for _ in range(config.editors)
+    ]
+    # The FD editor -> publisher: assign each editor one publisher.
+    editor_publisher = {
+        editor: rng.choice(vocab.PUBLISHERS) for editor in editors
+    }
+    rows: list[Row] = []
+    seen_titles: set[str] = set()
+    for index in range(config.books):
+        qualifier = rng.choice(vocab.TITLE_QUALIFIERS)
+        subject = rng.choice(vocab.TITLE_SUBJECTS)
+        title = f"{qualifier} {subject}"
+        if title in seen_titles:
+            title = f"{title}, Volume {index}"
+        seen_titles.add(title)
+        editor = rng.choice(editors)
+        year = str(rng.randint(1985, 2005))
+        price = f"{rng.randint(15, 180)}.{rng.randint(0, 99):02d}"
+        author_count = rng.randint(1, config.max_authors)
+        authors = {
+            f"{rng.choice(vocab.FIRST_NAMES)} {rng.choice(vocab.LAST_NAMES)}"
+            for _ in range(author_count)
+        }
+        for author in sorted(authors):
+            rows.append(Row.from_values({
+                "title": title,
+                "author": author,
+                "editor": editor,
+                "publisher": editor_publisher[editor],
+                "year": year,
+                "price": price,
+            }))
+    return rows
+
+
+def generate_document(config: BibliographyConfig) -> Document:
+    """A complete bibliography document in the book-centric shape."""
+    return book_shape().build(generate_rows(config))
+
+
+def semantic_key() -> XMLKey:
+    """The title-identifies-book key, in XML-constraint form."""
+    return XMLKey("book-title", "/db", "book", ("title",))
+
+
+def semantic_fd() -> XMLFD:
+    """The editor -> publisher FD, in XML-constraint form."""
+    return XMLFD("editor-publisher", "/db/book", ("editor",), "@publisher")
+
+
+def usability_templates() -> list[UsabilityTemplate]:
+    """The query templates a bibliography consumer relies on (§2.1)."""
+    return [
+        UsabilityTemplate("authors-of-title", "author", ("title",)),
+        UsabilityTemplate("year-of-title", "year", ("title",),
+                          tolerance=0.002),
+        UsabilityTemplate("price-of-title", "price", ("title",),
+                          tolerance=0.02),
+        UsabilityTemplate("publisher-of-editor", "publisher", ("editor",)),
+    ]
+
+
+def default_scheme(gamma: int = 4) -> WatermarkingScheme:
+    """The reference watermarking scheme for bibliography data."""
+    return WatermarkingScheme(
+        shape=book_shape(),
+        carriers=[
+            CarrierSpec.create("year", "numeric",
+                               KeyIdentifier(("title",))),
+            CarrierSpec.create("price", "numeric",
+                               KeyIdentifier(("title",)),
+                               {"fraction_digits": 2}),
+            CarrierSpec.create("publisher", "categorical",
+                               FDIdentifier(("editor",)),
+                               {"domain": list(vocab.PUBLISHERS)}),
+        ],
+        templates=usability_templates(),
+        gamma=gamma,
+    )

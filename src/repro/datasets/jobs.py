@@ -1,0 +1,180 @@
+"""Job-advertisement dataset: the paper's §1 motivating example.
+
+"An example is a job agent's web site, who would like to prevent his job
+advertisements from being stolen and posted on other web sites."
+
+Semantics:
+
+* ``reference`` (a posting code like ``JOB-00042``) is the key,
+* FDs ``company -> industry`` and ``city -> country`` hold and create
+  redundancy across postings,
+* carriers: ``salary`` (numeric), ``posted`` (date), ``position``
+  (free text, case-parity plug-in), ``industry`` (categorical).
+
+Shapes: a flat listing (the agent's feed) and a by-company organisation
+(what a thief republishing the data per employer page would produce).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core import (
+    CarrierSpec,
+    FDIdentifier,
+    KeyIdentifier,
+    UsabilityTemplate,
+    WatermarkingScheme,
+)
+from repro.datasets import vocab
+from repro.semantics import DocumentShape, Row, XMLFD, XMLKey, level, shape
+from repro.xmlmodel.tree import Document
+
+
+@dataclass(frozen=True)
+class JobsConfig:
+    """Generator knobs; fewer companies => larger FD duplicate groups."""
+
+    jobs: int = 150
+    companies: int = 10
+    cities: int = 8
+    seed: int = 11
+
+
+def listing_shape() -> DocumentShape:
+    """The agent's flat feed: one <job> element per posting."""
+    return shape(
+        "job-listing",
+        "jobs",
+        [
+            level(
+                "job",
+                group_by=["reference"],
+                attributes={"reference": "reference"},
+                leaves={
+                    "position": "position",
+                    "company": "company",
+                    "industry": "industry",
+                    "city": "city",
+                    "country": "country",
+                    "salary": "salary",
+                    "posted": "posted",
+                },
+            ),
+        ],
+    )
+
+
+def by_company_shape() -> DocumentShape:
+    """Reorganised per employer page (a plausible thief layout)."""
+    return shape(
+        "jobs-by-company",
+        "jobs",
+        [
+            level("company", group_by=["company"],
+                  attributes={"name": "company", "industry": "industry"}),
+            level("job", group_by=["reference"],
+                  attributes={"reference": "reference"},
+                  leaves={"position": "position", "city": "city",
+                          "country": "country", "salary": "salary",
+                          "posted": "posted"}),
+        ],
+    )
+
+
+def by_city_shape() -> DocumentShape:
+    """Reorganised per location page (a second thief layout)."""
+    return shape(
+        "jobs-by-city",
+        "jobs",
+        [
+            level("location", group_by=["city"],
+                  attributes={"city": "city", "country": "country"}),
+            level("job", group_by=["reference"],
+                  attributes={"reference": "reference"},
+                  leaves={"position": "position", "company": "company",
+                          "industry": "industry", "salary": "salary",
+                          "posted": "posted"}),
+        ],
+    )
+
+
+def generate_rows(config: JobsConfig) -> list[Row]:
+    """Synthesise the postings relation."""
+    rng = random.Random(config.seed)
+    companies = rng.sample(vocab.COMPANIES,
+                           min(config.companies, len(vocab.COMPANIES)))
+    company_industry = {
+        company: rng.choice(vocab.INDUSTRIES) for company in companies
+    }
+    cities = rng.sample(vocab.CITIES, min(config.cities, len(vocab.CITIES)))
+    rows: list[Row] = []
+    for index in range(config.jobs):
+        company = rng.choice(companies)
+        city, country = rng.choice(cities)
+        seniority = rng.choice(vocab.SENIORITIES)
+        base_title = rng.choice(vocab.JOB_TITLES)
+        salary = str(rng.randrange(45_000, 180_000, 500))
+        posted = (f"{rng.randint(2004, 2005):04d}-"
+                  f"{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}")
+        rows.append(Row.from_values({
+            "reference": f"JOB-{index:05d}",
+            "position": f"{seniority} {base_title}",
+            "company": company,
+            "industry": company_industry[company],
+            "city": city,
+            "country": country,
+            "salary": salary,
+            "posted": posted,
+        }))
+    return rows
+
+
+def generate_document(config: JobsConfig) -> Document:
+    """A complete job feed in the flat listing shape."""
+    return listing_shape().build(generate_rows(config))
+
+
+def semantic_key() -> XMLKey:
+    return XMLKey("job-reference", "/jobs", "job", ("@reference",))
+
+
+def semantic_fds() -> list[XMLFD]:
+    return [
+        XMLFD("company-industry", "/jobs/job", ("company",), "industry"),
+        XMLFD("city-country", "/jobs/job", ("city",), "country"),
+    ]
+
+
+def usability_templates() -> list[UsabilityTemplate]:
+    """What a job seeker actually asks the feed."""
+    return [
+        UsabilityTemplate("salary-of-job", "salary", ("reference",),
+                          tolerance=0.02),
+        UsabilityTemplate("position-of-job", "position", ("reference",),
+                          casefold=True),
+        UsabilityTemplate("company-jobs", "reference", ("company",)),
+        UsabilityTemplate("industry-of-company", "industry", ("company",)),
+        UsabilityTemplate("city-jobs", "reference", ("city",)),
+    ]
+
+
+def default_scheme(gamma: int = 4) -> WatermarkingScheme:
+    """The reference watermarking scheme for the job feed."""
+    return WatermarkingScheme(
+        shape=listing_shape(),
+        carriers=[
+            CarrierSpec.create("salary", "numeric",
+                               KeyIdentifier(("reference",))),
+            CarrierSpec.create("posted", "date",
+                               KeyIdentifier(("reference",))),
+            CarrierSpec.create("position", "text-case",
+                               KeyIdentifier(("reference",))),
+            CarrierSpec.create("industry", "categorical",
+                               FDIdentifier(("company",)),
+                               {"domain": list(vocab.INDUSTRIES)}),
+        ],
+        templates=usability_templates(),
+        gamma=gamma,
+    )

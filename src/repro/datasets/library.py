@@ -1,0 +1,149 @@
+"""Digital-library dataset: the paper's second motivating example.
+
+"A commercial digital library also would need to safeguard its
+copyright over its collection of knowledge information."
+
+Items carry a binary preview image (base64) — the payload type the
+original system's image plug-in handled — plus bibliographic metadata:
+
+* ``item_id`` is the key,
+* FD ``category -> shelf`` holds (every category lives on one shelf),
+* carriers: ``image`` (binary LSB), ``pages`` (numeric), ``category``
+  (categorical via the FD on shelf? no — categorical on its own key).
+
+Shapes: a flat catalogue and a by-category organisation.
+"""
+
+from __future__ import annotations
+
+import base64
+import random
+from dataclasses import dataclass
+
+from repro.core import (
+    CarrierSpec,
+    FDIdentifier,
+    KeyIdentifier,
+    UsabilityTemplate,
+    WatermarkingScheme,
+)
+from repro.datasets import vocab
+from repro.semantics import DocumentShape, Row, XMLFD, XMLKey, level, shape
+from repro.xmlmodel.tree import Document
+
+
+@dataclass(frozen=True)
+class LibraryConfig:
+    """Generator knobs; ``image_bytes`` sizes the binary payloads."""
+
+    items: int = 80
+    categories: int = 6
+    seed: int = 13
+    image_bytes: int = 96
+
+
+def catalogue_shape() -> DocumentShape:
+    """The flat catalogue: one <item> per holding."""
+    return shape(
+        "library-catalogue",
+        "library",
+        [
+            level(
+                "item",
+                group_by=["item_id"],
+                attributes={"id": "item_id"},
+                leaves={
+                    "title": "title",
+                    "category": "category",
+                    "shelf": "shelf",
+                    "pages": "pages",
+                    "image": "image",
+                },
+            ),
+        ],
+    )
+
+
+def by_category_shape() -> DocumentShape:
+    """Reorganised per category (a browsing layout)."""
+    return shape(
+        "library-by-category",
+        "library",
+        [
+            level("category", group_by=["category"],
+                  attributes={"name": "category", "shelf": "shelf"}),
+            level("item", group_by=["item_id"],
+                  attributes={"id": "item_id"},
+                  leaves={"title": "title", "pages": "pages",
+                          "image": "image"}),
+        ],
+    )
+
+
+def generate_rows(config: LibraryConfig) -> list[Row]:
+    """Synthesise the catalogue relation, images included."""
+    rng = random.Random(config.seed)
+    categories = rng.sample(
+        vocab.CATEGORIES, min(config.categories, len(vocab.CATEGORIES)))
+    category_shelf = {
+        category: f"shelf-{rng.randint(1, 40):02d}"
+        for category in categories
+    }
+    rows: list[Row] = []
+    for index in range(config.items):
+        category = rng.choice(categories)
+        qualifier = rng.choice(vocab.TITLE_QUALIFIERS)
+        subject = rng.choice(vocab.TITLE_SUBJECTS)
+        payload = bytes(rng.getrandbits(8) for _ in range(config.image_bytes))
+        rows.append(Row.from_values({
+            "item_id": f"ITEM-{index:05d}",
+            "title": f"{qualifier} {subject} #{index}",
+            "category": category,
+            "shelf": category_shelf[category],
+            "pages": str(rng.randint(80, 900)),
+            "image": base64.b64encode(payload).decode("ascii"),
+        }))
+    return rows
+
+
+def generate_document(config: LibraryConfig) -> Document:
+    """A complete catalogue in the flat shape."""
+    return catalogue_shape().build(generate_rows(config))
+
+
+def semantic_key() -> XMLKey:
+    return XMLKey("item-id", "/library", "item", ("@id",))
+
+
+def semantic_fd() -> XMLFD:
+    return XMLFD("category-shelf", "/library/item", ("category",), "shelf")
+
+
+def usability_templates() -> list[UsabilityTemplate]:
+    """What a library patron asks the catalogue."""
+    return [
+        UsabilityTemplate("title-of-item", "title", ("item_id",)),
+        UsabilityTemplate("pages-of-item", "pages", ("item_id",),
+                          tolerance=0.02),
+        UsabilityTemplate("items-in-category", "item_id", ("category",)),
+        UsabilityTemplate("shelf-of-category", "shelf", ("category",),
+                          casefold=True),
+    ]
+
+
+def default_scheme(gamma: int = 4) -> WatermarkingScheme:
+    """The reference watermarking scheme for the library catalogue."""
+    return WatermarkingScheme(
+        shape=catalogue_shape(),
+        carriers=[
+            CarrierSpec.create("image", "binary-lsb",
+                               KeyIdentifier(("item_id",)),
+                               {"spread": 8}),
+            CarrierSpec.create("pages", "numeric",
+                               KeyIdentifier(("item_id",))),
+            CarrierSpec.create("shelf", "text-case",
+                               FDIdentifier(("category",))),
+        ],
+        templates=usability_templates(),
+        gamma=gamma,
+    )

@@ -1,0 +1,63 @@
+"""The literal example documents from the paper (Figure 1).
+
+Kept verbatim (db2 lightly completed with the editor/year fields the
+paper elides) so tests, examples, and the demo CLI can reproduce the
+paper's running example exactly.
+"""
+
+from __future__ import annotations
+
+from repro.xmlmodel import Document, parse
+
+#: Figure 1(a): db1.xml as printed (with the second book's <writer>
+#: children, an incidental tag variation the paper itself drops when it
+#: reorganises the data).
+DB1_VERBATIM = (
+    "<db>"
+    '<book publisher="mkp">'
+    "<title>Readings in Database Systems</title>"
+    "<author>Stonebraker</author>"
+    "<author>Hellerstein</author>"
+    "<editor>Harrypotter</editor>"
+    "<year>1998</year>"
+    "</book>"
+    '<book publisher="acm">'
+    "<title>Database Design</title>"
+    "<writer>Berstein</writer>"
+    "<writer>Newcomer</writer>"
+    "<editor>Gamer</editor>"
+    "<year>1998</year>"
+    "</book>"
+    "</db>"
+)
+
+#: Figure 1(b): db2.xml as printed (publisher/author-centric).
+DB2_VERBATIM = (
+    "<db>"
+    '<publisher name="mkp">'
+    '<author name="Stonebraker">'
+    "<book>Readings in Database Systems</book>"
+    "<book>XML Query Processing</book>"
+    "</author>"
+    '<author name="Hellerstein">'
+    "<book>Readings in Database Systems</book>"
+    "<book>Relational Data Integration</book>"
+    "</author>"
+    "</publisher>"
+    '<publisher name="acm">'
+    '<author name="Berstein">'
+    "<book>Database Design</book>"
+    "</author>"
+    "</publisher>"
+    "</db>"
+)
+
+
+def figure1_db1() -> Document:
+    """Parse the verbatim db1.xml of Figure 1(a)."""
+    return parse(DB1_VERBATIM)
+
+
+def figure1_db2() -> Document:
+    """Parse the verbatim db2.xml of Figure 1(b)."""
+    return parse(DB2_VERBATIM)

@@ -1,0 +1,96 @@
+"""Vocabulary pools for the synthetic dataset generators.
+
+The demo paper applies WmXML to "a few sets of real world
+semi-structured data"; those feeds are not available, so the generators
+synthesise documents from these pools.  Pools are plain tuples so every
+draw is a pure function of the caller's seeded RNG.
+"""
+
+from __future__ import annotations
+
+FIRST_NAMES = (
+    "Michael", "Jennifer", "David", "Linda", "James", "Patricia", "Robert",
+    "Maria", "John", "Susan", "William", "Margaret", "Richard", "Dorothy",
+    "Thomas", "Lisa", "Charles", "Nancy", "Christopher", "Karen", "Daniel",
+    "Betty", "Matthew", "Helen", "Anthony", "Sandra", "Donald", "Donna",
+    "Mark", "Carol", "Paul", "Ruth", "Steven", "Sharon", "Andrew", "Wei",
+    "Kenneth", "Mei", "Joshua", "Priya", "Kevin", "Fatima", "Brian",
+    "Yuki", "George", "Ingrid", "Edward", "Olga", "Ronald", "Chen",
+)
+
+LAST_NAMES = (
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+    "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+    "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+    "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Tan", "Zhou",
+)
+
+PUBLISHERS = (
+    "mkp", "acm", "ieee", "springer", "elsevier", "usenix", "wiley",
+    "oreilly", "mit-press", "cambridge", "oxford", "vldb-endowment",
+)
+
+TITLE_SUBJECTS = (
+    "Database Systems", "Query Processing", "Transaction Management",
+    "Information Retrieval", "Data Integration", "XML Processing",
+    "Distributed Computing", "Concurrency Control", "Data Mining",
+    "Stream Processing", "Access Methods", "Storage Engines",
+    "Query Optimization", "Semantic Modeling", "Data Warehousing",
+    "Schema Evolution", "Web Services", "Digital Libraries",
+    "Copyright Protection", "Watermarking Techniques",
+)
+
+TITLE_QUALIFIERS = (
+    "Readings in", "Principles of", "Foundations of", "Advanced",
+    "Introduction to", "A Survey of", "Practical", "Modern", "Essential",
+    "The Art of", "Handbook of", "Theory of",
+)
+
+COMPANIES = (
+    "Acme Analytics", "Globex Systems", "Initech Software", "Umbrella Data",
+    "Stark Computing", "Wayne Informatics", "Tyrell Networks",
+    "Cyberdyne Labs", "Hooli Cloud", "Pied Piper Storage",
+    "Vandelay Industries", "Wonka Logistics", "Duff Technologies",
+    "Oceanic Platforms", "Soylent Services", "Gringotts Fintech",
+)
+
+INDUSTRIES = (
+    "finance", "healthcare", "logistics", "retail", "manufacturing",
+    "telecom", "energy", "media",
+)
+
+CITIES = (
+    ("Singapore", "Singapore"), ("Trondheim", "Norway"),
+    ("Hanover", "Germany"), ("New York", "USA"), ("London", "UK"),
+    ("Tokyo", "Japan"), ("Sydney", "Australia"), ("Toronto", "Canada"),
+    ("Bangalore", "India"), ("Paris", "France"), ("Zurich", "Switzerland"),
+    ("Seoul", "South Korea"), ("Dublin", "Ireland"), ("Austin", "USA"),
+    ("Berlin", "Germany"), ("Shanghai", "China"),
+)
+
+JOB_TITLES = (
+    "Software Engineer", "Database Administrator", "Data Analyst",
+    "Systems Architect", "QA Engineer", "DevOps Engineer",
+    "Product Manager", "Data Scientist", "Security Analyst",
+    "Support Engineer", "Technical Writer", "Network Engineer",
+    "Machine Learning Engineer", "Site Reliability Engineer",
+)
+
+SENIORITIES = ("Junior", "Senior", "Staff", "Principal", "Lead")
+
+CATEGORIES = (
+    "databases", "networking", "security", "algorithms", "graphics",
+    "languages", "systems", "theory", "ai", "hci",
+)
+
+DESCRIPTION_WORDS = (
+    "design", "implement", "maintain", "scalable", "reliable", "secure",
+    "distributed", "database", "services", "pipelines", "queries",
+    "indexes", "replication", "backup", "monitoring", "performance",
+    "tuning", "schemas", "migrations", "integrity", "transactions",
+    "analytics", "reporting", "compliance", "availability",
+)

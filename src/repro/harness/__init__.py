@@ -1,0 +1,43 @@
+"""Experiment harness: result tables and the E1-E10 suite.
+
+``EXPERIMENTS`` maps experiment ids to callables; each returns a
+:class:`~repro.harness.tables.ResultTable` reproducing one paper
+artefact (see DESIGN.md §5 and EXPERIMENTS.md).
+"""
+
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    ExperimentConfig,
+    e1_reorganization_equivalence,
+    e2_rewriting_fanout,
+    e3_capacity,
+    e4_embedding_usability,
+    e5_alteration_sweep,
+    e6_reduction_sweep,
+    e7_reorganization_matrix,
+    e8_redundancy,
+    e9_performance,
+    e10_false_positives,
+)
+from repro.harness.report import render_report, run_all, write_report
+from repro.harness.tables import ResultTable, render_tables
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentConfig",
+    "ResultTable",
+    "e10_false_positives",
+    "e1_reorganization_equivalence",
+    "e2_rewriting_fanout",
+    "e3_capacity",
+    "e4_embedding_usability",
+    "e5_alteration_sweep",
+    "e6_reduction_sweep",
+    "e7_reorganization_matrix",
+    "e8_redundancy",
+    "e9_performance",
+    "render_report",
+    "render_tables",
+    "run_all",
+    "write_report",
+]

@@ -1,0 +1,55 @@
+"""Full experiment report: run every experiment, render one document.
+
+``wmxml experiment all`` and the release process use this to regenerate
+the complete paper-vs-measured evidence in one pass.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.harness.experiments import EXPERIMENTS, ExperimentConfig
+from repro.harness.tables import ResultTable
+
+#: Experiment ids in presentation order.
+ORDER = ("e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10")
+
+
+def run_all(
+    config: ExperimentConfig = ExperimentConfig(),
+    progress: Optional[Callable[[str], None]] = None,
+) -> list[ResultTable]:
+    """Run every experiment; returns the tables in presentation order."""
+    tables: list[ResultTable] = []
+    for name in ORDER:
+        if progress is not None:
+            progress(f"running {name} ...")
+        started = time.perf_counter()
+        table = EXPERIMENTS[name](config)
+        elapsed = time.perf_counter() - started
+        table.note(f"generated in {elapsed:.1f}s with books={config.books}, "
+                   f"gamma={config.gamma}, seed={config.seed}")
+        tables.append(table)
+    return tables
+
+
+def render_report(tables: list[ResultTable],
+                  title: str = "WmXML experiment report") -> str:
+    """One text document containing every table."""
+    rule = "#" * 72
+    parts = [rule, f"# {title}", rule, ""]
+    for table in tables:
+        parts.append(table.render())
+        parts.append("")
+    return "\n".join(parts)
+
+
+def write_report(path: str,
+                 config: ExperimentConfig = ExperimentConfig(),
+                 progress: Optional[Callable[[str], None]] = None) -> str:
+    """Run everything and write the report to ``path``; returns the text."""
+    text = render_report(run_all(config, progress=progress))
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text

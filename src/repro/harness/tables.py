@@ -1,0 +1,97 @@
+"""ASCII result tables for the experiment harness.
+
+Every experiment returns a :class:`ResultTable`; the benchmarks print it
+(the "rows/series the paper reports") and EXPERIMENTS.md archives it.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+
+@dataclass
+class ResultTable:
+    """A titled table with typed-ish cells and footnotes."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        """Append a row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.columns)} columns")
+        self.rows.append(list(values))
+
+    def note(self, text: str) -> None:
+        """Attach a footnote rendered under the table."""
+        self.notes.append(text)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    # -- rendering ------------------------------------------------------------
+
+    @staticmethod
+    def _format_cell(value: Any) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e6):
+                return f"{value:.2e}"
+            return f"{value:.3f}"
+        return str(value)
+
+    def render(self) -> str:
+        """Monospace rendering with a title rule and aligned columns."""
+        cells = [[self._format_cell(v) for v in row] for row in self.rows]
+        widths = [
+            max([len(name)] + [len(row[i]) for row in cells])
+            for i, name in enumerate(self.columns)
+        ]
+        lines = [self.title, "=" * max(len(self.title), 8)]
+        header = "  ".join(
+            name.ljust(widths[i]) for i, name in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append("  ".join(
+                cell.rjust(widths[i]) if _numeric_like(cell)
+                else cell.ljust(widths[i])
+                for i, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self, path: str) -> None:
+        """Write the table (with title as a comment line) as CSV."""
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow([f"# {self.title}"])
+            writer.writerow(self.columns)
+            for row in self.rows:
+                writer.writerow(row)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _numeric_like(cell: str) -> bool:
+    try:
+        float(cell)
+        return True
+    except ValueError:
+        return False
+
+
+def render_tables(tables: Sequence[ResultTable],
+                  separator: str = "\n\n") -> str:
+    """Render several tables as one report string."""
+    return separator.join(table.render() for table in tables)

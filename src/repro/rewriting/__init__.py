@@ -1,0 +1,33 @@
+"""Query rewriting and document reorganisation (paper §2.2, Figure 2).
+
+Public surface:
+
+* :class:`~repro.rewriting.logical.LogicalQuery` — the organisation-
+  independent identity-query form the encoder stores,
+* :func:`~repro.rewriting.rewriter.compile_logical` — compile a logical
+  query to XPath for a given :class:`DocumentShape`,
+* :func:`~repro.rewriting.rewriter.rewrite` — compile for a source and a
+  target shape at once,
+* :func:`~repro.rewriting.reorganizer.reorganize` — restructure a
+  document between shapes (Figure 1's db1 -> db2).
+"""
+
+from repro.rewriting.executor import LogicalExecutor
+from repro.rewriting.logical import LogicalQuery, xpath_literal
+from repro.rewriting.reorganizer import (
+    ReorganizationResult,
+    reorganize,
+    roundtrip,
+)
+from repro.rewriting.rewriter import compile_logical, rewrite
+
+__all__ = [
+    "LogicalExecutor",
+    "LogicalQuery",
+    "ReorganizationResult",
+    "compile_logical",
+    "reorganize",
+    "rewrite",
+    "roundtrip",
+    "xpath_literal",
+]

@@ -1,0 +1,68 @@
+"""Document reorganisation: shred with one shape, rebuild with another.
+
+This implements the transformation of Figure 1 in the paper (db1.xml ->
+db2.xml, "without losing any information") and simultaneously powers the
+re-organisation attack of §4C — the adversary's restructuring and the
+benign migration are the same operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.semantics.errors import RecordError
+from repro.semantics.shape import DocumentShape
+from repro.xmlmodel.tree import Document
+
+
+@dataclass(frozen=True)
+class ReorganizationResult:
+    """Outcome of a reorganisation: the new document plus bookkeeping."""
+
+    document: Document
+    source_shape: DocumentShape
+    target_shape: DocumentShape
+    row_count: int
+    dropped_fields: tuple[str, ...]
+
+    @property
+    def lossless(self) -> bool:
+        return not self.dropped_fields
+
+
+def reorganize(
+    document: Document,
+    source_shape: DocumentShape,
+    target_shape: DocumentShape,
+    allow_lossy: bool = False,
+) -> ReorganizationResult:
+    """Restructure ``document`` from ``source_shape`` to ``target_shape``.
+
+    By default the reorganisation must be information-preserving: every
+    field the source shape materialises must be placed somewhere in the
+    target shape.  Pass ``allow_lossy=True`` to model the *destructive*
+    variant of the attack (which, per the paper's claim, costs the
+    adversary data usability).
+    """
+    dropped = tuple(source_shape.dropped_fields(target_shape))
+    if dropped and not allow_lossy:
+        raise RecordError(
+            f"reorganisation {source_shape.name!r} -> {target_shape.name!r} "
+            f"drops fields {list(dropped)}; pass allow_lossy=True to force")
+    rows = source_shape.shred(document)
+    rebuilt = target_shape.build(rows)
+    return ReorganizationResult(
+        document=rebuilt,
+        source_shape=source_shape,
+        target_shape=target_shape,
+        row_count=len(rows),
+        dropped_fields=dropped,
+    )
+
+
+def roundtrip(document: Document, via: DocumentShape,
+              home: DocumentShape) -> Document:
+    """Reorganise to ``via`` and back to ``home`` (test/demo helper)."""
+    outbound = reorganize(document, home, via)
+    inbound = reorganize(outbound.document, via, home)
+    return inbound.document

@@ -1,0 +1,122 @@
+"""Compiling logical queries to concrete XPath for a document shape.
+
+This module is the reproduction's query-rewriting engine (paper §2.2 and
+Figure 2; the paper points to Yu & Popa's constraint-based rewriting and
+notes its own rewriter "still needs human intervention" — here the human
+supplies the target :class:`DocumentShape`, and compilation is fully
+automatic).
+
+Compilation walks the shape's level chain down to the target field's
+placement, attaching each condition as a predicate at the level where
+its field lives:
+
+* a condition at or above the target's level becomes a predicate on its
+  own step (``book[title='X']``, ``publisher[@name='mkp']``);
+* a condition *below* the target's level becomes a path predicate on the
+  target step (``author[book/text()='X']`` — exactly the paper's db2
+  rewriting example);
+* the final step selects the target placement (``/@name``, ``/year`` or
+  ``/text()``).
+"""
+
+from __future__ import annotations
+
+from repro.semantics.errors import RecordError
+from repro.semantics.shape import ATTRIBUTE, LEAF, TEXT, DocumentShape, FieldPlacement
+from repro.rewriting.logical import LogicalQuery, xpath_literal
+
+
+def compile_logical(query: LogicalQuery, shape: DocumentShape) -> str:
+    """Compile ``query`` to an XPath expression for documents of ``shape``."""
+    target = shape.placement(query.target)
+    conditions = [
+        (shape.placement(field_name), value)
+        for field_name, value in query.conditions
+    ]
+    levels = shape.nesting.levels
+
+    # Predicates grouped by the level index of the step they attach to.
+    predicates: dict[int, list[str]] = {}
+    for placement, value in conditions:
+        if placement.level_index <= target.level_index:
+            attach_at = placement.level_index
+            expr = _self_condition(placement, value)
+        else:
+            attach_at = target.level_index
+            expr = _descendant_condition(placement, value, shape,
+                                         target.level_index)
+        predicates.setdefault(attach_at, []).append(expr)
+
+    steps: list[str] = [shape.nesting.root]
+    for index in range(target.level_index + 1):
+        step = levels[index].tag
+        for expr in predicates.get(index, ()):
+            step += f"[{expr}]"
+        steps.append(step)
+    path = "/" + "/".join(steps)
+    return path + _target_suffix(target)
+
+
+def _self_condition(placement: FieldPlacement, value: str) -> str:
+    """Predicate testing a field placed on the step's own level."""
+    literal = xpath_literal(value)
+    if placement.kind == ATTRIBUTE:
+        return f"@{placement.name}={literal}"
+    if placement.kind == LEAF:
+        return f"{placement.name}={literal}"
+    if placement.kind == TEXT:
+        return f"text()={literal}"
+    raise RecordError(f"unknown placement kind {placement.kind!r}")
+
+
+def _descendant_condition(placement: FieldPlacement, value: str,
+                          shape: DocumentShape, from_level: int) -> str:
+    """Predicate testing a field placed below ``from_level``.
+
+    Builds the relative tag path from the target's level down to the
+    condition's level, ending in the placement access.
+    """
+    literal = xpath_literal(value)
+    hops = [
+        shape.nesting.levels[index].tag
+        for index in range(from_level + 1, placement.level_index + 1)
+    ]
+    prefix = "/".join(hops)
+    if placement.kind == ATTRIBUTE:
+        return f"{prefix}/@{placement.name}={literal}"
+    if placement.kind == LEAF:
+        return f"{prefix}/{placement.name}={literal}"
+    if placement.kind == TEXT:
+        return f"{prefix}/text()={literal}"
+    raise RecordError(f"unknown placement kind {placement.kind!r}")
+
+
+def _target_suffix(placement: FieldPlacement) -> str:
+    """Final selection step for the target placement."""
+    if placement.kind == ATTRIBUTE:
+        return f"/@{placement.name}"
+    if placement.kind == LEAF:
+        return f"/{placement.name}"
+    if placement.kind == TEXT:
+        return "/text()"
+    raise RecordError(f"unknown placement kind {placement.kind!r}")
+
+
+def rewrite(query: LogicalQuery, source: DocumentShape,
+            target: DocumentShape) -> tuple[str, str]:
+    """Compile the same logical query for two shapes.
+
+    Returns ``(source_xpath, target_xpath)`` — the paper's Figure 2
+    picture: one watermark-insert query and its rewriting for a
+    reorganised document.  Raises when the target shape drops any field
+    the query needs.
+    """
+    missing = [
+        field_name for field_name in query.fields_used()
+        if field_name not in target.placements
+    ]
+    if missing:
+        raise RecordError(
+            f"shape {target.name!r} drops field(s) {missing!r}; "
+            "the query cannot be rewritten (lossy reorganisation)")
+    return compile_logical(query, source), compile_logical(query, target)

@@ -1,0 +1,107 @@
+"""Semantics layer: schemas, keys, functional dependencies, records, shapes.
+
+This package supplies everything WmXML's §2.3 "identifier creation"
+depends on:
+
+* :mod:`~repro.semantics.schema` / :mod:`~repro.semantics.validator` —
+  DTD-like schemas and validation (workflow step 1 of the paper),
+* :mod:`~repro.semantics.keys` / :mod:`~repro.semantics.fds` — the key
+  and FD constraints identifiers are built from,
+* :mod:`~repro.semantics.discovery` — mining candidate keys/FDs,
+* :mod:`~repro.semantics.records` / :mod:`~repro.semantics.nesting` /
+  :mod:`~repro.semantics.shape` — the logical-relation view powering
+  reorganisation and query rewriting.
+"""
+
+from repro.semantics.discovery import (
+    CandidateFD,
+    CandidateKey,
+    discover_fds,
+    discover_keys,
+)
+from repro.semantics.dtd import parse_dtd, render_dtd
+from repro.semantics.errors import (
+    ConstraintError,
+    RecordError,
+    SchemaError,
+    SchemaValidationError,
+    SemanticsError,
+)
+from repro.semantics.fds import FDViolation, RedundancyGroup, XMLFD
+from repro.semantics.inference import infer_leaf_type, infer_schema
+from repro.semantics.keys import KeyViolation, XMLKey
+from repro.semantics.nesting import LevelSpec, NestingSpec
+from repro.semantics.records import (
+    FieldSpec,
+    RecordSpec,
+    Row,
+    distinct_values,
+    project,
+)
+from repro.semantics.schema import (
+    AttributeDecl,
+    Choice,
+    ElementDecl,
+    LeafType,
+    Particle,
+    Schema,
+    composite,
+    leaf,
+)
+from repro.semantics.shape import (
+    ATTRIBUTE,
+    LEAF,
+    TEXT,
+    DocumentShape,
+    FieldPlacement,
+    level,
+    shape,
+)
+from repro.semantics.validator import Violation, assert_valid, is_valid, validate
+
+__all__ = [
+    "ATTRIBUTE",
+    "AttributeDecl",
+    "CandidateFD",
+    "CandidateKey",
+    "Choice",
+    "ConstraintError",
+    "DocumentShape",
+    "ElementDecl",
+    "FDViolation",
+    "FieldPlacement",
+    "FieldSpec",
+    "KeyViolation",
+    "LEAF",
+    "LeafType",
+    "LevelSpec",
+    "NestingSpec",
+    "Particle",
+    "RecordError",
+    "RecordSpec",
+    "RedundancyGroup",
+    "Row",
+    "Schema",
+    "SchemaError",
+    "SchemaValidationError",
+    "SemanticsError",
+    "TEXT",
+    "Violation",
+    "XMLFD",
+    "XMLKey",
+    "assert_valid",
+    "composite",
+    "discover_fds",
+    "discover_keys",
+    "distinct_values",
+    "infer_leaf_type",
+    "infer_schema",
+    "is_valid",
+    "leaf",
+    "level",
+    "parse_dtd",
+    "project",
+    "render_dtd",
+    "shape",
+    "validate",
+]

@@ -1,0 +1,135 @@
+"""Mining candidate keys and functional dependencies from data.
+
+The paper's workflow has the user "identify the important keys and FDs
+from the data schema" (§4).  To make that step practical, WmXML's
+reproduction includes a discovery pass that proposes candidates from the
+shredded relation; the user confirms which are real semantics rather
+than accidents of the sample.
+
+Discovery operates on rows (see :mod:`repro.semantics.records`) so it is
+organisation-independent: the same semantics are found in db1.xml and in
+its reorganised db2.xml form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+from repro.semantics.records import Row
+
+
+@dataclass(frozen=True)
+class CandidateKey:
+    """A field set whose values are unique across entities."""
+
+    fields: tuple[str, ...]
+    support: int  # number of entities examined
+
+    def __str__(self) -> str:
+        return f"key({', '.join(self.fields)}) [support={self.support}]"
+
+
+@dataclass(frozen=True)
+class CandidateFD:
+    """lhs -> rhs holding on every complete row, with support counts."""
+
+    lhs: tuple[str, ...]
+    rhs: str
+    support: int        # complete bindings examined
+    determined: int     # distinct lhs groups
+
+    def is_trivial(self) -> bool:
+        """True when every lhs group is a singleton (FD holds vacuously)."""
+        return self.support == self.determined
+
+    def __str__(self) -> str:
+        lhs = ", ".join(self.lhs)
+        return (f"fd({lhs} -> {self.rhs}) "
+                f"[bindings={self.support}, groups={self.determined}]")
+
+
+def _entity_values(rows: Sequence[Row], fields: tuple[str, ...]):
+    """Per-entity value tuples (entities with missing fields skipped).
+
+    Multi-valued fields make several rows share an entity; keys and FDs
+    are entity-level semantics, so we collapse back to one binding per
+    entity and skip entities where a field is not single-valued.
+    """
+    per_entity: dict[int, tuple] = {}
+    ambiguous: set[int] = set()
+    entities: dict[int, object] = {}
+    for row in rows:
+        if any(f not in row.values for f in fields):
+            continue
+        key = id(row.entity)
+        entities[key] = row.entity
+        values = row.key(fields)
+        if key in per_entity and per_entity[key] != values:
+            ambiguous.add(key)
+        per_entity[key] = values
+    return [
+        values for key, values in per_entity.items() if key not in ambiguous
+    ]
+
+
+def discover_keys(
+    rows: Sequence[Row],
+    fields: Sequence[str],
+    max_width: int = 2,
+) -> list[CandidateKey]:
+    """Minimal field sets (up to ``max_width``) unique across entities."""
+    found: list[CandidateKey] = []
+    minimal: list[tuple[str, ...]] = []
+    for width in range(1, max_width + 1):
+        for combo in combinations(fields, width):
+            if any(set(m) <= set(combo) for m in minimal):
+                continue  # superset of a smaller key is not minimal
+            values = _entity_values(rows, combo)
+            if not values:
+                continue
+            if len(set(values)) == len(values):
+                minimal.append(combo)
+                found.append(CandidateKey(combo, len(values)))
+    return found
+
+
+def discover_fds(
+    rows: Sequence[Row],
+    fields: Sequence[str],
+    min_support: int = 2,
+    include_trivial: bool = False,
+) -> list[CandidateFD]:
+    """Single-field-lhs FDs holding on every complete binding.
+
+    ``min_support`` filters out dependencies observed on fewer bindings
+    than that; ``include_trivial`` keeps FDs where no lhs value ever
+    repeats (those carry no redundancy signal).
+    """
+    candidates: list[CandidateFD] = []
+    for lhs_field in fields:
+        for rhs_field in fields:
+            if rhs_field == lhs_field:
+                continue
+            pairs = _entity_values(rows, (lhs_field, rhs_field))
+            if len(pairs) < min_support:
+                continue
+            mapping: dict[str, str] = {}
+            holds = True
+            for lhs_value, rhs_value in pairs:
+                expected = mapping.get(lhs_value)
+                if expected is None:
+                    mapping[lhs_value] = rhs_value
+                elif expected != rhs_value:
+                    holds = False
+                    break
+            if not holds:
+                continue
+            candidate = CandidateFD(
+                (lhs_field,), rhs_field,
+                support=len(pairs), determined=len(mapping))
+            if candidate.is_trivial() and not include_trivial:
+                continue
+            candidates.append(candidate)
+    return candidates

@@ -1,0 +1,202 @@
+"""DTD import/export for the schema model.
+
+The paper's workflow starts from the document's schema; real feeds ship
+schemas as DTDs, so this module converts between DTD text and
+:class:`~repro.semantics.schema.Schema`:
+
+* :func:`parse_dtd` reads ``<!ELEMENT ...>`` / ``<!ATTLIST ...>``
+  declarations covering the subset the schema model supports — element
+  content as ``EMPTY``, ``(#PCDATA)``, or a sequence of names and
+  single-level choice groups with ``? * +`` occurrence markers;
+* :func:`render_dtd` writes a schema back out as a DTD.
+
+Leaf data types (year/decimal/base64...) have no DTD syntax; they are
+carried through round-trips in ``<!-- wmxml:type tag=... -->`` comment
+annotations that :func:`parse_dtd` understands and plain DTD consumers
+ignore.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.semantics.errors import SchemaError
+from repro.semantics.schema import (
+    AttributeDecl,
+    Choice,
+    ContentItem,
+    ElementDecl,
+    LeafType,
+    Particle,
+    Schema,
+)
+
+_ELEMENT_RE = re.compile(r"<!ELEMENT\s+([\w.\-:]+)\s+(.*?)>", re.DOTALL)
+_ATTLIST_RE = re.compile(r"<!ATTLIST\s+([\w.\-:]+)\s+(.*?)>", re.DOTALL)
+_TYPE_HINT_RE = re.compile(
+    r"<!--\s*wmxml:type\s+(?:tag|attr)=([\w.\-:@]+)\s+type=(\w+)\s*-->")
+_ATTR_DEF_RE = re.compile(
+    r"([\w.\-:]+)\s+(CDATA|ID|IDREF|NMTOKEN)\s+(#REQUIRED|#IMPLIED)")
+_COMMENT_RE = re.compile(r"<!--.*?-->", re.DOTALL)
+
+_OCCURRENCE = {
+    "": (1, 1),
+    "?": (0, 1),
+    "+": (1, None),
+    "*": (0, None),
+}
+
+
+def _split_top_level(body: str) -> list[str]:
+    """Split a content model body on top-level commas."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for char in body:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _parse_item(text: str) -> ContentItem:
+    text = text.strip()
+    occurrence = ""
+    if text and text[-1] in "?+*":
+        occurrence = text[-1]
+        text = text[:-1].strip()
+    min_occurs, max_occurs = _OCCURRENCE[occurrence]
+    if text.startswith("(") and text.endswith(")"):
+        inner = text[1:-1]
+        alternatives = tuple(part.strip() for part in inner.split("|"))
+        if len(alternatives) < 2 or any("(" in a or "," in a
+                                        for a in alternatives):
+            raise SchemaError(
+                f"unsupported content group {text!r} (only single-level "
+                "choice groups are supported)")
+        return Choice(alternatives, min_occurs, max_occurs)
+    if not re.fullmatch(r"[\w.\-:]+", text):
+        raise SchemaError(f"unsupported content particle {text!r}")
+    return Particle(text, min_occurs, max_occurs)
+
+
+def _parse_content(body: str, tag: str) -> tuple[tuple[ContentItem, ...],
+                                                 Optional[LeafType]]:
+    body = body.strip()
+    if body == "EMPTY":
+        return (), LeafType.STRING
+    if body in ("(#PCDATA)", "(#PCDATA)*"):
+        return (), LeafType.STRING
+    if not (body.startswith("(") and body.endswith(")")):
+        raise SchemaError(f"cannot parse content model for {tag!r}: {body!r}")
+    if "#PCDATA" in body:
+        raise SchemaError(
+            f"mixed content on {tag!r} is not supported "
+            "(data-centric schemas only)")
+    items = tuple(_parse_item(part)
+                  for part in _split_top_level(body[1:-1]))
+    if not items:
+        raise SchemaError(f"empty content model for {tag!r}")
+    return items, None
+
+
+def parse_dtd(text: str, root: Optional[str] = None) -> Schema:
+    """Parse DTD text into a :class:`Schema`.
+
+    ``root`` defaults to the first declared element, matching the common
+    convention of declaring the document element first.
+    """
+    type_hints: dict[str, LeafType] = {}
+    for name, type_name in _TYPE_HINT_RE.findall(text):
+        try:
+            type_hints[name] = LeafType(type_name)
+        except ValueError:
+            raise SchemaError(f"unknown wmxml:type {type_name!r}") from None
+    stripped = _COMMENT_RE.sub("", text)
+
+    attributes: dict[str, list[AttributeDecl]] = {}
+    for tag, body in _ATTLIST_RE.findall(stripped):
+        declared = attributes.setdefault(tag, [])
+        for name, _dtd_type, flag in _ATTR_DEF_RE.findall(body):
+            declared.append(AttributeDecl(
+                name,
+                type=type_hints.get(f"{tag}@{name}", LeafType.STRING),
+                required=flag == "#REQUIRED"))
+
+    declarations: list[ElementDecl] = []
+    first_tag: Optional[str] = None
+    for tag, body in _ELEMENT_RE.findall(stripped):
+        if first_tag is None:
+            first_tag = tag
+        content, leaf_type = _parse_content(body, tag)
+        if leaf_type is not None:
+            leaf_type = type_hints.get(tag, leaf_type)
+        declarations.append(ElementDecl(
+            tag,
+            content=content,
+            leaf_type=leaf_type if not content else None,
+            attributes=tuple(attributes.get(tag, ()))))
+    if not declarations:
+        raise SchemaError("no <!ELEMENT> declarations found")
+    return Schema(root or first_tag, declarations)
+
+
+def _dtd_occurrence(min_occurs: int, max_occurs: Optional[int]) -> str:
+    """The tightest DTD occurrence marker covering the exact bounds.
+
+    DTDs only know ``?``/``*``/``+``; exact counts (e.g. an inferred
+    ``book{20,}``) are generalised to the nearest expressible marker.
+    """
+    if (min_occurs, max_occurs) == (1, 1):
+        return ""
+    if min_occurs == 0 and max_occurs == 1:
+        return "?"
+    if min_occurs == 0:
+        return "*"
+    return "+"
+
+
+def _render_item(item: ContentItem) -> str:
+    suffix = _dtd_occurrence(item.min_occurs, item.max_occurs)
+    if isinstance(item, Particle):
+        return f"{item.tag}{suffix}"
+    return f"({'|'.join(item.alternatives)}){suffix}"
+
+
+def render_dtd(schema: Schema) -> str:
+    """Render a schema as DTD text (round-trippable via parse_dtd)."""
+    lines: list[str] = [f"<!-- root element: {schema.root} -->"]
+    ordered = [schema.root] + sorted(
+        tag for tag in schema.declarations if tag != schema.root)
+    for tag in ordered:
+        decl = schema.declarations[tag]
+        if decl.is_leaf:
+            lines.append(f"<!ELEMENT {tag} (#PCDATA)>")
+            leaf_type = decl.leaf_type or LeafType.STRING
+            if leaf_type is not LeafType.STRING:
+                lines.append(
+                    f"<!-- wmxml:type tag={tag} type={leaf_type.value} -->")
+        else:
+            body = ", ".join(_render_item(item) for item in decl.content)
+            lines.append(f"<!ELEMENT {tag} ({body})>")
+        if decl.attributes:
+            attr_lines = [f"<!ATTLIST {tag}"]
+            for attr in decl.attributes:
+                flag = "#REQUIRED" if attr.required else "#IMPLIED"
+                attr_lines.append(f"  {attr.name} CDATA {flag}")
+                if attr.type is not LeafType.STRING:
+                    lines.append(
+                        f"<!-- wmxml:type attr={tag}@{attr.name} "
+                        f"type={attr.type.value} -->")
+            lines.append("\n".join(attr_lines) + ">")
+    return "\n".join(lines) + "\n"

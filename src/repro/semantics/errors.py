@@ -1,0 +1,29 @@
+"""Exceptions for the semantics layer (schema, keys, FDs, records)."""
+
+from __future__ import annotations
+
+
+class SemanticsError(Exception):
+    """Base class for semantics-layer errors."""
+
+
+class SchemaError(SemanticsError):
+    """A schema definition is internally inconsistent."""
+
+
+class SchemaValidationError(SemanticsError):
+    """A document failed schema validation (raised by assert_valid)."""
+
+    def __init__(self, violations) -> None:
+        lines = "\n".join(f"  - {v}" for v in violations[:20])
+        more = "" if len(violations) <= 20 else f"\n  ... {len(violations) - 20} more"
+        super().__init__(f"{len(violations)} schema violation(s):\n{lines}{more}")
+        self.violations = list(violations)
+
+
+class ConstraintError(SemanticsError):
+    """A key or functional-dependency definition is malformed."""
+
+
+class RecordError(SemanticsError):
+    """Shredding or re-nesting failed (bad field spec, lossy nesting...)."""

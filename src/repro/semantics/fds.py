@@ -1,0 +1,184 @@
+"""XML functional dependencies (paper §2.3).
+
+An FD is scoped: within the bindings produced by ``scope`` (an absolute
+XPath selecting entity nodes), the values of the ``lhs`` field paths
+determine the value of the ``rhs`` field path.  The paper's example is
+``editor -> publisher`` over ``/db/book``: every book edited by the same
+editor names the same publisher.
+
+FDs serve two purposes in WmXML:
+
+* **redundancy detection** (challenge C of the paper): the rhs nodes of
+  bindings sharing an lhs value are *duplicates* — they must carry the
+  same watermark bit, or an adversary erases the mark by making all
+  duplicates identical; :meth:`XMLFD.redundancy_groups` surfaces these
+  groups to the identity layer;
+* **constraint checking**: :meth:`XMLFD.check` reports violations, which
+  is also how the usability evaluator notices when an attack broke the
+  data's semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.semantics.errors import ConstraintError
+from repro.xmlmodel.tree import Document, Element
+from repro.xpath import NodeLike, compile_xpath, node_string_value
+
+LHSValues = tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class FDViolation:
+    """Two bindings agree on the lhs but disagree on the rhs."""
+
+    fd: str
+    lhs: LHSValues
+    first_path: str
+    second_path: str
+    first_value: str
+    second_value: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.fd}] lhs={self.lhs!r}: "
+            f"{self.first_path}={self.first_value!r} vs "
+            f"{self.second_path}={self.second_value!r}")
+
+
+@dataclass(frozen=True)
+class RedundancyGroup:
+    """The rhs nodes of all bindings sharing one lhs value.
+
+    Groups with more than one member are the redundancy the paper warns
+    about: they must be watermarked identically.
+    """
+
+    fd: str
+    lhs: LHSValues
+    nodes: tuple[NodeLike, ...]
+
+    @property
+    def values(self) -> tuple[str, ...]:
+        return tuple(node_string_value(node) for node in self.nodes)
+
+    def is_consistent(self) -> bool:
+        """True when every duplicate currently holds the same value."""
+        return len(set(self.values)) <= 1
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+@dataclass(frozen=True)
+class XMLFD:
+    """A scoped functional dependency ``lhs -> rhs``."""
+
+    name: str
+    scope: str
+    lhs: tuple[str, ...]
+    rhs: str
+
+    def __post_init__(self) -> None:
+        if not self.lhs:
+            raise ConstraintError(f"FD {self.name!r} needs at least one lhs field")
+        if not self.scope.startswith("/"):
+            raise ConstraintError(
+                f"FD {self.name!r}: scope must be an absolute path")
+        if self.rhs in self.lhs:
+            raise ConstraintError(f"FD {self.name!r}: rhs appears in lhs")
+
+    # -- binding extraction ------------------------------------------------------------
+
+    def bindings(
+        self, document: Union[Document, Element]
+    ) -> list[tuple[LHSValues, NodeLike]]:
+        """(lhs values, rhs node) for every complete scope binding.
+
+        Bindings with missing or multi-valued fields are skipped — they
+        cannot participate in the dependency.
+        """
+        results: list[tuple[LHSValues, NodeLike]] = []
+        lhs_queries = [compile_xpath(path) for path in self.lhs]
+        rhs_query = compile_xpath(self.rhs)
+        for scope_node in compile_xpath(self.scope).select(document):
+            lhs_values: list[str] = []
+            complete = True
+            for query in lhs_queries:
+                nodes = query.select(scope_node)
+                if len(nodes) != 1:
+                    complete = False
+                    break
+                lhs_values.append(node_string_value(nodes[0]).strip())
+            if not complete:
+                continue
+            rhs_nodes = rhs_query.select(scope_node)
+            if len(rhs_nodes) != 1:
+                continue
+            results.append((tuple(lhs_values), rhs_nodes[0]))
+        return results
+
+    # -- checking ------------------------------------------------------------
+
+    def check(self, document: Union[Document, Element]) -> list[FDViolation]:
+        """All violations of the dependency in ``document``."""
+        violations: list[FDViolation] = []
+        first_seen: dict[LHSValues, NodeLike] = {}
+        for lhs_values, rhs_node in self.bindings(document):
+            rhs_value = node_string_value(rhs_node)
+            if lhs_values not in first_seen:
+                first_seen[lhs_values] = rhs_node
+                continue
+            reference = first_seen[lhs_values]
+            reference_value = node_string_value(reference)
+            if reference_value != rhs_value:
+                violations.append(FDViolation(
+                    self.name, lhs_values,
+                    _node_path(reference), _node_path(rhs_node),
+                    reference_value, rhs_value))
+        return violations
+
+    def holds(self, document: Union[Document, Element]) -> bool:
+        """True when the FD has no violations."""
+        return not self.check(document)
+
+    # -- redundancy ------------------------------------------------------------
+
+    def redundancy_groups(
+        self, document: Union[Document, Element]
+    ) -> list[RedundancyGroup]:
+        """Group the rhs nodes by lhs value (every group, even singletons).
+
+        The identity layer gives all members of one group the same
+        identifier, hence the same watermark bit.
+        """
+        groups: dict[LHSValues, list[NodeLike]] = {}
+        for lhs_values, rhs_node in self.bindings(document):
+            groups.setdefault(lhs_values, []).append(rhs_node)
+        return [
+            RedundancyGroup(self.name, lhs_values, tuple(nodes))
+            for lhs_values, nodes in groups.items()
+        ]
+
+    def duplicated_groups(
+        self, document: Union[Document, Element]
+    ) -> list[RedundancyGroup]:
+        """Only the groups with two or more duplicate rhs nodes."""
+        return [g for g in self.redundancy_groups(document) if len(g) > 1]
+
+    def render(self) -> str:
+        lhs = ", ".join(self.lhs)
+        return f"fd {self.name}: {self.scope}: [{lhs}] -> {self.rhs}"
+
+
+def _node_path(node: NodeLike) -> str:
+    from repro.xpath.values import AttributeNode
+
+    if isinstance(node, AttributeNode):
+        return node.path()
+    if isinstance(node, Element):
+        return node.path()
+    parent = node.parent
+    return f"{parent.path()}/text()" if parent is not None else "text()"

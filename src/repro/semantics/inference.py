@@ -1,0 +1,172 @@
+"""Schema inference from example documents.
+
+The WmXML user "identif[ies] the important keys and FDs from the data
+schema" (paper §4) — but real feeds often arrive without a schema, so
+the system ships an inference pass that derives a workable
+:class:`~repro.semantics.schema.Schema` from one document:
+
+* the child sequence of every element instance is generalised into a
+  sequence of particles with min/max occurrence bounds when all
+  instances agree on child ordering, and into a repeated choice group
+  otherwise;
+* leaf types are inferred as the most specific type accepted by every
+  observed value (integer < decimal < string, year/date/base64 checked
+  on the side);
+* attributes are declared required when present on every instance.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Optional, Union
+
+from repro.semantics.schema import (
+    AttributeDecl,
+    Choice,
+    ElementDecl,
+    LeafType,
+    Particle,
+    Schema,
+)
+from repro.xmlmodel.tree import Document, Element
+
+#: Types tried most-specific-first for leaf inference.
+_SPECIFICITY = (
+    LeafType.YEAR,
+    LeafType.INTEGER,
+    LeafType.DECIMAL,
+    LeafType.DATE,
+    LeafType.BASE64,
+    LeafType.STRING,
+)
+
+
+def infer_leaf_type(values: Iterable[str]) -> LeafType:
+    """Most specific :class:`LeafType` accepting every value."""
+    candidates = list(_SPECIFICITY)
+    saw_any = False
+    for value in values:
+        saw_any = True
+        candidates = [t for t in candidates if t.accepts(value)]
+        if candidates == [LeafType.STRING]:
+            return LeafType.STRING
+    if not saw_any or not candidates:
+        return LeafType.STRING
+    return candidates[0]
+
+
+def infer_schema(document: Union[Document, Element]) -> Schema:
+    """Derive a schema that the given document validates against."""
+    root = document.root if isinstance(document, Document) else document
+
+    child_sequences: dict[str, list[list[str]]] = defaultdict(list)
+    leaf_values: dict[str, list[str]] = defaultdict(list)
+    is_composite: dict[str, bool] = defaultdict(bool)
+    attr_values: dict[str, dict[str, list[str]]] = defaultdict(
+        lambda: defaultdict(list))
+    instance_counts: dict[str, int] = defaultdict(int)
+
+    for element in root.iter_elements():
+        tag = element.tag
+        instance_counts[tag] += 1
+        children = element.child_elements()
+        child_sequences[tag].append([child.tag for child in children])
+        if children:
+            is_composite[tag] = True
+        else:
+            leaf_values[tag].append(element.text)
+        for name, value in element.attributes.items():
+            attr_values[tag][name].append(value)
+
+    declarations = []
+    for tag, sequences in child_sequences.items():
+        attributes = tuple(
+            AttributeDecl(
+                name,
+                type=infer_leaf_type(values),
+                required=len(values) == instance_counts[tag],
+            )
+            for name, values in sorted(attr_values[tag].items())
+        )
+        if not is_composite[tag]:
+            declarations.append(ElementDecl(
+                tag,
+                leaf_type=infer_leaf_type(leaf_values[tag]),
+                attributes=attributes,
+            ))
+            continue
+        content = _infer_content(sequences)
+        declarations.append(ElementDecl(
+            tag, content=content, attributes=attributes))
+    return Schema(root.tag, declarations)
+
+
+def _infer_content(sequences: list[list[str]]) -> tuple:
+    """Generalise observed child-tag sequences into a content model."""
+    ordered = _common_order(sequences)
+    if ordered is None or any(
+            not _contiguous(sequences, tag) for tag in ordered):
+        # Orders conflict between instances (or a tag repeats
+        # non-adjacently): fall back to a repeated choice over every
+        # observed tag, which accepts any interleaving.
+        tags = sorted({tag for seq in sequences for tag in seq})
+        if len(tags) == 1:
+            return (Particle(tags[0], 0, None),)
+        return (Choice(tuple(tags), 0, None),)
+
+    particles = []
+    for tag in ordered:
+        counts = [seq.count(tag) for seq in sequences]
+        min_occurs = min(counts)
+        max_occurs: Optional[int] = max(counts)
+        if max_occurs > 1:
+            max_occurs = None  # generalise "several" to unbounded
+        particles.append(Particle(tag, min_occurs, max_occurs))
+    return tuple(particles)
+
+
+def _common_order(sequences: list[list[str]]) -> Optional[list[str]]:
+    """A tag order consistent with every sequence, or None.
+
+    Builds the precedence relation over distinct tags and topologically
+    sorts it; a cycle means the instances disagree on ordering.
+    """
+    tags: list[str] = []
+    for seq in sequences:
+        for tag in seq:
+            if tag not in tags:
+                tags.append(tag)
+    precedes: dict[str, set[str]] = {tag: set() for tag in tags}
+    for seq in sequences:
+        distinct = list(dict.fromkeys(seq))
+        for index, earlier in enumerate(distinct):
+            for later in distinct[index + 1:]:
+                precedes[earlier].add(later)
+    # Kahn topological sort, preferring first-seen order for stability.
+    in_degree = {tag: 0 for tag in tags}
+    for earlier, laters in precedes.items():
+        for later in laters:
+            if earlier in precedes[later]:
+                return None  # two tags appear in both orders
+            in_degree[later] += 1
+    order: list[str] = []
+    ready = [tag for tag in tags if in_degree[tag] == 0]
+    while ready:
+        tag = ready.pop(0)
+        order.append(tag)
+        for later in precedes[tag]:
+            in_degree[later] -= 1
+            if in_degree[later] == 0:
+                ready.append(later)
+    if len(order) != len(tags):
+        return None
+    return order
+
+
+def _contiguous(sequences: list[list[str]], tag: str) -> bool:
+    """True when occurrences of ``tag`` are adjacent in every sequence."""
+    for seq in sequences:
+        positions = [index for index, value in enumerate(seq) if value == tag]
+        if positions and positions[-1] - positions[0] != len(positions) - 1:
+            return False
+    return True

@@ -1,0 +1,128 @@
+"""XML key constraints (paper §2.3).
+
+A key follows the Buneman-style (context, target, fields) form:
+
+* ``context`` — an absolute XPath selecting the context nodes
+  (e.g. ``/db``),
+* ``target`` — a relative path from each context node to the target
+  nodes the key identifies (e.g. ``book``),
+* ``fields`` — relative paths from each target node whose combined
+  string-values must uniquely identify the target within its context
+  (e.g. ``('title',)``; attribute fields use ``@name`` syntax).
+
+In the paper's running example, ``title`` is the key of ``book`` —
+"the title of each publication is usually unique".  Identity queries
+are built from these key values (see :mod:`repro.core.identity`), which
+is what makes them survive reorganisation: key values travel with the
+data while physical positions do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.semantics.errors import ConstraintError
+from repro.xmlmodel.tree import Document, Element
+from repro.xpath import NodeLike, compile_xpath, node_string_value
+
+KeyTuple = tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class KeyViolation:
+    """A key violation: duplicate or ill-formed key values."""
+
+    key: str
+    path: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.key}] {self.path}: {self.message}"
+
+
+@dataclass(frozen=True)
+class XMLKey:
+    """A key constraint ``(context, target, fields)`` with a name."""
+
+    name: str
+    context: str
+    target: str
+    fields: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.fields:
+            raise ConstraintError(f"key {self.name!r} needs at least one field")
+        if not self.context.startswith("/"):
+            raise ConstraintError(
+                f"key {self.name!r}: context must be an absolute path")
+        if self.target.startswith("/"):
+            raise ConstraintError(
+                f"key {self.name!r}: target must be a relative path")
+
+    # -- evaluation ------------------------------------------------------------
+
+    def target_nodes(self, document: Union[Document, Element]) -> list[Element]:
+        """All target nodes in document order."""
+        nodes: list[Element] = []
+        target_query = compile_xpath(self.target)
+        for context_node in compile_xpath(self.context).select(document):
+            for node in target_query.select(context_node):
+                if isinstance(node, Element):
+                    nodes.append(node)
+        return nodes
+
+    def key_of(self, target: Element) -> Optional[KeyTuple]:
+        """Key value tuple for one target node.
+
+        Returns None when any field is missing or has multiple values —
+        such a node is not identifiable by this key.
+        """
+        values: list[str] = []
+        for field_path in self.fields:
+            nodes = compile_xpath(field_path).select(target)
+            if len(nodes) != 1:
+                return None
+            values.append(node_string_value(nodes[0]).strip())
+        return tuple(values)
+
+    def index(self, document: Union[Document, Element]) -> dict[KeyTuple, Element]:
+        """Map key tuples to target nodes; later duplicates are dropped."""
+        table: dict[KeyTuple, Element] = {}
+        for node in self.target_nodes(document):
+            key = self.key_of(node)
+            if key is not None and key not in table:
+                table[key] = node
+        return table
+
+    def check(self, document: Union[Document, Element]) -> list[KeyViolation]:
+        """All violations of this key in ``document``."""
+        violations: list[KeyViolation] = []
+        target_query = compile_xpath(self.target)
+        for context_node in compile_xpath(self.context).select(document):
+            seen: dict[KeyTuple, Element] = {}
+            for node in target_query.select(context_node):
+                if not isinstance(node, Element):
+                    continue
+                key = self.key_of(node)
+                if key is None:
+                    violations.append(KeyViolation(
+                        self.name, node.path(),
+                        "key field missing or multi-valued"))
+                    continue
+                if key in seen:
+                    violations.append(KeyViolation(
+                        self.name, node.path(),
+                        f"duplicate key {key!r} "
+                        f"(first at {seen[key].path()})"))
+                else:
+                    seen[key] = node
+        return violations
+
+    def holds(self, document: Union[Document, Element]) -> bool:
+        """True when the key has no violations in ``document``."""
+        return not self.check(document)
+
+    def render(self) -> str:
+        fields = ", ".join(self.fields)
+        return f"key {self.name}: ({self.context}, {self.target}, [{fields}])"

@@ -1,0 +1,327 @@
+"""DTD-like schema model for data-centric XML.
+
+WmXML's workflow starts with "specify a schema and validate the XML data
+according to the schema" (paper §2.2, step 1).  This module provides the
+schema model; :mod:`repro.semantics.validator` checks documents against
+it and :mod:`repro.semantics.inference` derives a schema from an example
+document.
+
+The model covers what data-centric XML needs:
+
+* element declarations with a content model that is either a typed leaf
+  or a sequence of particles (each particle a tag or a choice group,
+  with ``min_occurs``/``max_occurs`` bounds),
+* attribute declarations with types and required/optional flags,
+* leaf types: string, integer, decimal, date (ISO ``YYYY-MM-DD``), year
+  and base64 binary (the payload type of the image watermark plug-in).
+
+Content-model matching compiles the model to a regular expression over a
+per-schema tag alphabet, which keeps the validator simple and correct
+for the sequence/choice/occurrence language.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.semantics.errors import SchemaError
+
+
+class LeafType(enum.Enum):
+    """Data type of a leaf element's text or an attribute value."""
+
+    STRING = "string"
+    INTEGER = "integer"
+    DECIMAL = "decimal"
+    DATE = "date"
+    YEAR = "year"
+    BASE64 = "base64"
+
+    def accepts(self, value: str) -> bool:
+        """True when ``value`` is a legal lexical form of this type."""
+        checker = _TYPE_CHECKERS[self]
+        return checker(value)
+
+
+_DATE_RE = re.compile(r"^\d{4}-\d{2}-\d{2}$")
+_YEAR_RE = re.compile(r"^\d{4}$")
+_DECIMAL_RE = re.compile(r"^[+-]?(\d+\.?\d*|\.\d+)$")
+_INTEGER_RE = re.compile(r"^[+-]?\d+$")
+
+
+def _is_base64(value: str) -> bool:
+    stripped = value.strip()
+    if len(stripped) % 4 != 0:
+        return False
+    try:
+        base64.b64decode(stripped, validate=True)
+        return True
+    except (binascii.Error, ValueError):
+        return False
+
+
+def _is_date(value: str) -> bool:
+    if not _DATE_RE.match(value):
+        return False
+    year, month, day = (int(part) for part in value.split("-"))
+    return 1 <= month <= 12 and 1 <= day <= 31 and year >= 1
+
+
+_TYPE_CHECKERS = {
+    LeafType.STRING: lambda value: True,
+    LeafType.INTEGER: lambda value: bool(_INTEGER_RE.match(value.strip())),
+    LeafType.DECIMAL: lambda value: bool(_DECIMAL_RE.match(value.strip())),
+    LeafType.DATE: lambda value: _is_date(value.strip()),
+    LeafType.YEAR: lambda value: bool(_YEAR_RE.match(value.strip())),
+    LeafType.BASE64: _is_base64,
+}
+
+#: Sentinel for "unbounded" occurrence.
+UNBOUNDED: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Particle:
+    """One item in a sequence content model: a tag with occurrence bounds."""
+
+    tag: str
+    min_occurs: int = 1
+    max_occurs: Optional[int] = 1  # None = unbounded
+
+    def __post_init__(self) -> None:
+        if self.min_occurs < 0:
+            raise SchemaError(f"min_occurs must be >= 0 for {self.tag!r}")
+        if self.max_occurs is not None and self.max_occurs < self.min_occurs:
+            raise SchemaError(f"max_occurs < min_occurs for {self.tag!r}")
+
+    def render(self) -> str:
+        """DTD-style rendering, e.g. ``author+`` or ``editor?``."""
+        suffix = _occurrence_suffix(self.min_occurs, self.max_occurs)
+        return f"{self.tag}{suffix}"
+
+
+@dataclass(frozen=True)
+class Choice:
+    """A choice group inside a sequence: one of ``alternatives`` tags.
+
+    ``min_occurs``/``max_occurs`` bound the number of repetitions of the
+    whole group, so ``Choice(('author', 'writer'), 1, None)`` renders as
+    ``(author|writer)+``.
+    """
+
+    alternatives: tuple[str, ...]
+    min_occurs: int = 1
+    max_occurs: Optional[int] = 1
+
+    def __post_init__(self) -> None:
+        if len(self.alternatives) < 2:
+            raise SchemaError("a choice group needs at least two alternatives")
+        if self.min_occurs < 0:
+            raise SchemaError("min_occurs must be >= 0")
+        if self.max_occurs is not None and self.max_occurs < self.min_occurs:
+            raise SchemaError("max_occurs < min_occurs")
+
+    def render(self) -> str:
+        suffix = _occurrence_suffix(self.min_occurs, self.max_occurs)
+        return f"({'|'.join(self.alternatives)}){suffix}"
+
+
+def _occurrence_suffix(min_occurs: int, max_occurs: Optional[int]) -> str:
+    if (min_occurs, max_occurs) == (1, 1):
+        return ""
+    if (min_occurs, max_occurs) == (0, 1):
+        return "?"
+    if (min_occurs, max_occurs) == (1, None):
+        return "+"
+    if (min_occurs, max_occurs) == (0, None):
+        return "*"
+    upper = "" if max_occurs is None else str(max_occurs)
+    return f"{{{min_occurs},{upper}}}"
+
+
+ContentItem = Union[Particle, Choice]
+
+
+@dataclass(frozen=True)
+class AttributeDecl:
+    """Declaration of one attribute on an element."""
+
+    name: str
+    type: LeafType = LeafType.STRING
+    required: bool = True
+
+    def render(self) -> str:
+        flag = "#REQUIRED" if self.required else "#IMPLIED"
+        return f"{self.name} {self.type.value} {flag}"
+
+
+@dataclass(frozen=True)
+class ElementDecl:
+    """Declaration of one element.
+
+    Exactly one of the following shapes:
+
+    * leaf: ``leaf_type`` is set, ``content`` is empty — the element
+      carries typed text only;
+    * composite: ``content`` is a sequence of particles/choice groups —
+      the element contains child elements (no mixed content).
+    """
+
+    tag: str
+    content: tuple[ContentItem, ...] = ()
+    leaf_type: Optional[LeafType] = None
+    attributes: tuple[AttributeDecl, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.leaf_type is not None and self.content:
+            raise SchemaError(
+                f"element {self.tag!r} cannot be both leaf and composite")
+        names = [attr.name for attr in self.attributes]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"duplicate attribute declaration on {self.tag!r}")
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.leaf_type is not None or not self.content
+
+    def child_tags(self) -> set[str]:
+        """Every tag that may appear as a direct child."""
+        tags: set[str] = set()
+        for item in self.content:
+            if isinstance(item, Particle):
+                tags.add(item.tag)
+            else:
+                tags.update(item.alternatives)
+        return tags
+
+    def attribute(self, name: str) -> Optional[AttributeDecl]:
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        return None
+
+    def render(self) -> str:
+        """Human-readable one-line rendering of the declaration."""
+        if self.is_leaf:
+            kind = (self.leaf_type or LeafType.STRING).value
+            body = f"#{kind}"
+        else:
+            body = ", ".join(item.render() for item in self.content)
+        attrs = ""
+        if self.attributes:
+            attrs = " @[" + ", ".join(a.render() for a in self.attributes) + "]"
+        return f"{self.tag} ({body}){attrs}"
+
+
+class Schema:
+    """A complete document schema: root tag plus element declarations."""
+
+    def __init__(self, root: str, declarations: Iterable[ElementDecl]) -> None:
+        self.root = root
+        self.declarations: dict[str, ElementDecl] = {}
+        for decl in declarations:
+            if decl.tag in self.declarations:
+                raise SchemaError(f"duplicate declaration for {decl.tag!r}")
+            self.declarations[decl.tag] = decl
+        if root not in self.declarations:
+            raise SchemaError(f"root element {root!r} is not declared")
+        self._check_references()
+        self._patterns: dict[str, re.Pattern[str]] = {}
+        self._alphabet: dict[str, str] = {}
+
+    def _check_references(self) -> None:
+        for decl in self.declarations.values():
+            for tag in decl.child_tags():
+                if tag not in self.declarations:
+                    raise SchemaError(
+                        f"element {decl.tag!r} references undeclared {tag!r}")
+
+    def declaration(self, tag: str) -> Optional[ElementDecl]:
+        """The declaration for ``tag``, or None when undeclared."""
+        return self.declarations.get(tag)
+
+    # -- content-model matching ---------------------------------------------------
+
+    def _symbol(self, tag: str) -> str:
+        """Single-character alias for ``tag`` in content-model regexes."""
+        symbol = self._alphabet.get(tag)
+        if symbol is None:
+            # Start at '0' and walk the BMP; schemas are small so this
+            # never collides with regex metacharacters by construction.
+            symbol = chr(0xE000 + len(self._alphabet))
+            self._alphabet[tag] = symbol
+        return symbol
+
+    def content_pattern(self, tag: str) -> re.Pattern[str]:
+        """Compiled regex accepting legal child-tag sequences of ``tag``."""
+        pattern = self._patterns.get(tag)
+        if pattern is not None:
+            return pattern
+        decl = self.declarations[tag]
+        pieces: list[str] = []
+        for item in decl.content:
+            if isinstance(item, Particle):
+                atom = self._symbol(item.tag)
+            else:
+                atom = "(?:" + "|".join(
+                    self._symbol(alternative)
+                    for alternative in item.alternatives) + ")"
+            pieces.append(atom + _regex_bounds(item.min_occurs, item.max_occurs))
+        pattern = re.compile("^" + "".join(pieces) + "$")
+        self._patterns[tag] = pattern
+        return pattern
+
+    def matches_children(self, tag: str, child_tags: Sequence[str]) -> bool:
+        """True when ``child_tags`` is a legal child sequence for ``tag``."""
+        decl = self.declarations.get(tag)
+        if decl is None:
+            return False
+        if decl.is_leaf:
+            return not child_tags
+        known = decl.child_tags()
+        if any(child not in known for child in child_tags):
+            return False
+        pattern = self.content_pattern(tag)
+        encoded = "".join(self._symbol(child) for child in child_tags)
+        return pattern.match(encoded) is not None
+
+    def render(self) -> str:
+        """Multi-line human-readable schema listing."""
+        lines = [f"root {self.root}"]
+        for tag in sorted(self.declarations):
+            lines.append(self.declarations[tag].render())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Schema(root={self.root!r}, elements={len(self.declarations)})"
+
+
+def _regex_bounds(min_occurs: int, max_occurs: Optional[int]) -> str:
+    if (min_occurs, max_occurs) == (1, 1):
+        return ""
+    if (min_occurs, max_occurs) == (0, 1):
+        return "?"
+    if (min_occurs, max_occurs) == (1, None):
+        return "+"
+    if (min_occurs, max_occurs) == (0, None):
+        return "*"
+    upper = "" if max_occurs is None else str(max_occurs)
+    return f"{{{min_occurs},{upper}}}"
+
+
+def leaf(tag: str, leaf_type: LeafType = LeafType.STRING,
+         attributes: Sequence[AttributeDecl] = ()) -> ElementDecl:
+    """Convenience constructor for a leaf element declaration."""
+    return ElementDecl(tag, leaf_type=leaf_type, attributes=tuple(attributes))
+
+
+def composite(tag: str, content: Sequence[ContentItem],
+              attributes: Sequence[AttributeDecl] = ()) -> ElementDecl:
+    """Convenience constructor for a composite element declaration."""
+    return ElementDecl(tag, content=tuple(content),
+                       attributes=tuple(attributes))

@@ -1,0 +1,116 @@
+"""Schema validation of documents (paper §2.2 step 1).
+
+The validator walks the tree once and reports every violation it finds:
+
+* undeclared elements,
+* illegal child sequences (content-model mismatch),
+* text content inside composite elements,
+* typed-leaf / typed-attribute lexical errors,
+* missing required attributes and undeclared attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.semantics.errors import SchemaValidationError
+from repro.semantics.schema import LeafType, Schema
+from repro.xmlmodel.tree import Document, Element, Text
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A single schema violation at ``path``."""
+
+    path: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}: {self.message}"
+
+
+def validate(schema: Schema, document: Union[Document, Element]) -> list[Violation]:
+    """Validate ``document`` against ``schema``; return all violations."""
+    root = document.root if isinstance(document, Document) else document
+    violations: list[Violation] = []
+    if root.tag != schema.root:
+        violations.append(Violation(
+            root.path(),
+            f"root element is <{root.tag}>, schema expects <{schema.root}>"))
+    _validate_element(schema, root, violations)
+    return violations
+
+
+def is_valid(schema: Schema, document: Union[Document, Element]) -> bool:
+    """True when ``document`` has no schema violations."""
+    return not validate(schema, document)
+
+
+def assert_valid(schema: Schema, document: Union[Document, Element]) -> None:
+    """Raise :class:`SchemaValidationError` when the document is invalid."""
+    violations = validate(schema, document)
+    if violations:
+        raise SchemaValidationError(violations)
+
+
+def _validate_element(schema: Schema, element: Element,
+                      violations: list[Violation]) -> None:
+    decl = schema.declaration(element.tag)
+    if decl is None:
+        violations.append(Violation(
+            element.path(), f"undeclared element <{element.tag}>"))
+        return
+
+    _validate_attributes(schema, element, decl, violations)
+
+    child_elements = element.child_elements()
+    has_text = any(
+        isinstance(child, Text) and child.value.strip()
+        for child in element.children
+    )
+    if decl.is_leaf:
+        if child_elements:
+            violations.append(Violation(
+                element.path(),
+                f"leaf element <{element.tag}> contains child elements"))
+        expected = decl.leaf_type or LeafType.STRING
+        if not expected.accepts(element.text):
+            violations.append(Violation(
+                element.path(),
+                f"text {element.text[:40]!r} is not a valid "
+                f"{expected.value}"))
+        return
+
+    if has_text:
+        violations.append(Violation(
+            element.path(),
+            f"composite element <{element.tag}> contains text content"))
+    child_tags = [child.tag for child in child_elements]
+    if not schema.matches_children(element.tag, child_tags):
+        violations.append(Violation(
+            element.path(),
+            f"children ({', '.join(child_tags) or 'none'}) do not match "
+            f"content model ({', '.join(i.render() for i in decl.content)})"))
+    for child in child_elements:
+        _validate_element(schema, child, violations)
+
+
+def _validate_attributes(schema: Schema, element: Element, decl,
+                         violations: list[Violation]) -> None:
+    declared = {attr.name: attr for attr in decl.attributes}
+    for name, value in element.attributes.items():
+        attr_decl = declared.get(name)
+        if attr_decl is None:
+            violations.append(Violation(
+                element.path(), f"undeclared attribute {name!r}"))
+            continue
+        if not attr_decl.type.accepts(value):
+            violations.append(Violation(
+                element.path(),
+                f"attribute {name}={value[:40]!r} is not a valid "
+                f"{attr_decl.type.value}"))
+    for name, attr_decl in declared.items():
+        if attr_decl.required and name not in element.attributes:
+            violations.append(Violation(
+                element.path(), f"missing required attribute {name!r}"))

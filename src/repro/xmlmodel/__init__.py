@@ -1,0 +1,61 @@
+"""From-scratch XML substrate: tree model, parser, serialisers, canonical form.
+
+This package is the foundation of the WmXML reproduction — no third-party
+XML library is used anywhere in the system.
+
+Typical usage::
+
+    from repro.xmlmodel import parse, serialize
+
+    doc = parse("<db><book><title>DB Design</title></book></db>")
+    title = doc.root.find("book").find_text("title")
+    xml_text = serialize(doc)
+"""
+
+from repro.xmlmodel.canonical import (
+    canonicalize,
+    content_digest,
+    semantically_equal,
+)
+from repro.xmlmodel.errors import (
+    XMLError,
+    XMLNameError,
+    XMLSyntaxError,
+    XMLTreeError,
+)
+from repro.xmlmodel.parser import XMLParser, parse, parse_file
+from repro.xmlmodel.serializer import pretty, serialize, write_file
+from repro.xmlmodel.tree import (
+    Comment,
+    Document,
+    Element,
+    Node,
+    ProcessingInstruction,
+    Text,
+    document_order_key,
+    validate_name,
+)
+
+__all__ = [
+    "Comment",
+    "Document",
+    "Element",
+    "Node",
+    "ProcessingInstruction",
+    "Text",
+    "XMLError",
+    "XMLNameError",
+    "XMLParser",
+    "XMLSyntaxError",
+    "XMLTreeError",
+    "canonicalize",
+    "content_digest",
+    "document_order_key",
+    "parse",
+    "parse_file",
+    "pretty",
+    "semantically_equal",
+    "serialize",
+    "validate_name",
+    "write_file",
+]

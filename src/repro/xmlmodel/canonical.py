@@ -1,0 +1,87 @@
+"""Canonical form of XML trees.
+
+Watermark selection keys off *content*, never formatting, so several
+layers need a deterministic text form of a subtree that is invariant
+under the transformations an adversary can apply for free:
+
+* attribute reordering (attributes are sorted by name),
+* whitespace/indentation changes (whitespace-only text dropped, runs of
+  whitespace inside text collapsed),
+* comment and processing-instruction noise (both dropped).
+
+:func:`canonicalize` produces that form; :func:`content_digest` hashes it
+(SHA-256) for compact fingerprints.  This is intentionally simpler than
+W3C C14N — it is a *semantic* canonical form for data-centric XML, not an
+exclusive-canonicalisation implementation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+from repro.xmlmodel.serializer import escape_attribute, escape_text
+from repro.xmlmodel.tree import Document, Element, Node, Text
+
+
+def _normalize_text(value: str) -> str:
+    """Collapse internal whitespace runs and trim the ends."""
+    return " ".join(value.split())
+
+
+def _canonical_node(node: Node, parts: list[str]) -> None:
+    if isinstance(node, Text):
+        normalized = _normalize_text(node.value)
+        if normalized:
+            parts.append(escape_text(normalized))
+        return
+    if not isinstance(node, Element):
+        return  # comments / PIs carry no content
+    parts.append(f"<{node.tag}")
+    for name in sorted(node.attributes):
+        parts.append(f' {name}="{escape_attribute(node.attributes[name])}"')
+    parts.append(">")
+    # Coalesce adjacent text runs before normalising: the boundary
+    # between two text siblings is not representable in markup, so
+    # Text('a '), Text('b') must canonicalise like Text('a b').
+    pending: list[str] = []
+
+    def flush() -> None:
+        if not pending:
+            return
+        normalized = _normalize_text("".join(pending))
+        pending.clear()
+        if normalized:
+            parts.append(escape_text(normalized))
+
+    for child in node.children:
+        if isinstance(child, Text):
+            pending.append(child.value)
+            continue
+        flush()
+        _canonical_node(child, parts)
+    flush()
+    parts.append(f"</{node.tag}>")
+
+
+def canonicalize(node: Union[Document, Node]) -> str:
+    """Return the canonical text form of a document or subtree."""
+    target = node.root if isinstance(node, Document) else node
+    parts: list[str] = []
+    _canonical_node(target, parts)
+    return "".join(parts)
+
+
+def content_digest(node: Union[Document, Node]) -> str:
+    """Hex SHA-256 digest of the canonical form."""
+    return hashlib.sha256(canonicalize(node).encode("utf-8")).hexdigest()
+
+
+def semantically_equal(left: Union[Document, Node],
+                       right: Union[Document, Node]) -> bool:
+    """True when two trees share a canonical form.
+
+    Stronger than identity, weaker than byte equality: ignores attribute
+    order, comments and whitespace noise.
+    """
+    return canonicalize(left) == canonicalize(right)

@@ -1,0 +1,34 @@
+"""Exceptions raised by the XML data-model substrate.
+
+The whole reproduction builds on a from-scratch XML stack; this module
+holds the error hierarchy shared by the tree model, the parser and the
+serializers so that callers can catch one family of exceptions.
+"""
+
+from __future__ import annotations
+
+
+class XMLError(Exception):
+    """Base class for every error raised by :mod:`repro.xmlmodel`."""
+
+
+class XMLSyntaxError(XMLError):
+    """A document failed to parse.
+
+    Carries the 1-based ``line`` and ``column`` of the offending input
+    position so tooling (and tests) can point at the exact character.
+    """
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.message = message
+        self.line = line
+        self.column = column
+
+
+class XMLTreeError(XMLError):
+    """An illegal tree manipulation, e.g. attaching a node to two parents."""
+
+
+class XMLNameError(XMLError):
+    """A tag or attribute name violates XML naming rules."""

@@ -1,0 +1,370 @@
+"""A from-scratch, well-formedness-checking XML parser.
+
+WmXML's substrate must not depend on third-party XML libraries, so this
+module implements a recursive-descent parser over a position-tracking
+cursor.  Supported syntax:
+
+* the XML declaration (``<?xml version=... ?>``), recorded but unused,
+* ``<!DOCTYPE ...>`` declarations, skipped (including an internal subset),
+* elements with attributes in single or double quotes,
+* character data with the five predefined entities plus decimal and
+  hexadecimal character references,
+* CDATA sections, comments and processing instructions,
+* well-formedness checks: tag matching, single root, unique attributes.
+
+Namespace prefixes are treated as opaque parts of names — the paper's
+system operates on data-centric XML where no namespace processing is
+required.
+
+Errors are reported as :class:`~repro.xmlmodel.errors.XMLSyntaxError`
+with 1-based line/column positions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.xmlmodel.errors import XMLSyntaxError
+from repro.xmlmodel.tree import (
+    Comment,
+    Document,
+    Element,
+    Node,
+    ProcessingInstruction,
+    Text,
+)
+
+_PREDEFINED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+_NAME_START = set(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz_:"
+)
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+
+class _Cursor:
+    """Character cursor with line/column tracking over the input string."""
+
+    __slots__ = ("text", "pos", "length")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def at_end(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index >= self.length:
+            return ""
+        return self.text[index]
+
+    def startswith(self, prefix: str) -> bool:
+        return self.text.startswith(prefix, self.pos)
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def location(self, pos: Optional[int] = None) -> tuple[int, int]:
+        """1-based (line, column) of ``pos`` (default: current position)."""
+        if pos is None:
+            pos = self.pos
+        line = self.text.count("\n", 0, pos) + 1
+        last_newline = self.text.rfind("\n", 0, pos)
+        column = pos - last_newline
+        return line, column
+
+    def error(self, message: str, pos: Optional[int] = None) -> XMLSyntaxError:
+        line, column = self.location(pos)
+        return XMLSyntaxError(message, line, column)
+
+    def skip_whitespace(self) -> None:
+        while self.pos < self.length and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def read_name(self) -> str:
+        start = self.pos
+        if self.at_end() or self.text[self.pos] not in _NAME_START:
+            raise self.error("expected a name")
+        self.pos += 1
+        while self.pos < self.length and self.text[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        return self.text[start:self.pos]
+
+    def expect(self, literal: str) -> None:
+        if not self.startswith(literal):
+            raise self.error(f"expected {literal!r}")
+        self.pos += len(literal)
+
+    def read_until(self, terminator: str, what: str) -> str:
+        """Consume up to (and including) ``terminator``; return the content."""
+        end = self.text.find(terminator, self.pos)
+        if end < 0:
+            raise self.error(f"unterminated {what}")
+        content = self.text[self.pos:end]
+        self.pos = end + len(terminator)
+        return content
+
+
+class XMLParser:
+    """Recursive-descent XML parser.
+
+    Parameters
+    ----------
+    strip_whitespace:
+        When true, text nodes consisting purely of whitespace are dropped.
+        Data-centric pipelines (everything in this reproduction) set this
+        to keep trees free of indentation noise; the default preserves the
+        input exactly so serialisation round-trips are lossless.
+    """
+
+    def __init__(self, strip_whitespace: bool = False) -> None:
+        self.strip_whitespace = strip_whitespace
+
+    # -- public API ------------------------------------------------------------
+
+    def parse(self, text: str) -> Document:
+        """Parse ``text`` into a :class:`Document`."""
+        if not isinstance(text, str):
+            raise TypeError("parse() expects str input")
+        cursor = _Cursor(text)
+        prolog = self._parse_misc(cursor, allow_doctype=True)
+        cursor.skip_whitespace()
+        if cursor.at_end() or cursor.peek() != "<":
+            raise cursor.error("expected root element")
+        root = self._parse_element(cursor)
+        epilog = self._parse_misc(cursor, allow_doctype=False)
+        cursor.skip_whitespace()
+        if not cursor.at_end():
+            raise cursor.error("content after document end")
+        return Document(root, prolog=prolog, epilog=epilog)
+
+    # -- prolog / epilog ----------------------------------------------------------
+
+    def _parse_misc(self, cursor: _Cursor, allow_doctype: bool) -> list[Node]:
+        """Parse comments/PIs (and doctype) outside the root element."""
+        nodes: list[Node] = []
+        while True:
+            cursor.skip_whitespace()
+            if cursor.startswith("<?xml") and cursor.pos == 0:
+                self._skip_xml_declaration(cursor)
+            elif cursor.startswith("<!--"):
+                nodes.append(self._parse_comment(cursor))
+            elif cursor.startswith("<!DOCTYPE"):
+                if not allow_doctype:
+                    raise cursor.error("DOCTYPE after root element")
+                self._skip_doctype(cursor)
+            elif cursor.startswith("<?"):
+                nodes.append(self._parse_pi(cursor))
+            else:
+                return nodes
+
+    def _skip_xml_declaration(self, cursor: _Cursor) -> None:
+        cursor.expect("<?xml")
+        cursor.read_until("?>", "XML declaration")
+
+    def _skip_doctype(self, cursor: _Cursor) -> None:
+        cursor.expect("<!DOCTYPE")
+        depth = 0
+        while True:
+            if cursor.at_end():
+                raise cursor.error("unterminated DOCTYPE")
+            char = cursor.peek()
+            if char == "[":
+                depth += 1
+            elif char == "]":
+                depth -= 1
+                if depth < 0:
+                    raise cursor.error("unbalanced ']' in DOCTYPE")
+            elif char == ">" and depth == 0:
+                cursor.advance()
+                return
+            cursor.advance()
+
+    # -- node parsers ------------------------------------------------------------
+
+    def _parse_element(self, cursor: _Cursor) -> Element:
+        start = cursor.pos
+        cursor.expect("<")
+        tag = cursor.read_name()
+        element = Element(tag)
+        self._parse_attributes(cursor, element)
+        if cursor.startswith("/>"):
+            cursor.advance(2)
+            return element
+        cursor.expect(">")
+        self._parse_content(cursor, element)
+        cursor.expect("</")
+        end_tag = cursor.read_name()
+        if end_tag != tag:
+            raise cursor.error(
+                f"mismatched end tag: expected </{tag}>, got </{end_tag}>",
+                pos=start,
+            )
+        cursor.skip_whitespace()
+        cursor.expect(">")
+        return element
+
+    def _parse_attributes(self, cursor: _Cursor, element: Element) -> None:
+        while True:
+            had_space = cursor.peek() in " \t\r\n"
+            cursor.skip_whitespace()
+            char = cursor.peek()
+            if char in ("", ">", "/"):
+                return
+            if not had_space:
+                raise cursor.error("expected whitespace before attribute")
+            name_pos = cursor.pos
+            name = cursor.read_name()
+            cursor.skip_whitespace()
+            cursor.expect("=")
+            cursor.skip_whitespace()
+            quote = cursor.peek()
+            if quote not in ("'", '"'):
+                raise cursor.error("attribute value must be quoted")
+            cursor.advance()
+            raw = cursor.read_until(quote, "attribute value")
+            if "<" in raw:
+                raise cursor.error("'<' not allowed in attribute value", pos=name_pos)
+            if name in element.attributes:
+                raise cursor.error(f"duplicate attribute {name!r}", pos=name_pos)
+            element.set_attribute(name, self._expand_entities(raw, cursor, name_pos))
+
+    def _parse_content(self, cursor: _Cursor, element: Element) -> None:
+        text_parts: list[str] = []
+        text_start = cursor.pos
+
+        def flush_text() -> None:
+            if not text_parts:
+                return
+            value = "".join(text_parts)
+            text_parts.clear()
+            if self.strip_whitespace and not value.strip():
+                return
+            element.append(Text(value))
+
+        while True:
+            if cursor.at_end():
+                raise cursor.error(f"unterminated element <{element.tag}>")
+            char = cursor.peek()
+            if char == "<":
+                if cursor.startswith("</"):
+                    flush_text()
+                    return
+                if cursor.startswith("<!--"):
+                    flush_text()
+                    element.append(self._parse_comment(cursor))
+                elif cursor.startswith("<![CDATA["):
+                    cursor.advance(len("<![CDATA["))
+                    text_parts.append(cursor.read_until("]]>", "CDATA section"))
+                elif cursor.startswith("<?"):
+                    flush_text()
+                    element.append(self._parse_pi(cursor))
+                else:
+                    flush_text()
+                    element.append(self._parse_element(cursor))
+            elif char == "&":
+                text_parts.append(self._parse_reference(cursor))
+            else:
+                text_start = cursor.pos
+                while (
+                    cursor.pos < cursor.length
+                    and cursor.text[cursor.pos] not in "<&"
+                ):
+                    cursor.pos += 1
+                chunk = cursor.text[text_start:cursor.pos]
+                if "]]>" in chunk:
+                    raise cursor.error(
+                        "']]>' not allowed in character data",
+                        pos=text_start + chunk.index("]]>"),
+                    )
+                text_parts.append(chunk)
+
+    def _parse_comment(self, cursor: _Cursor) -> Comment:
+        cursor.expect("<!--")
+        content = cursor.read_until("-->", "comment")
+        if "--" in content:
+            raise cursor.error("'--' not allowed inside a comment")
+        return Comment(content)
+
+    def _parse_pi(self, cursor: _Cursor) -> ProcessingInstruction:
+        cursor.expect("<?")
+        target = cursor.read_name()
+        if target.lower() == "xml":
+            raise cursor.error("processing instruction target 'xml' is reserved")
+        content = cursor.read_until("?>", "processing instruction")
+        return ProcessingInstruction(target, content.lstrip())
+
+    # -- references ------------------------------------------------------------
+
+    def _parse_reference(self, cursor: _Cursor) -> str:
+        start = cursor.pos
+        cursor.expect("&")
+        if cursor.peek() == "#":
+            cursor.advance()
+            return self._parse_char_reference(cursor, start)
+        name = cursor.read_name()
+        cursor.expect(";")
+        try:
+            return _PREDEFINED_ENTITIES[name]
+        except KeyError:
+            raise cursor.error(f"unknown entity &{name};", pos=start) from None
+
+    def _parse_char_reference(self, cursor: _Cursor, start: int) -> str:
+        if cursor.peek() in ("x", "X"):
+            cursor.advance()
+            digits = self._read_digits(cursor, "0123456789abcdefABCDEF", start)
+            code = int(digits, 16)
+        else:
+            digits = self._read_digits(cursor, "0123456789", start)
+            code = int(digits, 10)
+        cursor.expect(";")
+        if code == 0 or code > 0x10FFFF:
+            raise cursor.error("character reference out of range", pos=start)
+        return chr(code)
+
+    def _read_digits(self, cursor: _Cursor, alphabet: str, start: int) -> str:
+        begin = cursor.pos
+        while cursor.peek() and cursor.peek() in alphabet:
+            cursor.advance()
+        if cursor.pos == begin:
+            raise cursor.error("empty character reference", pos=start)
+        return cursor.text[begin:cursor.pos]
+
+    def _expand_entities(self, raw: str, cursor: _Cursor, pos: int) -> str:
+        """Expand entity/char references inside an attribute value."""
+        if "&" not in raw:
+            return raw
+        sub = _Cursor(raw)
+        parts: list[str] = []
+        while not sub.at_end():
+            if sub.peek() == "&":
+                try:
+                    parts.append(self._parse_reference(sub))
+                except XMLSyntaxError as exc:
+                    raise cursor.error(exc.message, pos=pos) from None
+            else:
+                start = sub.pos
+                while not sub.at_end() and sub.peek() != "&":
+                    sub.advance()
+                parts.append(sub.text[start:sub.pos])
+        return "".join(parts)
+
+
+def parse(text: str, strip_whitespace: bool = False) -> Document:
+    """Parse an XML string into a :class:`Document` (module-level shortcut)."""
+    return XMLParser(strip_whitespace=strip_whitespace).parse(text)
+
+
+def parse_file(path: str, strip_whitespace: bool = False) -> Document:
+    """Parse the XML file at ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse(handle.read(), strip_whitespace=strip_whitespace)

@@ -1,0 +1,501 @@
+"""In-memory XML tree model.
+
+This is the data substrate for the whole WmXML reproduction: a small,
+explicit DOM-like node hierarchy.  It deliberately supports the
+data-centric subset of XML that the paper manipulates:
+
+* elements with string attributes,
+* text content (including mixed content),
+* comments and processing instructions (kept so round-trips are lossless),
+* a document node that owns exactly one root element.
+
+Nodes are identity-hashable (so they can live in sets and dicts while the
+tree is being rewritten) and offer *structural* equality through
+:meth:`Node.equals` rather than ``__eq__``.
+
+Nothing here knows about watermarking; higher layers (XPath, semantics,
+core) build on these primitives.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.xmlmodel.errors import XMLNameError, XMLTreeError
+
+#: XML 1.0 Name production, restricted to the ASCII-plus-common-unicode
+#: subset this system emits.  Colons are allowed (treated as opaque name
+#: characters; this stack does not implement namespace processing).
+_NAME_RE = re.compile(r"^[A-Za-z_:][\w.\-:]*$", re.UNICODE)
+
+
+def validate_name(name: str) -> str:
+    """Return ``name`` if it is a legal XML tag/attribute name.
+
+    Raises :class:`XMLNameError` otherwise.  Centralised so every
+    constructor enforces the same rule.
+    """
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise XMLNameError(f"illegal XML name: {name!r}")
+    if name[:3].lower() == "xml" and name.lower().startswith("xml"):
+        # XML reserves names beginning with 'xml' but real-world documents
+        # use xml:lang etc.; we allow them and only reject the bare 'xml'.
+        if name.lower() == "xml":
+            raise XMLNameError("the name 'xml' is reserved")
+    return name
+
+
+class Node:
+    """Common behaviour for every tree node.
+
+    Subclasses: :class:`Element`, :class:`Text`, :class:`Comment`,
+    :class:`ProcessingInstruction`.  A :class:`Document` is a separate
+    root container, not a :class:`Node`.
+    """
+
+    __slots__ = ("parent",)
+
+    def __init__(self) -> None:
+        self.parent: Optional[Element] = None
+
+    # -- identity & structure -------------------------------------------------
+
+    def equals(self, other: "Node") -> bool:
+        """Structural equality (same shape and content, not same object)."""
+        raise NotImplementedError
+
+    def copy(self) -> "Node":
+        """Deep copy with ``parent`` cleared on the returned node."""
+        raise NotImplementedError
+
+    # -- navigation ------------------------------------------------------------
+
+    def ancestors(self) -> Iterator["Element"]:
+        """Yield ancestor elements from the parent up to the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def root(self) -> "Node":
+        """Return the topmost node reachable through ``parent`` links."""
+        node: Node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def index_in_parent(self) -> int:
+        """Position of this node among its parent's children.
+
+        Raises :class:`XMLTreeError` when the node is detached.
+        """
+        if self.parent is None:
+            raise XMLTreeError("node has no parent")
+        for index, child in enumerate(self.parent.children):
+            if child is self:
+                return index
+        raise XMLTreeError("node not found among parent's children")
+
+    def detach(self) -> "Node":
+        """Remove this node from its parent (no-op when detached)."""
+        if self.parent is not None:
+            self.parent.children.remove(self)
+            self.parent = None
+        return self
+
+    # -- string value ------------------------------------------------------------
+
+    def string_value(self) -> str:
+        """The XPath string-value of the node."""
+        raise NotImplementedError
+
+
+class Text(Node):
+    """A run of character data (includes CDATA content after parsing)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str) -> None:
+        super().__init__()
+        if not isinstance(value, str):
+            raise TypeError(f"text value must be str, got {type(value).__name__}")
+        self.value = value
+
+    def equals(self, other: Node) -> bool:
+        return isinstance(other, Text) and other.value == self.value
+
+    def copy(self) -> "Text":
+        return Text(self.value)
+
+    def string_value(self) -> str:
+        return self.value
+
+    def __repr__(self) -> str:
+        preview = self.value if len(self.value) <= 30 else self.value[:27] + "..."
+        return f"Text({preview!r})"
+
+
+class Comment(Node):
+    """An XML comment; preserved so serialisation round-trips are lossless."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str) -> None:
+        super().__init__()
+        if "--" in value:
+            raise XMLTreeError("comment content must not contain '--'")
+        self.value = value
+
+    def equals(self, other: Node) -> bool:
+        return isinstance(other, Comment) and other.value == self.value
+
+    def copy(self) -> "Comment":
+        return Comment(self.value)
+
+    def string_value(self) -> str:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Comment({self.value!r})"
+
+
+class ProcessingInstruction(Node):
+    """A processing instruction ``<?target data?>``."""
+
+    __slots__ = ("target", "data")
+
+    def __init__(self, target: str, data: str = "") -> None:
+        super().__init__()
+        self.target = validate_name(target)
+        self.data = data
+
+    def equals(self, other: Node) -> bool:
+        return (
+            isinstance(other, ProcessingInstruction)
+            and other.target == self.target
+            and other.data == self.data
+        )
+
+    def copy(self) -> "ProcessingInstruction":
+        return ProcessingInstruction(self.target, self.data)
+
+    def string_value(self) -> str:
+        return self.data
+
+    def __repr__(self) -> str:
+        return f"ProcessingInstruction({self.target!r}, {self.data!r})"
+
+
+class Element(Node):
+    """An XML element: tag, ordered attributes, ordered children.
+
+    Attributes are stored in a plain dict (insertion-ordered in Python 3.7+)
+    mapping attribute name to string value.  Children may be any
+    :class:`Node` subclass; mixed content is supported.
+    """
+
+    __slots__ = ("tag", "attributes", "children")
+
+    def __init__(
+        self,
+        tag: str,
+        attributes: Optional[dict[str, str]] = None,
+        children: Optional[Iterable[Node]] = None,
+        text: Optional[str] = None,
+    ) -> None:
+        super().__init__()
+        self.tag = validate_name(tag)
+        self.attributes: dict[str, str] = {}
+        if attributes:
+            for name, value in attributes.items():
+                self.set_attribute(name, value)
+        self.children: list[Node] = []
+        if text is not None:
+            self.append(Text(text))
+        if children:
+            for child in children:
+                self.append(child)
+
+    # -- attribute access ------------------------------------------------------
+
+    def set_attribute(self, name: str, value: str) -> None:
+        """Set attribute ``name`` to ``value`` (stringified)."""
+        validate_name(name)
+        if not isinstance(value, str):
+            value = str(value)
+        self.attributes[name] = value
+
+    def get_attribute(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """Return the value of attribute ``name`` or ``default``."""
+        return self.attributes.get(name, default)
+
+    def remove_attribute(self, name: str) -> None:
+        """Delete attribute ``name`` if present."""
+        self.attributes.pop(name, None)
+
+    # -- child manipulation ------------------------------------------------------
+
+    def append(self, node: Node) -> Node:
+        """Attach ``node`` as the last child and return it."""
+        if not isinstance(node, Node):
+            raise TypeError(f"expected Node, got {type(node).__name__}")
+        if node.parent is not None:
+            raise XMLTreeError("node already has a parent; detach it first")
+        node.parent = self
+        self.children.append(node)
+        return node
+
+    def insert(self, index: int, node: Node) -> Node:
+        """Attach ``node`` at ``index`` among the children and return it."""
+        if node.parent is not None:
+            raise XMLTreeError("node already has a parent; detach it first")
+        node.parent = self
+        self.children.insert(index, node)
+        return node
+
+    def remove(self, node: Node) -> Node:
+        """Detach ``node`` (must be a direct child) and return it."""
+        if node.parent is not self:
+            raise XMLTreeError("node is not a child of this element")
+        return node.detach()
+
+    def replace(self, old: Node, new: Node) -> Node:
+        """Swap direct child ``old`` for ``new`` in place."""
+        index = old.index_in_parent()
+        if old.parent is not self:
+            raise XMLTreeError("node is not a child of this element")
+        old.detach()
+        return self.insert(index, new)
+
+    def clear_children(self) -> None:
+        """Detach all children."""
+        for child in list(self.children):
+            child.detach()
+
+    # -- convenience constructors ---------------------------------------------
+
+    def add_child(self, tag: str, text: Optional[str] = None,
+                  attributes: Optional[dict[str, str]] = None) -> "Element":
+        """Create, append and return a child element in one call."""
+        return self.append(Element(tag, attributes=attributes, text=text))  # type: ignore[return-value]
+
+    # -- text access ------------------------------------------------------------
+
+    @property
+    def text(self) -> str:
+        """Concatenation of *direct* text children (not descendants)."""
+        return "".join(
+            child.value for child in self.children if isinstance(child, Text)
+        )
+
+    def set_text(self, value: str) -> None:
+        """Replace all direct text children with a single text node.
+
+        Element children are preserved in place; only text nodes change.
+        This is the primitive the watermark embedder uses to perturb a
+        leaf value.
+        """
+        kept = [c for c in self.children if not isinstance(c, Text)]
+        for child in list(self.children):
+            if isinstance(child, Text):
+                child.detach()
+        if kept:
+            # Re-insert the new text node first to keep leaf semantics simple.
+            self.insert(0, Text(value))
+        else:
+            self.append(Text(value))
+
+    def string_value(self) -> str:
+        """XPath string-value: every descendant text node, in order."""
+        parts: list[str] = []
+        for node in self.iter():
+            if isinstance(node, Text):
+                parts.append(node.value)
+        return "".join(parts)
+
+    # -- traversal ------------------------------------------------------------
+
+    def iter(self) -> Iterator[Node]:
+        """Pre-order traversal of this element and all descendants."""
+        stack: list[Node] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, Element):
+                stack.extend(reversed(node.children))
+
+    def iter_elements(self, tag: Optional[str] = None) -> Iterator["Element"]:
+        """Pre-order traversal of descendant-or-self elements.
+
+        With ``tag``, only elements with that tag are yielded.
+        """
+        for node in self.iter():
+            if isinstance(node, Element) and (tag is None or node.tag == tag):
+                yield node
+
+    def child_elements(self, tag: Optional[str] = None) -> list["Element"]:
+        """Direct element children, optionally filtered by ``tag``."""
+        return [
+            child
+            for child in self.children
+            if isinstance(child, Element) and (tag is None or child.tag == tag)
+        ]
+
+    def find(self, tag: str) -> Optional["Element"]:
+        """First direct child element with ``tag``, or None."""
+        for child in self.children:
+            if isinstance(child, Element) and child.tag == tag:
+                return child
+        return None
+
+    def find_text(self, tag: str, default: Optional[str] = None) -> Optional[str]:
+        """Text of the first direct child with ``tag``, or ``default``."""
+        child = self.find(tag)
+        if child is None:
+            return default
+        return child.text
+
+    # -- structure --------------------------------------------------------------
+
+    def is_leaf(self) -> bool:
+        """True when the element has no element children."""
+        return not any(isinstance(child, Element) for child in self.children)
+
+    def path(self) -> str:
+        """Absolute physical path like ``/db/book[2]/author[1]``.
+
+        Positions are 1-based among same-tag siblings, matching XPath
+        conventions.  Used by the Agrawal–Kiernan baseline (which is
+        exactly why that baseline breaks under reorganization).
+        """
+        segments: list[str] = []
+        node: Element = self
+        while True:
+            parent = node.parent
+            if parent is None:
+                segments.append(f"/{node.tag}")
+                break
+            siblings = [c for c in parent.children
+                        if isinstance(c, Element) and c.tag == node.tag]
+            position = siblings.index(node) + 1
+            segments.append(f"/{node.tag}[{position}]")
+            node = parent
+        return "".join(reversed(segments))
+
+    # -- equality & copying ------------------------------------------------------
+
+    def equals(self, other: Node) -> bool:
+        """Deep structural equality: tag, attributes, ordered children."""
+        if not isinstance(other, Element):
+            return False
+        if other.tag != self.tag or other.attributes != self.attributes:
+            return False
+        mine = _significant_children(self)
+        theirs = _significant_children(other)
+        if len(mine) != len(theirs):
+            return False
+        return all(a.equals(b) for a, b in zip(mine, theirs))
+
+    def copy(self) -> "Element":
+        clone = Element(self.tag, attributes=dict(self.attributes))
+        for child in self.children:
+            clone.append(child.copy())
+        return clone
+
+    def __repr__(self) -> str:
+        return f"Element({self.tag!r}, attrs={len(self.attributes)}, children={len(self.children)})"
+
+
+def _significant_children(element: Element) -> list[Node]:
+    """Children that matter for structural equality.
+
+    Two normalisations, both mandated by the XML/XPath data model:
+
+    * adjacent text nodes are coalesced (markup cannot represent the
+      boundary between them, so ``Text('a'), Text('b')`` and
+      ``Text('ab')`` are the same content);
+    * whitespace-only text runs between elements are formatting noise,
+      so two documents differing only in indentation compare equal.
+    """
+    significant: list[Node] = []
+    pending_text: list[str] = []
+
+    def flush() -> None:
+        if not pending_text:
+            return
+        value = "".join(pending_text)
+        pending_text.clear()
+        if value.strip():
+            significant.append(Text(value))
+
+    for child in element.children:
+        if isinstance(child, Text):
+            pending_text.append(child.value)
+            continue
+        flush()
+        significant.append(child)
+    flush()
+    return significant
+
+
+class Document:
+    """A parsed XML document: optional prolog nodes plus one root element."""
+
+    __slots__ = ("root", "prolog", "epilog")
+
+    def __init__(
+        self,
+        root: Element,
+        prolog: Optional[list[Node]] = None,
+        epilog: Optional[list[Node]] = None,
+    ) -> None:
+        if not isinstance(root, Element):
+            raise TypeError("document root must be an Element")
+        self.root = root
+        self.prolog: list[Node] = list(prolog or [])
+        self.epilog: list[Node] = list(epilog or [])
+
+    def iter(self) -> Iterator[Node]:
+        """Pre-order traversal of every node under the root."""
+        return self.root.iter()
+
+    def iter_elements(self, tag: Optional[str] = None) -> Iterator[Element]:
+        """All elements in document order, optionally filtered by tag."""
+        return self.root.iter_elements(tag)
+
+    def equals(self, other: "Document") -> bool:
+        """Structural equality of the root elements (prolog ignored)."""
+        return isinstance(other, Document) and self.root.equals(other.root)
+
+    def copy(self) -> "Document":
+        return Document(
+            self.root.copy(),
+            prolog=[node.copy() for node in self.prolog],
+            epilog=[node.copy() for node in self.epilog],
+        )
+
+    def count_elements(self) -> int:
+        """Total number of elements in the document."""
+        return sum(1 for _ in self.iter_elements())
+
+    def __repr__(self) -> str:
+        return f"Document(root={self.root.tag!r}, elements={self.count_elements()})"
+
+
+def document_order_key(document: Document) -> Callable[[Node], int]:
+    """Return a function mapping nodes to their document-order rank.
+
+    The XPath evaluator needs stable document order for node-set results;
+    computing the full order once and closing over the dict keeps sorting
+    O(n log n) overall.
+    """
+    order: dict[int, int] = {}
+    for rank, node in enumerate(document.iter()):
+        order[id(node)] = rank
+    total = len(order)
+
+    def key(node: Node) -> int:
+        return order.get(id(node), total)
+
+    return key

@@ -1,0 +1,130 @@
+"""XPath 1.0-subset query engine over :mod:`repro.xmlmodel` trees.
+
+This is the "XML query engine" of the WmXML architecture (Figure 4 of
+the paper): the access layer through which the encoder and decoder
+locate data elements.
+
+Typical usage::
+
+    from repro.xmlmodel import parse
+    from repro.xpath import select, select_strings
+
+    doc = parse("<db><book><title>DB Design</title>"
+                "<author>Berstein</author></book></db>")
+    authors = select_strings(doc, "/db/book[title='DB Design']/author")
+    # -> ['Berstein']
+
+The compiled form (:class:`XPathQuery`) caches the parsed AST so the
+same identity query can be executed against many documents cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.xmlmodel.tree import Document, Node
+from repro.xpath import ast
+from repro.xpath.errors import (
+    XPathError,
+    XPathFunctionError,
+    XPathSyntaxError,
+    XPathTypeError,
+)
+from repro.xpath.evaluator import Context, context_for, evaluate
+from repro.xpath.parser import parse_xpath
+from repro.xpath.values import (
+    AttributeNode,
+    NodeLike,
+    XPathValue,
+    is_node_set,
+    node_string_value,
+    to_boolean,
+    to_number,
+    to_string,
+)
+
+
+class XPathQuery:
+    """A compiled XPath expression, reusable across documents."""
+
+    __slots__ = ("text", "expression")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.expression = parse_xpath(text)
+
+    def evaluate(self, target: Union[Document, NodeLike]) -> XPathValue:
+        """Evaluate against a document or context node; any XPath type."""
+        return evaluate(self.expression, context_for(target))
+
+    def select(self, target: Union[Document, NodeLike]) -> list[NodeLike]:
+        """Evaluate and require a node-set result."""
+        value = self.evaluate(target)
+        if not is_node_set(value):
+            raise XPathTypeError(
+                f"query {self.text!r} returned {type(value).__name__}, "
+                "expected a node-set")
+        return value
+
+    def select_strings(self, target: Union[Document, NodeLike]) -> list[str]:
+        """Evaluate to a node-set and return the nodes' string-values."""
+        return [node_string_value(node) for node in self.select(target)]
+
+    def __str__(self) -> str:
+        return self.text
+
+    def __repr__(self) -> str:
+        return f"XPathQuery({self.text!r})"
+
+
+_CACHE: dict[str, XPathQuery] = {}
+_CACHE_LIMIT = 2048
+
+
+def compile_xpath(text: str) -> XPathQuery:
+    """Compile (with memoisation) an XPath expression."""
+    query = _CACHE.get(text)
+    if query is None:
+        query = XPathQuery(text)
+        if len(_CACHE) >= _CACHE_LIMIT:
+            _CACHE.clear()
+        _CACHE[text] = query
+    return query
+
+
+def select(target: Union[Document, NodeLike], path: str) -> list[NodeLike]:
+    """Evaluate ``path`` against ``target``; return a node-set."""
+    return compile_xpath(path).select(target)
+
+
+def select_strings(target: Union[Document, NodeLike], path: str) -> list[str]:
+    """Evaluate ``path``; return the string-values of the result nodes."""
+    return compile_xpath(path).select_strings(target)
+
+
+def evaluate_xpath(target: Union[Document, NodeLike], path: str) -> XPathValue:
+    """Evaluate ``path``; return whatever XPath type it produces."""
+    return compile_xpath(path).evaluate(target)
+
+
+__all__ = [
+    "AttributeNode",
+    "Context",
+    "NodeLike",
+    "XPathError",
+    "XPathFunctionError",
+    "XPathQuery",
+    "XPathSyntaxError",
+    "XPathTypeError",
+    "XPathValue",
+    "ast",
+    "compile_xpath",
+    "evaluate_xpath",
+    "is_node_set",
+    "node_string_value",
+    "select",
+    "select_strings",
+    "to_boolean",
+    "to_number",
+    "to_string",
+]

@@ -1,0 +1,30 @@
+"""Exceptions raised by the XPath engine."""
+
+from __future__ import annotations
+
+
+class XPathError(Exception):
+    """Base class for all XPath engine errors."""
+
+
+class XPathSyntaxError(XPathError):
+    """An XPath expression failed to parse.
+
+    ``position`` is the 0-based character offset of the offending token
+    within the expression text.
+    """
+
+    def __init__(self, message: str, expression: str, position: int) -> None:
+        pointer = " " * position + "^"
+        super().__init__(f"{message}\n  {expression}\n  {pointer}")
+        self.message = message
+        self.expression = expression
+        self.position = position
+
+
+class XPathTypeError(XPathError):
+    """An operation was applied to a value of the wrong XPath type."""
+
+
+class XPathFunctionError(XPathError):
+    """Unknown function, or a function called with bad arguments."""

@@ -1,0 +1,378 @@
+"""Evaluator for the XPath 1.0 subset.
+
+The evaluator walks the AST produced by :mod:`repro.xpath.parser` against
+the tree model.  Node-sets are kept in document order (required for
+positional predicates) and deduplicated after descendant axes.
+
+The public entry points live in :mod:`repro.xpath` (``compile_xpath`` /
+``select`` / ``select_strings``); this module contains the machinery.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Union
+
+from repro.xmlmodel.tree import Comment, Document, Element, Node, Text
+from repro.xpath import ast, functions
+from repro.xpath.errors import XPathTypeError
+from repro.xpath.values import (
+    AttributeNode,
+    NodeLike,
+    XPathValue,
+    compare,
+    is_node_set,
+    to_boolean,
+    to_number,
+    unique_nodes,
+)
+
+
+@dataclass
+class Context:
+    """Evaluation context: the context node plus position/size.
+
+    ``position`` and ``size`` are 1-based, per the XPath data model.
+    """
+
+    node: NodeLike
+    position: int = 1
+    size: int = 1
+
+    def with_node(self, node: NodeLike, position: int, size: int) -> "Context":
+        return Context(node=node, position=position, size=size)
+
+
+def evaluate(expr: ast.Expression, context: Context) -> XPathValue:
+    """Evaluate ``expr`` in ``context`` and return an XPath value."""
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Number):
+        return expr.value
+    if isinstance(expr, ast.Negate):
+        return -to_number(evaluate(expr.operand, context))
+    if isinstance(expr, ast.BinaryOp):
+        return _evaluate_binary(expr, context)
+    if isinstance(expr, ast.FunctionCall):
+        args = [evaluate(arg, context) for arg in expr.args]
+        return functions.call(expr.name, context, args)
+    if isinstance(expr, ast.LocationPath):
+        return _evaluate_path(expr, context)
+    if isinstance(expr, ast.FilterExpression):
+        return _evaluate_filter(expr, context)
+    raise XPathTypeError(f"cannot evaluate {type(expr).__name__}")
+
+
+# -- operators ------------------------------------------------------------
+
+
+def _evaluate_binary(expr: ast.BinaryOp, context: Context) -> XPathValue:
+    op = expr.op
+    if op == "or":
+        return (to_boolean(evaluate(expr.left, context))
+                or to_boolean(evaluate(expr.right, context)))
+    if op == "and":
+        return (to_boolean(evaluate(expr.left, context))
+                and to_boolean(evaluate(expr.right, context)))
+    left = evaluate(expr.left, context)
+    right = evaluate(expr.right, context)
+    if op in ("=", "!=", "<", "<=", ">", ">="):
+        return compare(op, left, right)
+    if op == "|":
+        if not is_node_set(left) or not is_node_set(right):
+            raise XPathTypeError("'|' requires node-set operands")
+        merged = unique_nodes(list(left) + list(right))
+        return _document_order(merged)
+    left_num, right_num = to_number(left), to_number(right)
+    if op == "+":
+        return left_num + right_num
+    if op == "-":
+        return left_num - right_num
+    if op == "*":
+        return left_num * right_num
+    if op == "div":
+        if right_num == 0:
+            if left_num == 0 or math.isnan(left_num):
+                return math.nan
+            return math.inf if left_num > 0 else -math.inf
+        return left_num / right_num
+    if op == "mod":
+        if right_num == 0 or math.isnan(left_num) or math.isnan(right_num):
+            return math.nan
+        return math.fmod(left_num, right_num)
+    raise XPathTypeError(f"unknown operator {op!r}")
+
+
+# -- paths ------------------------------------------------------------
+
+
+def _evaluate_path(path: ast.LocationPath, context: Context) -> list[NodeLike]:
+    if path.absolute:
+        root = _document_root(context.node)
+        if not path.steps:
+            return [root]
+        nodes, remaining = _start_absolute(list(path.steps), root)
+    else:
+        nodes = [context.node]
+        remaining = list(path.steps)
+    for step in remaining:
+        nodes = _evaluate_step(step, nodes)
+    return nodes
+
+
+def _is_anchor(step: ast.Step) -> bool:
+    """True for the expansion of '//': descendant-or-self::node()."""
+    return (
+        step.axis == ast.DESCENDANT_OR_SELF
+        and isinstance(step.test, ast.NodeTypeTest)
+        and step.test.node_type == "node"
+        and not step.predicates
+    )
+
+
+def _start_absolute(
+    steps: list[ast.Step], root: Element
+) -> tuple[list[NodeLike], list[ast.Step]]:
+    """Consume the leading step(s) of an absolute path.
+
+    An absolute path starts at the (implicit) document node, whose only
+    element child is the root element.  The tree model has no document
+    node object, so the leading axes are mapped directly:
+
+    * ``/X``   -> the root element when it matches the test,
+    * ``//X``  -> every descendant-or-self node of the root matching X
+      (the anchor step is fused with the following child step so the
+      root element itself is eligible, exactly as the spec's expansion
+      through the document node implies),
+    * descendant axes -> matching nodes among root and its descendants,
+    * anything else -> evaluated with the root element as context.
+    """
+    first = steps[0]
+    if _is_anchor(first) and len(steps) >= 2 and steps[1].axis == ast.CHILD:
+        fused = steps[1]
+        candidates: list[NodeLike] = [
+            node for node in _descendants_or_self(root)
+            if _test_matches(fused.test, node)
+        ]
+        for predicate in fused.predicates:
+            candidates = _apply_predicate(candidates, predicate)
+        return candidates, steps[2:]
+    if first.axis == ast.CHILD:
+        candidates = [root] if _test_matches(first.test, root) else []
+    elif first.axis in (ast.DESCENDANT, ast.DESCENDANT_OR_SELF):
+        candidates = [
+            node for node in _descendants_or_self(root)
+            if _test_matches(first.test, node)
+        ]
+    else:
+        return _evaluate_step(first, [root]), steps[1:]
+    for predicate in first.predicates:
+        candidates = _apply_predicate(candidates, predicate)
+    return candidates, steps[1:]
+
+
+def _evaluate_filter(expr: ast.FilterExpression, context: Context) -> XPathValue:
+    value = evaluate(expr.primary, context)
+    if expr.predicates or expr.path is not None:
+        if not is_node_set(value):
+            raise XPathTypeError(
+                "predicates/paths can only follow node-set expressions")
+        nodes = value
+        for predicate in expr.predicates:
+            nodes = _apply_predicate(nodes, predicate)
+        if expr.path is not None:
+            for step in expr.path.steps:
+                nodes = _evaluate_step(step, nodes)
+        return nodes
+    return value
+
+
+def _evaluate_step(step: ast.Step, nodes: list[NodeLike]) -> list[NodeLike]:
+    gathered: list[NodeLike] = []
+    for node in nodes:
+        gathered.extend(_axis_candidates(step, node))
+    gathered = unique_nodes(gathered)
+    for predicate in step.predicates:
+        gathered = _apply_predicate(gathered, predicate)
+    return gathered
+
+
+def _apply_predicate(nodes: list[NodeLike],
+                     predicate: ast.Expression) -> list[NodeLike]:
+    size = len(nodes)
+    kept: list[NodeLike] = []
+    for position, node in enumerate(nodes, start=1):
+        context = Context(node=node, position=position, size=size)
+        value = evaluate(predicate, context)
+        if isinstance(value, float):
+            # A numeric predicate selects by position.
+            if float(position) == value:
+                kept.append(node)
+        elif to_boolean(value):
+            kept.append(node)
+    return kept
+
+
+# -- axes ------------------------------------------------------------
+
+
+def _axis_candidates(step: ast.Step, node: NodeLike) -> Iterator[NodeLike]:
+    axis = step.axis
+    if axis == ast.CHILD:
+        yield from _match_children(step.test, node)
+    elif axis == ast.ATTRIBUTE:
+        yield from _match_attributes(step.test, node)
+    elif axis == ast.SELF:
+        if _test_matches(step.test, node):
+            yield node
+    elif axis == ast.PARENT:
+        parent = _parent_of(node)
+        if parent is not None and _test_matches(step.test, parent):
+            yield parent
+    elif axis == ast.DESCENDANT_OR_SELF:
+        for candidate in _descendants_or_self(node):
+            if _test_matches(step.test, candidate):
+                yield candidate
+    elif axis == ast.DESCENDANT:
+        for candidate in _descendants_or_self(node):
+            if candidate is node:
+                continue
+            if _test_matches(step.test, candidate):
+                yield candidate
+    elif axis == ast.ANCESTOR:
+        if isinstance(node, (Node,)):
+            for ancestor in node.ancestors():
+                if _test_matches(step.test, ancestor):
+                    yield ancestor
+        elif isinstance(node, AttributeNode):
+            current: Optional[Element] = node.owner
+            while current is not None:
+                if _test_matches(step.test, current):
+                    yield current
+                current = current.parent
+    elif axis == ast.ANCESTOR_OR_SELF:
+        yield from _axis_candidates(
+            ast.Step(ast.SELF, step.test), node)
+        yield from _axis_candidates(
+            ast.Step(ast.ANCESTOR, step.test), node)
+    elif axis == ast.FOLLOWING_SIBLING:
+        yield from _siblings(step.test, node, forward=True)
+    elif axis == ast.PRECEDING_SIBLING:
+        yield from _siblings(step.test, node, forward=False)
+    else:
+        raise XPathTypeError(f"unsupported axis {axis!r}")
+
+
+def _match_children(test: ast.Expression, node: NodeLike) -> Iterator[NodeLike]:
+    if isinstance(node, AttributeNode):
+        return
+    if isinstance(node, Element):
+        for child in node.children:
+            if _test_matches(test, child):
+                yield child
+
+
+def _match_attributes(test: ast.Expression, node: NodeLike) -> Iterator[NodeLike]:
+    if not isinstance(node, Element):
+        return
+    if isinstance(test, ast.NameTest):
+        if test.name == "*":
+            for name in node.attributes:
+                yield AttributeNode(node, name)
+        elif test.name in node.attributes:
+            yield AttributeNode(node, test.name)
+    elif isinstance(test, ast.NodeTypeTest) and test.node_type == "node":
+        for name in node.attributes:
+            yield AttributeNode(node, name)
+
+
+def _test_matches(test: ast.Expression, node: NodeLike) -> bool:
+    if isinstance(test, ast.NameTest):
+        if isinstance(node, Element):
+            return test.matches(node.tag)
+        if isinstance(node, AttributeNode):
+            return test.matches(node.name)
+        return False
+    if isinstance(test, ast.NodeTypeTest):
+        if test.node_type == "node":
+            return True
+        if test.node_type == "text":
+            return isinstance(node, Text)
+        if test.node_type == "comment":
+            return isinstance(node, Comment)
+    return False
+
+
+def _descendants_or_self(node: NodeLike) -> Iterator[NodeLike]:
+    if isinstance(node, AttributeNode):
+        yield node
+        return
+    if isinstance(node, Element):
+        yield from node.iter()
+    else:
+        yield node
+
+
+def _siblings(test: ast.Expression, node: NodeLike,
+              forward: bool) -> Iterator[NodeLike]:
+    if isinstance(node, AttributeNode) or node.parent is None:
+        return
+    siblings = node.parent.children
+    index = node.index_in_parent()
+    candidates = siblings[index + 1:] if forward else reversed(siblings[:index])
+    for sibling in candidates:
+        if _test_matches(test, sibling):
+            yield sibling
+
+
+def _parent_of(node: NodeLike) -> Optional[Element]:
+    if isinstance(node, AttributeNode):
+        return node.owner
+    return node.parent
+
+
+def _document_root(node: NodeLike) -> Element:
+    if isinstance(node, AttributeNode):
+        node = node.owner
+    top = node.root()
+    if not isinstance(top, Element):
+        raise XPathTypeError("context node is not attached to an element tree")
+    return top
+
+
+def _document_order(nodes: list[NodeLike]) -> list[NodeLike]:
+    """Sort a merged node-set into document order."""
+    if len(nodes) < 2:
+        return nodes
+    roots = {id(_document_root(n)) for n in nodes}
+    if len(roots) > 1:
+        # Nodes from different documents: keep first-seen order.
+        return nodes
+    ranking: dict[int, int] = {}
+    root = _document_root(nodes[0])
+    rank = 0
+    for node in root.iter():
+        ranking[id(node)] = rank
+        rank += 1
+        if isinstance(node, Element):
+            for name in node.attributes:
+                ranking[(id(node), name)] = rank  # type: ignore[index]
+                rank += 1
+
+    def order_key(node: NodeLike):
+        if isinstance(node, AttributeNode):
+            return ranking.get((id(node.owner), node.name), rank)
+        return ranking.get(id(node), rank)
+
+    return sorted(nodes, key=order_key)
+
+
+# -- public helpers used by repro.xpath ------------------------------------------------------------
+
+
+def context_for(target: Union[Document, NodeLike]) -> Context:
+    """Build an evaluation context rooted at a document or node."""
+    if isinstance(target, Document):
+        return Context(node=target.root)
+    return Context(node=target)

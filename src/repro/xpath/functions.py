@@ -1,0 +1,250 @@
+"""Core function library for the XPath engine.
+
+Each function receives the evaluation context plus its already-evaluated
+arguments (XPath values).  The registry is a plain dict so downstream
+code could add functions, but the core library below covers everything
+WmXML's identity queries and usability templates need.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.xpath.errors import XPathFunctionError
+from repro.xpath.values import (
+    XPathValue,
+    is_node_set,
+    node_string_value,
+    to_boolean,
+    to_number,
+    to_string,
+)
+
+FunctionImpl = Callable[..., XPathValue]
+
+REGISTRY: dict[str, FunctionImpl] = {}
+
+
+def register(name: str) -> Callable[[FunctionImpl], FunctionImpl]:
+    """Decorator adding a function to the registry under ``name``."""
+
+    def decorator(func: FunctionImpl) -> FunctionImpl:
+        REGISTRY[name] = func
+        return func
+
+    return decorator
+
+
+def call(name: str, context, args: list[XPathValue]) -> XPathValue:
+    """Invoke registry function ``name`` with ``args``."""
+    try:
+        func = REGISTRY[name]
+    except KeyError:
+        raise XPathFunctionError(f"unknown function {name}()") from None
+    try:
+        return func(context, *args)
+    except TypeError as exc:
+        raise XPathFunctionError(f"bad arguments for {name}(): {exc}") from None
+
+
+def _require_node_set(value: XPathValue, func: str) -> list:
+    if not is_node_set(value):
+        raise XPathFunctionError(f"{func}() requires a node-set argument")
+    return value
+
+
+# -- node-set functions ------------------------------------------------------------
+
+
+@register("position")
+def _position(context) -> float:
+    return float(context.position)
+
+
+@register("last")
+def _last(context) -> float:
+    return float(context.size)
+
+
+@register("count")
+def _count(context, node_set: XPathValue) -> float:
+    return float(len(_require_node_set(node_set, "count")))
+
+
+@register("name")
+def _name(context, node_set: XPathValue = None) -> str:
+    from repro.xmlmodel.tree import Element
+    from repro.xpath.values import AttributeNode
+
+    if node_set is None:
+        target = context.node
+    else:
+        nodes = _require_node_set(node_set, "name")
+        if not nodes:
+            return ""
+        target = nodes[0]
+    if isinstance(target, Element):
+        return target.tag
+    if isinstance(target, AttributeNode):
+        return target.name
+    return ""
+
+
+@register("sum")
+def _sum(context, node_set: XPathValue) -> float:
+    nodes = _require_node_set(node_set, "sum")
+    return float(sum(to_number(node_string_value(n)) for n in nodes))
+
+
+# -- string functions ------------------------------------------------------------
+
+
+@register("string")
+def _string(context, value: XPathValue = None) -> str:
+    if value is None:
+        return node_string_value(context.node)
+    return to_string(value)
+
+
+@register("concat")
+def _concat(context, *values: XPathValue) -> str:
+    if len(values) < 2:
+        raise XPathFunctionError("concat() requires at least two arguments")
+    return "".join(to_string(v) for v in values)
+
+
+@register("contains")
+def _contains(context, haystack: XPathValue, needle: XPathValue) -> bool:
+    return to_string(needle) in to_string(haystack)
+
+
+@register("starts-with")
+def _starts_with(context, haystack: XPathValue, prefix: XPathValue) -> bool:
+    return to_string(haystack).startswith(to_string(prefix))
+
+
+@register("ends-with")
+def _ends_with(context, haystack: XPathValue, suffix: XPathValue) -> bool:
+    # XPath 2.0 convenience retained because identity queries over text
+    # payloads use it; harmless superset of 1.0.
+    return to_string(haystack).endswith(to_string(suffix))
+
+
+@register("substring-before")
+def _substring_before(context, haystack: XPathValue, sep: XPathValue) -> str:
+    text, parts = to_string(haystack), to_string(sep)
+    index = text.find(parts)
+    return text[:index] if index >= 0 else ""
+
+
+@register("substring-after")
+def _substring_after(context, haystack: XPathValue, sep: XPathValue) -> str:
+    text, parts = to_string(haystack), to_string(sep)
+    index = text.find(parts)
+    return text[index + len(parts):] if index >= 0 else ""
+
+
+@register("substring")
+def _substring(context, value: XPathValue, start: XPathValue,
+               length: XPathValue = None) -> str:
+    text = to_string(value)
+    begin = to_number(start)
+    if math.isnan(begin):
+        return ""
+    begin = round(begin)
+    if length is None:
+        end = len(text) + 1
+    else:
+        span = to_number(length)
+        if math.isnan(span):
+            return ""
+        end = begin + round(span)
+    # XPath positions are 1-based; clamp to the string.
+    chars = [
+        ch for pos, ch in enumerate(text, start=1) if begin <= pos < end
+    ]
+    return "".join(chars)
+
+
+@register("string-length")
+def _string_length(context, value: XPathValue = None) -> float:
+    if value is None:
+        return float(len(node_string_value(context.node)))
+    return float(len(to_string(value)))
+
+
+@register("normalize-space")
+def _normalize_space(context, value: XPathValue = None) -> str:
+    if value is None:
+        text = node_string_value(context.node)
+    else:
+        text = to_string(value)
+    return " ".join(text.split())
+
+
+@register("translate")
+def _translate(context, value: XPathValue, source: XPathValue,
+               target: XPathValue) -> str:
+    text = to_string(value)
+    src, dst = to_string(source), to_string(target)
+    table: dict[int, int | None] = {}
+    for index, char in enumerate(src):
+        if ord(char) in table:
+            continue
+        table[ord(char)] = ord(dst[index]) if index < len(dst) else None
+    return text.translate(table)
+
+
+# -- boolean functions ------------------------------------------------------------
+
+
+@register("boolean")
+def _boolean(context, value: XPathValue) -> bool:
+    return to_boolean(value)
+
+
+@register("not")
+def _not(context, value: XPathValue) -> bool:
+    return not to_boolean(value)
+
+
+@register("true")
+def _true(context) -> bool:
+    return True
+
+
+@register("false")
+def _false(context) -> bool:
+    return False
+
+
+# -- number functions ------------------------------------------------------------
+
+
+@register("number")
+def _number(context, value: XPathValue = None) -> float:
+    if value is None:
+        return to_number(node_string_value(context.node))
+    return to_number(value)
+
+
+@register("floor")
+def _floor(context, value: XPathValue) -> float:
+    number = to_number(value)
+    return number if math.isnan(number) else float(math.floor(number))
+
+
+@register("ceiling")
+def _ceiling(context, value: XPathValue) -> float:
+    number = to_number(value)
+    return number if math.isnan(number) else float(math.ceil(number))
+
+
+@register("round")
+def _round(context, value: XPathValue) -> float:
+    number = to_number(value)
+    if math.isnan(number) or math.isinf(number):
+        return number
+    # XPath rounds .5 towards positive infinity.
+    return float(math.floor(number + 0.5))

@@ -1,0 +1,199 @@
+"""Tokenizer for the XPath 1.0 subset.
+
+Implements the spec's lexical disambiguation rules:
+
+* ``*`` is the multiply operator when the preceding token could end an
+  expression, otherwise it is the wildcard name test;
+* ``and`` / ``or`` / ``div`` / ``mod`` are operators in the same
+  circumstance, otherwise ordinary names;
+* a name followed by ``(`` is a function call (or node-type test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.xpath.errors import XPathSyntaxError
+
+# Token kinds.
+NAME = "NAME"                  # element/attribute/function names
+NUMBER = "NUMBER"
+LITERAL = "LITERAL"            # quoted string
+OPERATOR = "OPERATOR"          # = != < <= > >= + - * div mod and or | / //
+LPAREN, RPAREN = "LPAREN", "RPAREN"
+LBRACKET, RBRACKET = "LBRACKET", "RBRACKET"
+AT = "AT"
+COMMA = "COMMA"
+DOT, DOTDOT = "DOT", "DOTDOT"
+AXIS = "AXIS"                  # name:: prefix
+EOF = "EOF"
+
+_TWO_CHAR_OPS = ("//", "!=", "<=", ">=")
+_ONE_CHAR_OPS = "/|+-=<>*"
+_OPERATOR_NAMES = frozenset({"and", "or", "div", "mod"})
+_NAME_START = frozenset(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz_")
+_NAME_CHARS = _NAME_START | frozenset("0123456789.-") | {":"}
+_AXIS_NAMES = frozenset({
+    "child", "descendant", "descendant-or-self", "self", "parent",
+    "attribute", "ancestor", "ancestor-or-self", "following-sibling",
+    "preceding-sibling",
+})
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    kind: str
+    value: str
+    position: int
+
+    def matches(self, kind: str, value: Optional[str] = None) -> bool:
+        return self.kind == kind and (value is None or self.value == value)
+
+
+def tokenize(expression: str) -> list[Token]:
+    """Tokenize ``expression``; raises :class:`XPathSyntaxError` on junk."""
+    return list(_tokens(expression))
+
+
+def _tokens(expression: str) -> Iterator[Token]:
+    pos = 0
+    length = len(expression)
+    previous: Optional[Token] = None
+
+    def emit(kind: str, value: str, at: int) -> Token:
+        nonlocal previous
+        token = Token(kind, value, at)
+        previous = token
+        return token
+
+    while pos < length:
+        char = expression[pos]
+        if char in " \t\r\n":
+            pos += 1
+            continue
+        start = pos
+        two = expression[pos:pos + 2]
+        if two in _TWO_CHAR_OPS:
+            yield emit(OPERATOR, two, start)
+            pos += 2
+            continue
+        if two == "..":
+            yield emit(DOTDOT, "..", start)
+            pos += 2
+            continue
+        if char == ".":
+            if pos + 1 < length and expression[pos + 1].isdigit():
+                pos, text = _read_number(expression, pos)
+                yield emit(NUMBER, text, start)
+            else:
+                yield emit(DOT, ".", start)
+                pos += 1
+            continue
+        if char.isdigit():
+            pos, text = _read_number(expression, pos)
+            yield emit(NUMBER, text, start)
+            continue
+        if char in "'\"":
+            end = expression.find(char, pos + 1)
+            if end < 0:
+                raise XPathSyntaxError("unterminated string literal",
+                                       expression, start)
+            yield emit(LITERAL, expression[pos + 1:end], start)
+            pos = end + 1
+            continue
+        if char == "(":
+            yield emit(LPAREN, "(", start)
+            pos += 1
+            continue
+        if char == ")":
+            yield emit(RPAREN, ")", start)
+            pos += 1
+            continue
+        if char == "[":
+            yield emit(LBRACKET, "[", start)
+            pos += 1
+            continue
+        if char == "]":
+            yield emit(RBRACKET, "]", start)
+            pos += 1
+            continue
+        if char == "@":
+            yield emit(AT, "@", start)
+            pos += 1
+            continue
+        if char == ",":
+            yield emit(COMMA, ",", start)
+            pos += 1
+            continue
+        if char in _ONE_CHAR_OPS:
+            if char == "*" and not _operator_expected(previous):
+                yield emit(NAME, "*", start)
+            else:
+                yield emit(OPERATOR, char, start)
+            pos += 1
+            continue
+        if char in _NAME_START:
+            pos, name = _read_name(expression, pos)
+            if expression[pos:pos + 2] == "::":
+                if name not in _AXIS_NAMES:
+                    raise XPathSyntaxError(f"unknown axis {name!r}",
+                                           expression, start)
+                yield emit(AXIS, name, start)
+                pos += 2
+                continue
+            if name in _OPERATOR_NAMES and _operator_expected(previous):
+                yield emit(OPERATOR, name, start)
+            else:
+                yield emit(NAME, name, start)
+            continue
+        raise XPathSyntaxError(f"unexpected character {char!r}",
+                               expression, pos)
+    yield Token(EOF, "", length)
+
+
+def _operator_expected(previous: Optional[Token]) -> bool:
+    """True when the lexer should read ``*``/``and``/... as an operator.
+
+    Per the XPath spec: an operator is expected when the preceding token
+    is something that can end an expression.
+    """
+    if previous is None:
+        return False
+    if previous.kind in (NAME, NUMBER, LITERAL, RPAREN, RBRACKET, DOT, DOTDOT):
+        return True
+    return False
+
+
+def _read_number(expression: str, pos: int) -> tuple[int, str]:
+    start = pos
+    length = len(expression)
+    while pos < length and expression[pos].isdigit():
+        pos += 1
+    if pos < length and expression[pos] == ".":
+        pos += 1
+        while pos < length and expression[pos].isdigit():
+            pos += 1
+    return pos, expression[start:pos]
+
+
+def _read_name(expression: str, pos: int) -> tuple[int, str]:
+    start = pos
+    length = len(expression)
+    pos += 1
+    while pos < length and expression[pos] in _NAME_CHARS:
+        if expression[pos] == ":":
+            # Stop before '::' so axis specifiers like child:: lex as an
+            # AXIS token; a single colon stays part of a qualified name.
+            if pos + 1 < length and expression[pos + 1] == ":":
+                break
+        pos += 1
+    name = expression[start:pos]
+    # Do not let a name swallow '..', a trailing '.' or a trailing ':'.
+    while name and name[-1] in ".:":
+        name = name[:-1]
+        pos -= 1
+    return pos, name

@@ -1,0 +1,269 @@
+"""Recursive-descent parser for the XPath 1.0 subset.
+
+Grammar (standard XPath 1.0 with the axes listed in
+:mod:`repro.xpath.lexer`):
+
+.. code-block:: text
+
+    Expr          := OrExpr
+    OrExpr        := AndExpr ('or' AndExpr)*
+    AndExpr       := EqualityExpr ('and' EqualityExpr)*
+    EqualityExpr  := RelationalExpr (('='|'!=') RelationalExpr)*
+    RelationalExpr:= AdditiveExpr (('<'|'<='|'>'|'>=') AdditiveExpr)*
+    AdditiveExpr  := MultiplicativeExpr (('+'|'-') MultiplicativeExpr)*
+    Multiplicative:= UnaryExpr (('*'|'div'|'mod') UnaryExpr)*
+    UnaryExpr     := '-'* UnionExpr
+    UnionExpr     := PathExpr ('|' PathExpr)*
+    PathExpr      := LocationPath
+                   | FilterExpr (('/'|'//') RelativeLocationPath)?
+    FilterExpr    := PrimaryExpr Predicate*
+    PrimaryExpr   := '(' Expr ')' | Literal | Number | FunctionCall
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.xpath import ast
+from repro.xpath.errors import XPathSyntaxError
+from repro.xpath.lexer import (
+    AT,
+    AXIS,
+    COMMA,
+    DOT,
+    DOTDOT,
+    EOF,
+    LBRACKET,
+    LITERAL,
+    LPAREN,
+    NAME,
+    NUMBER,
+    OPERATOR,
+    RBRACKET,
+    RPAREN,
+    Token,
+    tokenize,
+)
+
+_NODE_TYPE_TESTS = frozenset({"text", "node", "comment"})
+
+
+class _Parser:
+    def __init__(self, expression: str) -> None:
+        self.expression = expression
+        self.tokens = tokenize(expression)
+        self.index = 0
+
+    # -- token helpers ------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != EOF:
+            self.index += 1
+        return token
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        if self.current.matches(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.accept(kind, value)
+        if token is None:
+            want = value or kind
+            raise self.error(f"expected {want!r}, got {self.current.value!r}")
+        return token
+
+    def error(self, message: str) -> XPathSyntaxError:
+        return XPathSyntaxError(message, self.expression, self.current.position)
+
+    # -- entry point ------------------------------------------------------------
+
+    def parse(self) -> ast.Expression:
+        expr = self.parse_expr()
+        if self.current.kind != EOF:
+            raise self.error(f"unexpected trailing token {self.current.value!r}")
+        return expr
+
+    # -- expression levels --------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expression:
+        return self.parse_or()
+
+    def _parse_binary_level(self, ops: tuple[str, ...], next_level) -> ast.Expression:
+        left = next_level()
+        while self.current.kind == OPERATOR and self.current.value in ops:
+            op = self.advance().value
+            right = next_level()
+            left = ast.BinaryOp(op, left, right)
+        return left
+
+    def parse_or(self) -> ast.Expression:
+        return self._parse_binary_level(("or",), self.parse_and)
+
+    def parse_and(self) -> ast.Expression:
+        return self._parse_binary_level(("and",), self.parse_equality)
+
+    def parse_equality(self) -> ast.Expression:
+        return self._parse_binary_level(("=", "!="), self.parse_relational)
+
+    def parse_relational(self) -> ast.Expression:
+        return self._parse_binary_level(
+            ("<", "<=", ">", ">="), self.parse_additive)
+
+    def parse_additive(self) -> ast.Expression:
+        return self._parse_binary_level(("+", "-"), self.parse_multiplicative)
+
+    def parse_multiplicative(self) -> ast.Expression:
+        return self._parse_binary_level(
+            ("*", "div", "mod"), self.parse_unary)
+
+    def parse_unary(self) -> ast.Expression:
+        negations = 0
+        while self.accept(OPERATOR, "-"):
+            negations += 1
+        expr = self.parse_union()
+        for _ in range(negations):
+            expr = ast.Negate(expr)
+        return expr
+
+    def parse_union(self) -> ast.Expression:
+        left = self.parse_path_expr()
+        while self.current.matches(OPERATOR, "|"):
+            self.advance()
+            right = self.parse_path_expr()
+            left = ast.BinaryOp("|", left, right)
+        return left
+
+    # -- paths ------------------------------------------------------------
+
+    def parse_path_expr(self) -> ast.Expression:
+        if self._at_filter_start():
+            primary = self.parse_primary()
+            predicates = self.parse_predicates()
+            trailing: Optional[ast.LocationPath] = None
+            if self.current.kind == OPERATOR and self.current.value in ("/", "//"):
+                steps: list[ast.Step] = []
+                if self.advance().value == "//":
+                    steps.append(ast.descendant_anchor())
+                steps.extend(self.parse_relative_path())
+                trailing = ast.LocationPath(False, tuple(steps))
+            if not predicates and trailing is None:
+                return primary
+            return ast.FilterExpression(primary, tuple(predicates), trailing)
+        return self.parse_location_path()
+
+    def _at_filter_start(self) -> bool:
+        token = self.current
+        if token.kind in (LITERAL, NUMBER, LPAREN):
+            return True
+        if token.kind == NAME and self.peek().kind == LPAREN:
+            # Function call — unless it is a node-type test, which only
+            # appears inside a step; treat bare 'text()' as a step.
+            return token.value not in _NODE_TYPE_TESTS
+        return False
+
+    def parse_location_path(self) -> ast.LocationPath:
+        steps: list[ast.Step] = []
+        absolute = False
+        if self.current.kind == OPERATOR and self.current.value in ("/", "//"):
+            absolute = True
+            if self.advance().value == "//":
+                steps.append(ast.descendant_anchor())
+            elif self._at_path_end():
+                # Bare '/' selects the root.
+                return ast.LocationPath(True, ())
+        steps.extend(self.parse_relative_path())
+        return ast.LocationPath(absolute, tuple(steps))
+
+    def _at_path_end(self) -> bool:
+        token = self.current
+        return token.kind in (EOF, RPAREN, RBRACKET, COMMA) or (
+            token.kind == OPERATOR and token.value not in ("/", "//"))
+
+    def parse_relative_path(self) -> list[ast.Step]:
+        steps = [self.parse_step()]
+        while self.current.kind == OPERATOR and self.current.value in ("/", "//"):
+            if self.advance().value == "//":
+                steps.append(ast.descendant_anchor())
+            steps.append(self.parse_step())
+        return steps
+
+    def parse_step(self) -> ast.Step:
+        if self.accept(DOT):
+            return ast.Step(ast.SELF, ast.NodeTypeTest("node"),
+                            tuple(self.parse_predicates()))
+        if self.accept(DOTDOT):
+            return ast.Step(ast.PARENT, ast.NodeTypeTest("node"),
+                            tuple(self.parse_predicates()))
+        axis = ast.CHILD
+        if self.current.kind == AXIS:
+            axis = self.advance().value
+        elif self.accept(AT):
+            axis = ast.ATTRIBUTE
+        test = self.parse_node_test(axis)
+        predicates = self.parse_predicates()
+        return ast.Step(axis, test, tuple(predicates))
+
+    def parse_node_test(self, axis: str) -> ast.Expression:
+        token = self.current
+        if token.kind != NAME:
+            raise self.error("expected a node test")
+        if token.value in _NODE_TYPE_TESTS and self.peek().kind == LPAREN:
+            self.advance()
+            self.expect(LPAREN)
+            self.expect(RPAREN)
+            return ast.NodeTypeTest(token.value)
+        self.advance()
+        return ast.NameTest(token.value)
+
+    def parse_predicates(self) -> list[ast.Expression]:
+        predicates: list[ast.Expression] = []
+        while self.accept(LBRACKET):
+            predicates.append(self.parse_expr())
+            self.expect(RBRACKET)
+        return predicates
+
+    # -- primaries ------------------------------------------------------------
+
+    def parse_primary(self) -> ast.Expression:
+        token = self.current
+        if token.kind == LITERAL:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.kind == NUMBER:
+            self.advance()
+            return ast.Number(float(token.value))
+        if token.kind == LPAREN:
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(RPAREN)
+            return expr
+        if token.kind == NAME and self.peek().kind == LPAREN:
+            name = self.advance().value
+            self.expect(LPAREN)
+            args: list[ast.Expression] = []
+            if self.current.kind != RPAREN:
+                args.append(self.parse_expr())
+                while self.accept(COMMA):
+                    args.append(self.parse_expr())
+            self.expect(RPAREN)
+            return ast.FunctionCall(name, tuple(args))
+        raise self.error(f"unexpected token {token.value!r}")
+
+
+def parse_xpath(expression: str) -> ast.Expression:
+    """Parse ``expression`` into an AST; raises :class:`XPathSyntaxError`."""
+    if not isinstance(expression, str):
+        raise TypeError("XPath expression must be a string")
+    if not expression.strip():
+        raise XPathSyntaxError("empty expression", expression, 0)
+    return _Parser(expression).parse()

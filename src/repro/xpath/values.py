@@ -1,0 +1,236 @@
+"""XPath 1.0 value model: node-sets, booleans, numbers, strings.
+
+The four XPath types map onto Python as:
+
+* node-set  -> ``list`` of tree nodes / :class:`AttributeNode`
+* boolean   -> ``bool``
+* number    -> ``float`` (NaN used for failed numeric conversions)
+* string    -> ``str``
+
+This module owns the conversion rules between them and the comparison
+semantics (node-set comparisons are existential, as per the spec).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Union
+
+from repro.xmlmodel.tree import Comment, Element, Node, ProcessingInstruction, Text
+from repro.xpath.errors import XPathTypeError
+
+
+class AttributeNode:
+    """A first-class attribute node, created on demand by the ``@`` axis.
+
+    The tree model stores attributes in a dict on their owner element;
+    the XPath data model (and the watermark embedder, which must be able
+    to *select and rewrite* attribute values) needs them addressable as
+    nodes.  Two :class:`AttributeNode` instances are equal when they name
+    the same attribute of the same element object.
+    """
+
+    __slots__ = ("owner", "name")
+
+    def __init__(self, owner: Element, name: str) -> None:
+        if name not in owner.attributes:
+            raise XPathTypeError(
+                f"element <{owner.tag}> has no attribute {name!r}")
+        self.owner = owner
+        self.name = name
+
+    @property
+    def value(self) -> str:
+        """Current value of the underlying attribute."""
+        return self.owner.attributes[self.name]
+
+    def set_value(self, value: str) -> None:
+        """Write through to the owner element (used by the embedder)."""
+        self.owner.set_attribute(self.name, value)
+
+    def string_value(self) -> str:
+        return self.value
+
+    def path(self) -> str:
+        """Physical path such as ``/db/book[1]/@publisher``."""
+        return f"{self.owner.path()}/@{self.name}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, AttributeNode)
+            and other.owner is self.owner
+            and other.name == self.name
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.owner), self.name))
+
+    def __repr__(self) -> str:
+        return f"AttributeNode({self.owner.tag}/@{self.name}={self.value!r})"
+
+
+#: Anything a node-set may contain.
+NodeLike = Union[Node, AttributeNode]
+#: Any XPath value.
+XPathValue = Union[list, bool, float, str]
+
+
+def is_node_set(value: XPathValue) -> bool:
+    """True when ``value`` is a node-set (a Python list)."""
+    return isinstance(value, list)
+
+
+def node_string_value(node: NodeLike) -> str:
+    """The XPath string-value of any node kind."""
+    if isinstance(node, AttributeNode):
+        return node.value
+    if isinstance(node, (Element, Text, Comment, ProcessingInstruction)):
+        return node.string_value()
+    raise XPathTypeError(f"not a node: {type(node).__name__}")
+
+
+def to_string(value: XPathValue) -> str:
+    """The string() conversion."""
+    if isinstance(value, list):
+        if not value:
+            return ""
+        return node_string_value(value[0])
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return format_number(value)
+    if isinstance(value, str):
+        return value
+    raise XPathTypeError(f"not an XPath value: {type(value).__name__}")
+
+
+def to_number(value: XPathValue) -> float:
+    """The number() conversion; returns NaN for unconvertible strings."""
+    if isinstance(value, list):
+        return to_number(to_string(value))
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, float):
+        return value
+    if isinstance(value, str):
+        try:
+            return float(value.strip())
+        except ValueError:
+            return math.nan
+    raise XPathTypeError(f"not an XPath value: {type(value).__name__}")
+
+
+def to_boolean(value: XPathValue) -> bool:
+    """The boolean() conversion."""
+    if isinstance(value, list):
+        return bool(value)
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return bool(value) and not math.isnan(value)
+    if isinstance(value, str):
+        return bool(value)
+    raise XPathTypeError(f"not an XPath value: {type(value).__name__}")
+
+
+def format_number(number: float) -> str:
+    """Render a number the way XPath's string() does.
+
+    Integral values print without a decimal point; NaN and infinities get
+    their spec spellings.
+    """
+    if math.isnan(number):
+        return "NaN"
+    if math.isinf(number):
+        return "Infinity" if number > 0 else "-Infinity"
+    if number == int(number):
+        return str(int(number))
+    return repr(number)
+
+
+_NUMERIC_OPS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+def compare(op: str, left: XPathValue, right: XPathValue) -> bool:
+    """XPath 1.0 comparison semantics for ``op`` in = != < <= > >=.
+
+    Node-set comparisons are existential: a node-set compares true when
+    *some* node in it satisfies the comparison.
+    """
+    if op not in _NUMERIC_OPS:
+        raise XPathTypeError(f"unknown comparison operator {op!r}")
+    # Node-set vs boolean compares boolean(node-set) with the boolean —
+    # *not* existentially — so an empty node-set equals false().
+    if isinstance(left, list) and isinstance(right, bool):
+        return _NUMERIC_OPS[op](to_boolean(left), right)
+    if isinstance(right, list) and isinstance(left, bool):
+        return _NUMERIC_OPS[op](left, to_boolean(right))
+    if isinstance(left, list) and isinstance(right, list):
+        right_strings = [node_string_value(n) for n in right]
+        for node in left:
+            left_string = node_string_value(node)
+            for right_string in right_strings:
+                if _compare_atomic(op, left_string, right_string):
+                    return True
+        return False
+    if isinstance(left, list):
+        return any(
+            _compare_node_against(op, node, right) for node in left)
+    if isinstance(right, list):
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+                   "=": "=", "!=": "!="}[op]
+        return any(
+            _compare_node_against(flipped, node, left) for node in right)
+    return _compare_atomic(op, left, right)
+
+
+def _compare_node_against(op: str, node: NodeLike, value: XPathValue) -> bool:
+    text = node_string_value(node)
+    if isinstance(value, bool):
+        return _NUMERIC_OPS[op](to_boolean([node]), value)
+    if isinstance(value, float):
+        return _apply_numeric(op, to_number(text), value)
+    if isinstance(value, str):
+        if op in ("=", "!="):
+            return _NUMERIC_OPS[op](text, value)
+        return _apply_numeric(op, to_number(text), to_number(value))
+    raise XPathTypeError(f"cannot compare node with {type(value).__name__}")
+
+
+def _compare_atomic(op: str, left: XPathValue, right: XPathValue) -> bool:
+    if op in ("=", "!="):
+        if isinstance(left, bool) or isinstance(right, bool):
+            return _NUMERIC_OPS[op](to_boolean(left), to_boolean(right))
+        if isinstance(left, float) or isinstance(right, float):
+            return _apply_numeric(op, to_number(left), to_number(right))
+        return _NUMERIC_OPS[op](to_string(left), to_string(right))
+    return _apply_numeric(op, to_number(left), to_number(right))
+
+
+def _apply_numeric(op: str, left: float, right: float) -> bool:
+    if math.isnan(left) or math.isnan(right):
+        # NaN compares false to everything, including for '!=' per IEEE —
+        # XPath inherits this behaviour except NaN != x is true only when
+        # both are convertible; we follow IEEE like major implementations.
+        return op == "!=" and not (math.isnan(left) and math.isnan(right))
+    return _NUMERIC_OPS[op](left, right)
+
+
+def unique_nodes(nodes: Iterable[NodeLike]) -> list[NodeLike]:
+    """Deduplicate a node sequence while keeping first-seen order."""
+    seen: set = set()
+    result: list[NodeLike] = []
+    for node in nodes:
+        key = node if isinstance(node, AttributeNode) else id(node)
+        if key in seen:
+            continue
+        seen.add(key)
+        result.append(node)
+    return result

@@ -1,0 +1,231 @@
+"""Unit tests for the attack suite."""
+
+import pytest
+
+from repro.attacks import (
+    CompositeAttack,
+    NodeDeletionAttack,
+    NodeInsertionAttack,
+    RedundancyUnificationAttack,
+    ReductionAttack,
+    ReorganizationAttack,
+    SiblingShuffleAttack,
+    ValueAlterationAttack,
+)
+from repro.datasets import bibliography
+from repro.semantics import XMLFD
+from repro.xmlmodel import parse, serialize
+from repro.xpath import select, select_strings
+
+CONFIG = bibliography.BibliographyConfig(books=30, editors=5, seed=5)
+
+
+@pytest.fixture()
+def doc():
+    return bibliography.generate_document(CONFIG)
+
+
+class TestAttackFramework:
+    def test_input_never_mutated(self, doc):
+        before = serialize(doc)
+        for attack in (
+            ValueAlterationAttack(0.5, seed=1),
+            NodeDeletionAttack(0.5, seed=1),
+            NodeInsertionAttack(0.3, seed=1),
+            ReductionAttack(0.4, seed=1),
+            SiblingShuffleAttack(seed=1),
+            RedundancyUnificationAttack(bibliography.semantic_fd()),
+        ):
+            attack.apply(doc)
+            assert serialize(doc) == before, attack.name
+
+    def test_reports_are_descriptive(self, doc):
+        report = ValueAlterationAttack(0.3, seed=2).apply(doc)
+        assert report.attack == "value-alteration"
+        assert report.params["rate"] == 0.3
+        assert "modifications" in str(report)
+
+    def test_seeded_determinism(self, doc):
+        a = ValueAlterationAttack(0.3, seed=9).apply(doc)
+        b = ValueAlterationAttack(0.3, seed=9).apply(doc)
+        assert serialize(a.document) == serialize(b.document)
+
+    def test_different_seeds_differ(self, doc):
+        a = ValueAlterationAttack(0.3, seed=1).apply(doc)
+        b = ValueAlterationAttack(0.3, seed=2).apply(doc)
+        assert serialize(a.document) != serialize(b.document)
+
+
+class TestValueAlteration:
+    def test_zero_rate_is_identity(self, doc):
+        report = ValueAlterationAttack(0.0, seed=1).apply(doc)
+        assert report.modifications == 0
+        assert report.document.equals(doc)
+
+    def test_full_rate_touches_everything(self, doc):
+        report = ValueAlterationAttack(1.0, seed=1).apply(doc)
+        # Every leaf and attribute slot altered.
+        assert report.modifications > 100
+
+    def test_numeric_values_stay_numeric(self, doc):
+        report = ValueAlterationAttack(1.0, seed=1).apply(doc)
+        for year in select_strings(report.document, "/db/book/year"):
+            float(year)  # must not raise
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            ValueAlterationAttack(1.5)
+        with pytest.raises(ValueError):
+            ValueAlterationAttack(-0.1)
+
+
+class TestNodeDeletion:
+    def test_deletes_fraction(self, doc):
+        before = doc.count_elements()
+        report = NodeDeletionAttack(0.3, seed=1).apply(doc)
+        assert report.document.count_elements() < before
+        assert report.modifications > 0
+
+    def test_tag_restriction(self, doc):
+        report = NodeDeletionAttack(1.0, tag="editor", seed=1).apply(doc)
+        assert list(report.document.iter_elements("editor")) == []
+        assert list(report.document.iter_elements("title"))  # untouched
+
+    def test_root_survives(self, doc):
+        report = NodeDeletionAttack(1.0, seed=1).apply(doc)
+        assert report.document.root.tag == "db"
+
+
+class TestNodeInsertion:
+    def test_inserts_clones(self, doc):
+        before = doc.count_elements()
+        report = NodeInsertionAttack(0.2, seed=1).apply(doc)
+        assert report.document.count_elements() > before
+
+    def test_zero_rate(self, doc):
+        report = NodeInsertionAttack(0.0, seed=1).apply(doc)
+        assert report.document.equals(doc)
+
+
+class TestReduction:
+    def test_keeps_fraction_of_entities(self, doc):
+        report = ReductionAttack(0.5, seed=1).apply(doc)
+        kept = len(report.document.root.child_elements("book"))
+        assert kept == round(30 * 0.5)
+
+    def test_keep_all(self, doc):
+        report = ReductionAttack(1.0, seed=1).apply(doc)
+        assert report.document.equals(doc)
+        assert report.modifications == 0
+
+    def test_keep_none(self, doc):
+        report = ReductionAttack(0.0, seed=1).apply(doc)
+        assert report.document.root.child_elements("book") == []
+
+    def test_entity_tag(self, doc):
+        report = ReductionAttack(0.5, entity_tag="author", seed=1).apply(doc)
+        before = len(list(doc.iter_elements("author")))
+        after = len(list(report.document.iter_elements("author")))
+        assert after == round(before * 0.5)
+
+    def test_kept_entities_intact(self, doc):
+        report = ReductionAttack(0.5, seed=1).apply(doc)
+        for book in report.document.root.child_elements("book"):
+            assert book.find("title") is not None
+            assert book.find("year") is not None
+
+
+class TestReorganizationAttack:
+    def test_restructures(self, doc):
+        attack = ReorganizationAttack(bibliography.book_shape(),
+                                      bibliography.publisher_shape())
+        report = attack.apply(doc)
+        assert report.document.root.child_elements("publisher")
+        assert not report.document.root.child_elements("book")
+
+    def test_information_preserved(self, doc):
+        attack = ReorganizationAttack(bibliography.book_shape(),
+                                      bibliography.publisher_shape())
+        report = attack.apply(doc)
+        fields = ("title", "author", "publisher", "editor", "year", "price")
+        original = {r.key(fields)
+                    for r in bibliography.book_shape().shred(doc)}
+        attacked = {r.key(fields)
+                    for r in bibliography.publisher_shape().shred(
+                        report.document)}
+        assert original == attacked
+
+
+class TestSiblingShuffle:
+    def test_same_content_different_order(self, doc):
+        report = SiblingShuffleAttack(seed=3).apply(doc)
+        assert not report.document.equals(doc)
+        # Same multiset of books by title.
+        assert sorted(select_strings(doc, "/db/book/title")) == \
+            sorted(select_strings(report.document, "/db/book/title"))
+
+    def test_physical_paths_shift(self, doc):
+        report = SiblingShuffleAttack(seed=3).apply(doc)
+        original_first = select_strings(doc, "/db/book[1]/title")
+        shuffled_first = select_strings(report.document, "/db/book[1]/title")
+        assert original_first != shuffled_first  # overwhelmingly likely
+
+
+class TestRedundancyUnification:
+    def test_fd_restored_after_attack(self):
+        # Build a document violating the FD, then unify.
+        doc = parse(
+            '<db>'
+            '<book publisher="mkp"><title>A</title><editor>E</editor>'
+            '<year>1998</year></book>'
+            '<book publisher="acm"><title>B</title><editor>E</editor>'
+            '<year>1999</year></book>'
+            '<book publisher="acm"><title>C</title><editor>E</editor>'
+            '<year>2000</year></book>'
+            '</db>')
+        fd = XMLFD("ep", "/db/book", ("editor",), "@publisher")
+        assert not fd.holds(doc)
+        report = RedundancyUnificationAttack(fd, strategy="majority").apply(doc)
+        assert fd.holds(report.document)
+        values = select_strings(report.document, "/db/book/@publisher")
+        assert values == ["acm", "acm", "acm"]  # majority wins
+        assert report.modifications == 1
+
+    def test_first_strategy(self):
+        doc = parse(
+            '<db>'
+            '<book publisher="mkp"><editor>E</editor></book>'
+            '<book publisher="acm"><editor>E</editor></book>'
+            '</db>')
+        fd = XMLFD("ep", "/db/book", ("editor",), "@publisher")
+        report = RedundancyUnificationAttack(fd, strategy="first").apply(doc)
+        assert select_strings(report.document, "/db/book/@publisher") == \
+            ["mkp", "mkp"]
+
+    def test_noop_on_consistent_data(self, doc):
+        report = RedundancyUnificationAttack(
+            bibliography.semantic_fd()).apply(doc)
+        assert report.modifications == 0
+        assert report.params["groups"] > 0  # groups existed, all agreed
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            RedundancyUnificationAttack(bibliography.semantic_fd(),
+                                        strategy="nope")
+
+
+class TestComposite:
+    def test_chains_attacks(self, doc):
+        attack = CompositeAttack([
+            SiblingShuffleAttack(seed=1),
+            ReductionAttack(0.8, seed=1),
+            ValueAlterationAttack(0.1, seed=1),
+        ])
+        report = attack.apply(doc)
+        assert report.attack == "composite"
+        assert len(report.params["sequence"]) == 3
+        assert len(report.document.root.child_elements("book")) == 24
+
+    def test_needs_attacks(self):
+        with pytest.raises(ValueError):
+            CompositeAttack([])

@@ -1,0 +1,201 @@
+"""Tests for the baseline watermarkers and the comparative claims.
+
+These tests encode the paper's qualitative table: which scheme survives
+which attack.  They are the heart of experiments E1/E7/E8.
+"""
+
+import pytest
+
+from repro.attacks import (
+    RedundancyUnificationAttack,
+    ReorganizationAttack,
+    SiblingShuffleAttack,
+)
+from repro.baselines import AKWatermarker, SionSlot, SionWatermarker
+from repro.core import Watermark, WmXMLDecoder, WmXMLEncoder
+from repro.datasets import bibliography, vocab
+
+CONFIG = bibliography.BibliographyConfig(books=120, editors=10, seed=21)
+MESSAGE = "OWNER"
+KEY = "comparison-key"
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return bibliography.generate_document(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def watermark():
+    return Watermark.from_message(MESSAGE)
+
+
+@pytest.fixture(scope="module")
+def wmxml(doc, watermark):
+    scheme = bibliography.default_scheme(gamma=2)
+    result = WmXMLEncoder(scheme, KEY).embed(doc, watermark)
+    return scheme, result
+
+
+@pytest.fixture(scope="module")
+def ak(doc, watermark):
+    scheme = bibliography.default_scheme(gamma=2)
+    watermarker = AKWatermarker(KEY, bibliography.book_shape(),
+                                scheme.carriers, gamma=2, alpha=1e-3)
+    marked, record = watermarker.embed(doc, watermark)
+    return watermarker, marked, record
+
+
+@pytest.fixture(scope="module")
+def sion(doc, watermark):
+    slots = [
+        SionSlot("book", "leaf", "year", "numeric"),
+        SionSlot("book", "leaf", "price", "numeric",
+                 (("fraction_digits", 2),)),
+        SionSlot("book", "attribute", "publisher", "categorical",
+                 (("domain", list(vocab.PUBLISHERS)),)),
+    ]
+    watermarker = SionWatermarker(KEY, slots, gamma=2, alpha=1e-3)
+    marked, record = watermarker.embed(doc, watermark)
+    return watermarker, marked, record
+
+
+class TestCleanDetection:
+    def test_wmxml(self, wmxml, watermark):
+        scheme, result = wmxml
+        outcome = WmXMLDecoder(KEY).detect(
+            result.document, result.record, scheme.shape, expected=watermark)
+        assert outcome.detected
+        assert outcome.match_ratio == 1.0
+
+    def test_ak(self, ak, watermark):
+        watermarker, marked, record = ak
+        outcome = watermarker.detect(marked, record, watermark)
+        assert outcome.detected
+        assert outcome.match_ratio == 1.0
+
+    def test_sion(self, sion, watermark):
+        watermarker, marked, record = sion
+        outcome = watermarker.detect(marked, record, watermark)
+        assert outcome.detected
+        assert outcome.match_ratio == 1.0
+
+
+class TestShuffleAttack:
+    """Reordering: WmXML and Sion survive; AK collapses to chance."""
+
+    ATTACK = SiblingShuffleAttack(seed=4)
+
+    def test_wmxml_survives(self, wmxml, watermark):
+        scheme, result = wmxml
+        attacked = self.ATTACK.apply(result.document).document
+        outcome = WmXMLDecoder(KEY).detect(
+            attacked, result.record, scheme.shape, expected=watermark)
+        assert outcome.detected
+        assert outcome.match_ratio == 1.0
+
+    def test_sion_survives(self, sion, watermark):
+        watermarker, marked, record = sion
+        attacked = self.ATTACK.apply(marked).document
+        outcome = watermarker.detect(attacked, record, watermark)
+        assert outcome.detected
+
+    def test_ak_collapses(self, ak, watermark):
+        watermarker, marked, record = ak
+        attacked = self.ATTACK.apply(marked).document
+        outcome = watermarker.detect(attacked, record, watermark)
+        assert not outcome.detected
+        assert outcome.match_ratio < 0.7  # essentially coin-flipping
+
+
+class TestReorganizationAttack:
+    """Restructuring: only WmXML (with query rewriting) survives."""
+
+    def attack(self, document):
+        return ReorganizationAttack(
+            bibliography.book_shape(),
+            bibliography.publisher_shape()).apply(document).document
+
+    def test_wmxml_survives_with_rewriting(self, wmxml, watermark):
+        scheme, result = wmxml
+        attacked = self.attack(result.document)
+        outcome = WmXMLDecoder(KEY).detect(
+            attacked, result.record, bibliography.publisher_shape(),
+            expected=watermark)
+        assert outcome.detected
+        assert outcome.match_ratio == 1.0
+
+    def test_wmxml_needs_the_rewriting(self, wmxml, watermark):
+        scheme, result = wmxml
+        attacked = self.attack(result.document)
+        outcome = WmXMLDecoder(KEY).detect(
+            attacked, result.record, scheme.shape, expected=watermark)
+        assert outcome.votes_total == 0
+        assert not outcome.detected
+
+    def test_ak_dies(self, ak, watermark):
+        watermarker, marked, record = ak
+        outcome = watermarker.detect(self.attack(marked), record, watermark)
+        assert not outcome.detected
+        assert outcome.votes_total == 0  # every stored path dangling
+
+    def test_sion_dies(self, sion, watermark):
+        watermarker, marked, record = sion
+        outcome = watermarker.detect(self.attack(marked), record, watermark)
+        assert not outcome.detected
+
+
+class TestRedundancyAttack:
+    """FD unification: WmXML's folded marks are untouched; per-occurrence
+    marks lose the disagreeing duplicates."""
+
+    ATTACK = RedundancyUnificationAttack(
+        bibliography.semantic_fd(), strategy="majority", seed=6)
+
+    def test_wmxml_unaffected(self, wmxml, watermark):
+        scheme, result = wmxml
+        attacked = self.ATTACK.apply(result.document).document
+        outcome = WmXMLDecoder(KEY).detect(
+            attacked, result.record, scheme.shape, expected=watermark)
+        assert outcome.match_ratio == 1.0
+        assert outcome.detected
+
+    def test_wmxml_duplicates_bitwise_identical(self, wmxml):
+        # The reason the attack is a no-op: duplicates already agree.
+        scheme, result = wmxml
+        report = self.ATTACK.apply(result.document)
+        assert report.modifications == 0
+
+    def test_ak_loses_votes(self, ak, watermark):
+        watermarker, marked, record = ak
+        attacked = self.ATTACK.apply(marked).document
+        outcome = watermarker.detect(attacked, record, watermark)
+        clean = watermarker.detect(marked, record, watermark)
+        assert outcome.votes_matching < clean.votes_matching
+
+    def test_sion_loses_votes(self, sion, watermark):
+        watermarker, marked, record = sion
+        attacked = self.ATTACK.apply(marked).document
+        outcome = watermarker.detect(attacked, record, watermark)
+        clean = watermarker.detect(marked, record, watermark)
+        assert outcome.votes_matching < clean.votes_matching
+
+
+class TestFalsePositives:
+    def test_ak_unmarked(self, doc, ak, watermark):
+        watermarker, _, record = ak
+        outcome = watermarker.detect(doc, record, watermark)
+        assert not outcome.detected
+
+    def test_sion_unmarked(self, doc, sion, watermark):
+        watermarker, _, record = sion
+        outcome = watermarker.detect(doc, record, watermark)
+        assert not outcome.detected
+
+    def test_wrong_key_ak(self, ak, watermark):
+        _, marked, record = ak
+        stranger = AKWatermarker("not-the-key", bibliography.book_shape(),
+                                 bibliography.default_scheme(2).carriers,
+                                 gamma=2)
+        outcome = stranger.detect(marked, record, watermark)
+        assert not outcome.detected

@@ -1,0 +1,168 @@
+"""End-to-end tests for the ``wmxml`` command-line tool."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def workspace(tmp_path):
+    return tmp_path
+
+
+def run(*argv) -> int:
+    return main(list(argv))
+
+
+class TestGenerate:
+    def test_generates_each_profile(self, workspace, capsys):
+        for profile in ("bibliography", "jobs", "library"):
+            out = workspace / f"{profile}.xml"
+            code = run("generate", "--profile", profile, "--size", "20",
+                       "-o", str(out))
+            assert code == 0
+            assert out.exists()
+            assert "wrote" in capsys.readouterr().out
+
+    def test_unknown_profile_rejected(self, workspace):
+        with pytest.raises(SystemExit):
+            run("generate", "--profile", "nope",
+                "-o", str(workspace / "x.xml"))
+
+
+class TestEmbedDetectFlow:
+    def _generate(self, workspace):
+        data = workspace / "data.xml"
+        run("generate", "--profile", "bibliography", "--size", "40",
+            "-o", str(data))
+        return data
+
+    def test_full_flow(self, workspace, capsys):
+        data = self._generate(workspace)
+        marked = workspace / "marked.xml"
+        record = workspace / "record.json"
+        code = run("embed", "--profile", "bibliography", "-i", str(data),
+                   "-o", str(marked), "-r", str(record),
+                   "-k", "cli-secret", "-m", "(c) CLI", "--gamma", "2")
+        assert code == 0
+        assert marked.exists()
+        payload = json.loads(record.read_text())
+        assert payload["format"] == "wmxml-record-v1"
+
+        code = run("detect", "--profile", "bibliography", "-i", str(marked),
+                   "-r", str(record), "-k", "cli-secret", "-m", "(c) CLI")
+        assert code == 0
+        assert "DETECTED" in capsys.readouterr().out
+
+    def test_wrong_key_exits_nonzero(self, workspace, capsys):
+        data = self._generate(workspace)
+        marked = workspace / "marked.xml"
+        record = workspace / "record.json"
+        run("embed", "--profile", "bibliography", "-i", str(data),
+            "-o", str(marked), "-r", str(record),
+            "-k", "cli-secret", "-m", "(c) CLI")
+        code = run("detect", "--profile", "bibliography", "-i", str(marked),
+                   "-r", str(record), "-k", "wrong", "-m", "(c) CLI")
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "not detected" in out
+        assert "failed key authentication" in out
+
+    def test_attack_then_detect_with_rewriting(self, workspace, capsys):
+        data = self._generate(workspace)
+        marked = workspace / "marked.xml"
+        record = workspace / "record.json"
+        stolen = workspace / "stolen.xml"
+        run("embed", "--profile", "bibliography", "-i", str(data),
+            "-o", str(marked), "-r", str(record),
+            "-k", "cli-secret", "-m", "(c) CLI", "--gamma", "1")
+        code = run("attack", "--profile", "bibliography", "-i", str(marked),
+                   "-o", str(stolen), "--kind", "reorganize",
+                   "--shape", "book-centric",
+                   "--to-shape", "publisher-centric")
+        assert code == 0
+        # Without rewriting: nothing.
+        code = run("detect", "--profile", "bibliography", "-i", str(stolen),
+                   "-r", str(record), "-k", "cli-secret", "-m", "(c) CLI")
+        assert code == 1
+        # With rewriting: detected.
+        code = run("detect", "--profile", "bibliography", "-i", str(stolen),
+                   "-r", str(record), "-k", "cli-secret", "-m", "(c) CLI",
+                   "--shape", "publisher-centric")
+        assert code == 0
+
+
+class TestOtherCommands:
+    def test_attack_kinds(self, workspace):
+        data = workspace / "data.xml"
+        run("generate", "--profile", "jobs", "--size", "20", "-o", str(data))
+        for kind in ("alter", "delete", "insert", "reduce", "shuffle",
+                     "unify"):
+            out = workspace / f"attacked-{kind}.xml"
+            code = run("attack", "--profile", "jobs", "-i", str(data),
+                       "-o", str(out), "--kind", kind, "--rate", "0.3")
+            assert code == 0
+            assert out.exists()
+
+    def test_usability(self, workspace, capsys):
+        data = workspace / "data.xml"
+        attacked = workspace / "attacked.xml"
+        run("generate", "--profile", "bibliography", "--size", "25",
+            "-o", str(data))
+        run("attack", "--profile", "bibliography", "-i", str(data),
+            "-o", str(attacked), "--kind", "alter", "--rate", "0.5")
+        code = run("usability", "--profile", "bibliography",
+                   "--original", str(data), "-i", str(attacked))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "usability" in out
+
+    def test_discover(self, workspace, capsys):
+        data = workspace / "data.xml"
+        run("generate", "--profile", "bibliography", "--size", "30",
+            "-o", str(data))
+        code = run("discover", "--profile", "bibliography", "-i", str(data))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "key(title)" in out
+        assert "fd(editor -> publisher)" in out
+
+    def test_experiment(self, workspace, capsys):
+        csv = workspace / "e3.csv"
+        code = run("experiment", "e3", "--size", "30", "--csv", str(csv))
+        assert code == 0
+        assert "capacity" in capsys.readouterr().out
+        assert csv.exists()
+
+    def test_schema_infer_and_validate(self, workspace, capsys):
+        data = workspace / "data.xml"
+        dtd = workspace / "data.dtd"
+        run("generate", "--profile", "bibliography", "--size", "20",
+            "-o", str(data))
+        code = run("schema", "-i", str(data), "--dtd", str(dtd))
+        assert code == 0
+        assert "<!ELEMENT" in capsys.readouterr().out
+        assert dtd.exists()
+        code = run("schema", "-i", str(data), "--validate-dtd", str(dtd))
+        assert code == 0
+        assert "valid against" in capsys.readouterr().out
+
+    def test_schema_validation_failure(self, workspace, capsys):
+        data = workspace / "data.xml"
+        data.write_text("<other><x>1</x></other>", encoding="utf-8")
+        dtd = workspace / "schema.dtd"
+        dtd.write_text("<!ELEMENT db (x*)>\n<!ELEMENT x (#PCDATA)>",
+                       encoding="utf-8")
+        code = run("schema", "-i", str(data), "--validate-dtd", str(dtd))
+        assert code == 1
+        assert "violation" in capsys.readouterr().out
+
+    def test_unknown_shape_rejected(self, workspace):
+        data = workspace / "data.xml"
+        run("generate", "--profile", "jobs", "--size", "10", "-o", str(data))
+        with pytest.raises(SystemExit):
+            run("attack", "--profile", "jobs", "-i", str(data),
+                "-o", str(workspace / "x.xml"), "--kind", "reorganize",
+                "--shape", "nope", "--to-shape", "jobs-by-company")

@@ -1,0 +1,169 @@
+"""Unit tests for identity creation and keyed selection."""
+
+import pytest
+
+from repro.core import (
+    CarrierSpec,
+    FDIdentifier,
+    KeyIdentifier,
+    KeyedPRF,
+    build_carrier_groups,
+    identity_string,
+    select_groups,
+)
+from repro.semantics import RecordError
+from repro.xmlmodel import parse
+
+
+def year_carrier():
+    return CarrierSpec.create("year", "numeric", KeyIdentifier(("title",)))
+
+
+def publisher_carrier():
+    return CarrierSpec.create(
+        "publisher", "categorical", FDIdentifier(("editor",)),
+        {"domain": ["mkp", "acm", "springer", "ieee"]})
+
+
+class TestCarrierSpec:
+    def test_create(self):
+        carrier = year_carrier()
+        assert carrier.field == "year"
+        assert carrier.identifier.kind() == "key"
+
+    def test_carrier_in_own_identifier_rejected(self):
+        with pytest.raises(RecordError):
+            CarrierSpec.create("year", "numeric", KeyIdentifier(("year",)))
+
+    def test_param_map(self):
+        carrier = publisher_carrier()
+        assert carrier.param_map["domain"][0] == "mkp"
+
+    def test_empty_identifier_rejected(self):
+        with pytest.raises(RecordError):
+            KeyIdentifier(())
+        with pytest.raises(RecordError):
+            FDIdentifier(())
+
+
+class TestIdentityString:
+    def test_deterministic_and_order_free(self):
+        a = identity_string("year", [("title", "T"), ("author", "A")])
+        b = identity_string("year", [("author", "A"), ("title", "T")])
+        assert a == b
+
+    def test_distinguishes_fields(self):
+        a = identity_string("year", [("title", "T")])
+        b = identity_string("price", [("title", "T")])
+        assert a != b
+
+    def test_no_separator_ambiguity(self):
+        # A value containing delimiter-like characters must never make
+        # two different binding sets collide.
+        a = identity_string("f", [("x", "a"), ("y", "b")])
+        b = identity_string("f", [("x", 'a"],["y","b')])
+        c = identity_string("f", [("x", "a\x1fy\x1eb")])
+        assert len({a, b, c}) == 3
+
+
+class TestBuildGroups:
+    def test_key_identified_groups(self, db1_doc, book_shape):
+        rows = book_shape.shred(db1_doc)
+        groups = build_carrier_groups(rows, [year_carrier()], book_shape)
+        assert len(groups) == 3  # one per book title
+        assert all(group.size == 1 for group in groups)
+        assert all(group.is_consistent() for group in groups)
+
+    def test_fd_identified_folding(self, db1_doc, book_shape):
+        rows = book_shape.shred(db1_doc)
+        groups = build_carrier_groups(rows, [publisher_carrier()],
+                                      book_shape)
+        # Two editors -> two groups; Harrypotter's group folds 2 books.
+        assert len(groups) == 2
+        sizes = sorted(group.size for group in groups)
+        assert sizes == [1, 2]
+
+    def test_fd_group_values_agree(self, db1_doc, book_shape):
+        rows = book_shape.shred(db1_doc)
+        groups = build_carrier_groups(rows, [publisher_carrier()],
+                                      book_shape)
+        folded = next(g for g in groups if g.size == 2)
+        assert folded.values == ["mkp", "mkp"]
+        assert folded.is_consistent()
+
+    def test_queries_are_logical(self, db1_doc, book_shape):
+        rows = book_shape.shred(db1_doc)
+        groups = build_carrier_groups(rows, [year_carrier()], book_shape)
+        query = groups[0].query
+        assert query.target == "year"
+        assert query.conditions[0][0] == "title"
+
+    def test_missing_identifier_field_skips_row(self, book_shape):
+        doc = parse("<db><book publisher='x'><title>T</title>"
+                    "<year>1998</year></book>"
+                    "<book publisher='y'><year>2000</year></book></db>")
+        rows = book_shape.shred(doc)
+        groups = build_carrier_groups(rows, [year_carrier()], book_shape)
+        assert len(groups) == 1  # the title-less book has no identity
+
+    def test_unknown_field_raises(self, db1_doc, book_shape):
+        rows = book_shape.shred(db1_doc)
+        bad = CarrierSpec.create("salary", "numeric", KeyIdentifier(("title",)))
+        with pytest.raises(RecordError):
+            build_carrier_groups(rows, [bad], book_shape)
+
+    def test_attribute_nodes_deduplicated(self, db1_doc, book_shape):
+        # Book 1 yields two rows (two authors) sharing one @publisher;
+        # the FD group must hold each distinct attribute node once.
+        rows = book_shape.shred(db1_doc)
+        groups = build_carrier_groups(rows, [publisher_carrier()],
+                                      book_shape)
+        folded = next(g for g in groups if "Harrypotter" in g.identity)
+        assert folded.size == 2  # two books, not three rows
+
+    def test_identity_differs_across_groups(self, db1_doc, book_shape):
+        rows = book_shape.shred(db1_doc)
+        groups = build_carrier_groups(
+            rows, [year_carrier(), publisher_carrier()], book_shape)
+        identities = [group.identity for group in groups]
+        assert len(identities) == len(set(identities))
+
+
+class TestSelection:
+    def test_gamma_one_selects_all(self, db1_doc, book_shape):
+        rows = book_shape.shred(db1_doc)
+        groups = build_carrier_groups(rows, [year_carrier()], book_shape)
+        slots, stats = select_groups(groups, KeyedPRF("k"), 1, 8)
+        assert len(slots) == len(groups)
+        assert stats.utilisation == 1.0
+
+    def test_bit_indices_in_range(self, db1_doc, book_shape):
+        rows = book_shape.shred(db1_doc)
+        groups = build_carrier_groups(rows, [year_carrier()], book_shape)
+        slots, _ = select_groups(groups, KeyedPRF("k"), 1, 4)
+        assert all(0 <= slot.bit_index < 4 for slot in slots)
+
+    def test_selection_deterministic(self, db1_doc, book_shape):
+        rows = book_shape.shred(db1_doc)
+        groups = build_carrier_groups(rows, [year_carrier()], book_shape)
+        slots_a, _ = select_groups(groups, KeyedPRF("k"), 2, 8)
+        slots_b, _ = select_groups(groups, KeyedPRF("k"), 2, 8)
+        assert [s.group.identity for s in slots_a] == \
+            [s.group.identity for s in slots_b]
+
+    def test_key_changes_selection(self, db1_doc, book_shape):
+        # With enough synthetic groups, two keys select different sets.
+        rows = book_shape.shred(db1_doc)
+        groups = build_carrier_groups(rows, [year_carrier()], book_shape)
+        ids_a = {s.group.identity
+                 for s in select_groups(groups, KeyedPRF("k1"), 1, 64)[0]}
+        slots_a, _ = select_groups(groups, KeyedPRF("k1"), 1, 64)
+        slots_b, _ = select_groups(groups, KeyedPRF("k2"), 1, 64)
+        indices_a = [s.bit_index for s in slots_a]
+        indices_b = [s.bit_index for s in slots_b]
+        assert indices_a != indices_b  # overwhelmingly likely
+
+    def test_stats_empty(self):
+        slots, stats = select_groups([], KeyedPRF("k"), 4, 8)
+        assert slots == []
+        assert stats.utilisation == 0.0

@@ -1,0 +1,334 @@
+"""Unit/integration tests for the encoder-decoder pipeline and usability."""
+
+import pytest
+
+from repro.core import (
+    CarrierSpec,
+    FDIdentifier,
+    KeyIdentifier,
+    UsabilityBaseline,
+    UsabilityTemplate,
+    Watermark,
+    WatermarkRecord,
+    WatermarkingScheme,
+    WmXMLDecoder,
+    WmXMLEncoder,
+    values_match,
+)
+from repro.rewriting import reorganize
+from repro.semantics import RecordError
+from repro.xmlmodel import parse, serialize
+
+SECRET = "owner-secret-key"
+MESSAGE = "(c)WmXML"
+
+
+@pytest.fixture()
+def scheme(book_shape):
+    return WatermarkingScheme(
+        shape=book_shape,
+        carriers=[
+            CarrierSpec.create("year", "numeric", KeyIdentifier(("title",))),
+            CarrierSpec.create(
+                "publisher", "categorical", FDIdentifier(("editor",)),
+                {"domain": ["mkp", "acm", "springer", "ieee"]}),
+        ],
+        templates=[
+            UsabilityTemplate("authors-of", "author", ("title",)),
+            UsabilityTemplate("year-of", "year", ("title",), tolerance=0.002),
+        ],
+        gamma=1,
+    )
+
+
+@pytest.fixture()
+def embedded(db1_doc, scheme):
+    encoder = WmXMLEncoder(scheme, SECRET)
+    return encoder.embed(db1_doc, Watermark.from_message(MESSAGE))
+
+
+class TestSchemeValidation:
+    def test_valid_scheme(self, scheme):
+        assert scheme.gamma == 1
+        assert "year" in scheme.describe()
+
+    def test_unknown_carrier_field(self, book_shape):
+        with pytest.raises(RecordError):
+            WatermarkingScheme(book_shape, [
+                CarrierSpec.create("salary", "numeric",
+                                   KeyIdentifier(("title",)))])
+
+    def test_unknown_template_field(self, book_shape):
+        with pytest.raises(RecordError):
+            WatermarkingScheme(
+                book_shape,
+                [CarrierSpec.create("year", "numeric",
+                                    KeyIdentifier(("title",)))],
+                templates=[UsabilityTemplate("t", "salary", ("title",))])
+
+    def test_bad_gamma(self, book_shape):
+        with pytest.raises(RecordError):
+            WatermarkingScheme(
+                book_shape,
+                [CarrierSpec.create("year", "numeric",
+                                    KeyIdentifier(("title",)))],
+                gamma=0)
+
+    def test_no_carriers(self, book_shape):
+        with pytest.raises(RecordError):
+            WatermarkingScheme(book_shape, [])
+
+    def test_unknown_algorithm(self, book_shape):
+        with pytest.raises(Exception):
+            WatermarkingScheme(book_shape, [
+                CarrierSpec.create("year", "wat", KeyIdentifier(("title",)))])
+
+    def test_carrier_for(self, scheme):
+        assert scheme.carrier_for("year").algorithm == "numeric"
+        with pytest.raises(RecordError):
+            scheme.carrier_for("missing")
+
+
+class TestEmbedding:
+    def test_original_untouched_by_default(self, db1_doc, scheme):
+        before = serialize(db1_doc)
+        WmXMLEncoder(scheme, SECRET).embed(
+            db1_doc, Watermark.from_message(MESSAGE))
+        assert serialize(db1_doc) == before
+
+    def test_in_place_mode(self, db1_doc, scheme):
+        before = serialize(db1_doc)
+        result = WmXMLEncoder(scheme, SECRET).embed(
+            db1_doc, Watermark.from_message(MESSAGE), in_place=True)
+        assert result.document is db1_doc
+        assert serialize(db1_doc) != before
+
+    def test_stats(self, embedded):
+        stats = embedded.stats
+        assert stats.capacity_groups == 5  # 3 years + 2 publisher groups
+        assert stats.selected_groups == 5  # gamma=1
+        assert stats.embedded_groups == 5
+        assert stats.per_field == {"year": 3, "publisher": 2}
+        assert stats.utilisation == 1.0
+        # Mean mixes relative numeric error (~1e-3) with categorical
+        # swap indicators (0 or 1); it must stay a sane [0, 1] average.
+        assert 0.0 <= stats.mean_distortion <= 1.0
+
+    def test_record_contents(self, embedded):
+        record = embedded.record
+        assert record.gamma == 1
+        assert record.nbits == len(Watermark.from_message(MESSAGE))
+        assert len(record.queries) == 5
+        fields = {q.field for q in record.queries}
+        assert fields == {"year", "publisher"}
+
+    def test_fd_duplicates_marked_identically(self, embedded):
+        # Harrypotter's two books must carry the same publisher value.
+        from repro.xpath import select_strings
+        values = select_strings(
+            embedded.document,
+            "/db/book[editor='Harrypotter']/@publisher")
+        assert len(values) == 2
+        assert len(set(values)) == 1
+
+    def test_embedding_is_deterministic(self, db1_doc, scheme):
+        wm = Watermark.from_message(MESSAGE)
+        a = WmXMLEncoder(scheme, SECRET).embed(db1_doc, wm)
+        b = WmXMLEncoder(scheme, SECRET).embed(db1_doc, wm)
+        assert serialize(a.document) == serialize(b.document)
+
+    def test_different_keys_differ(self, db1_doc, scheme):
+        wm = Watermark.from_message(MESSAGE)
+        a = WmXMLEncoder(scheme, "key-1").embed(db1_doc, wm)
+        b = WmXMLEncoder(scheme, "key-2").embed(db1_doc, wm)
+        assert serialize(a.document) != serialize(b.document)
+
+    def test_gamma_reduces_marking(self, db1_doc, book_shape):
+        carriers = [CarrierSpec.create("year", "numeric",
+                                       KeyIdentifier(("title",)))]
+        dense = WatermarkingScheme(book_shape, carriers, gamma=1)
+        sparse = WatermarkingScheme(book_shape, carriers, gamma=1000)
+        wm = Watermark.from_message(MESSAGE)
+        dense_result = WmXMLEncoder(dense, SECRET).embed(db1_doc, wm)
+        sparse_result = WmXMLEncoder(sparse, SECRET).embed(db1_doc, wm)
+        assert sparse_result.stats.selected_groups <= \
+            dense_result.stats.selected_groups
+
+
+class TestDetection:
+    def test_detects_on_marked_document(self, embedded, book_shape):
+        decoder = WmXMLDecoder(SECRET, alpha=0.05)
+        outcome = decoder.detect(embedded.document, embedded.record,
+                                 book_shape,
+                                 expected=Watermark.from_message(MESSAGE))
+        assert outcome.match_ratio == 1.0
+        assert outcome.detected
+        assert outcome.query_survival == 1.0
+
+    def test_wrong_key_fails(self, embedded, book_shape):
+        decoder = WmXMLDecoder("wrong-key", alpha=0.05)
+        outcome = decoder.detect(embedded.document, embedded.record,
+                                 book_shape,
+                                 expected=Watermark.from_message(MESSAGE))
+        # Wrong key reads wrong parities for categorical and wrong
+        # expected bits everywhere: match ratio collapses to ~chance.
+        assert outcome.match_ratio < 1.0 or not outcome.detected
+
+    def test_unmarked_document_not_detected(self, db1_doc, embedded,
+                                            book_shape):
+        decoder = WmXMLDecoder(SECRET, alpha=1e-3)
+        outcome = decoder.detect(db1_doc, embedded.record, book_shape,
+                                 expected=Watermark.from_message(MESSAGE))
+        assert not outcome.detected
+
+    def test_detection_after_reorganization(self, embedded, book_shape,
+                                            publisher_shape):
+        db2 = reorganize(embedded.document, book_shape,
+                         publisher_shape).document
+        decoder = WmXMLDecoder(SECRET, alpha=0.05)
+        outcome = decoder.detect(db2, embedded.record, publisher_shape,
+                                 expected=Watermark.from_message(MESSAGE))
+        assert outcome.match_ratio == 1.0
+        assert outcome.detected
+
+    def test_no_rewriting_loses_watermark(self, embedded, book_shape,
+                                          publisher_shape):
+        db2 = reorganize(embedded.document, book_shape,
+                         publisher_shape).document
+        decoder = WmXMLDecoder(SECRET, alpha=0.05)
+        outcome = decoder.detect(db2, embedded.record, book_shape,
+                                 expected=Watermark.from_message(MESSAGE))
+        assert outcome.votes_total == 0
+        assert not outcome.detected
+
+    def test_blind_reconstruction_partial(self, embedded, book_shape):
+        decoder = WmXMLDecoder(SECRET)
+        outcome = decoder.detect(embedded.document, embedded.record,
+                                 book_shape)
+        wm = Watermark.from_message(MESSAGE)
+        recovered_indices = [
+            i for i, bit in enumerate(outcome.recovered_bits)
+            if bit is not None]
+        assert recovered_indices  # something recovered
+        assert all(outcome.recovered_bits[i] == wm.bits[i]
+                   for i in recovered_indices)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            WmXMLDecoder(SECRET, alpha=0.0)
+        with pytest.raises(ValueError):
+            WmXMLDecoder(SECRET, alpha=1.5)
+
+    def test_result_str(self, embedded, book_shape):
+        decoder = WmXMLDecoder(SECRET, alpha=0.05)
+        outcome = decoder.detect(embedded.document, embedded.record,
+                                 book_shape,
+                                 expected=Watermark.from_message(MESSAGE))
+        assert "votes match" in str(outcome)
+
+
+class TestRecordPersistence:
+    def test_json_roundtrip(self, embedded):
+        text = embedded.record.to_json()
+        loaded = WatermarkRecord.from_json(text)
+        assert loaded.gamma == embedded.record.gamma
+        assert loaded.nbits == embedded.record.nbits
+        assert len(loaded) == len(embedded.record)
+        assert loaded.queries[0] == embedded.record.queries[0]
+
+    def test_file_roundtrip(self, embedded, tmp_path):
+        path = tmp_path / "record.json"
+        embedded.record.save(str(path))
+        loaded = WatermarkRecord.load(str(path))
+        assert loaded.key_fingerprint == embedded.record.key_fingerprint
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError):
+            WatermarkRecord.from_json('{"format": "other"}')
+
+    def test_loaded_record_still_detects(self, embedded, book_shape):
+        loaded = WatermarkRecord.from_json(embedded.record.to_json())
+        decoder = WmXMLDecoder(SECRET, alpha=0.05)
+        outcome = decoder.detect(embedded.document, loaded, book_shape,
+                                 expected=Watermark.from_message(MESSAGE))
+        assert outcome.detected
+
+
+class TestUsability:
+    def test_marked_document_fully_usable(self, db1_doc, scheme, embedded,
+                                          book_shape):
+        baseline = UsabilityBaseline.snapshot(db1_doc, book_shape,
+                                              scheme.templates)
+        report = baseline.evaluate(embedded.document)
+        assert report.strict == 1.0
+        assert report.jaccard == 1.0
+        assert not report.destroyed()
+
+    def test_reorganised_document_fully_usable(self, db1_doc, scheme,
+                                               embedded, book_shape,
+                                               publisher_shape):
+        db2 = reorganize(embedded.document, book_shape,
+                         publisher_shape).document
+        baseline = UsabilityBaseline.snapshot(db1_doc, book_shape,
+                                              scheme.templates)
+        report = baseline.evaluate(db2, publisher_shape)
+        assert report.strict == 1.0
+
+    def test_damage_reduces_usability(self, db1_doc, scheme, book_shape):
+        baseline = UsabilityBaseline.snapshot(db1_doc, book_shape,
+                                              scheme.templates)
+        damaged = db1_doc.copy()
+        for title in damaged.root.iter_elements("title"):
+            title.set_text("DESTROYED")
+        report = baseline.evaluate(damaged)
+        assert report.strict == 0.0
+        assert report.destroyed()
+
+    def test_tolerance_absorbs_small_numeric_changes(self, db1_doc,
+                                                     book_shape):
+        templates = [UsabilityTemplate("year-of", "year", ("title",),
+                                       tolerance=0.002)]
+        baseline = UsabilityBaseline.snapshot(db1_doc, book_shape, templates)
+        perturbed = db1_doc.copy()
+        year = perturbed.root.find("book").find("year")
+        year.set_text("1999")  # within 0.2% of 1998
+        assert baseline.evaluate(perturbed).strict == 1.0
+
+    def test_zero_tolerance_counts_perturbation(self, db1_doc, book_shape):
+        templates = [UsabilityTemplate("year-of", "year", ("title",))]
+        baseline = UsabilityBaseline.snapshot(db1_doc, book_shape, templates)
+        perturbed = db1_doc.copy()
+        perturbed.root.find("book").find("year").set_text("1999")
+        report = baseline.evaluate(perturbed)
+        assert report.strict < 1.0
+
+    def test_partial_damage_jaccard(self, db1_doc, book_shape):
+        templates = [UsabilityTemplate("authors-of", "author", ("title",))]
+        baseline = UsabilityBaseline.snapshot(db1_doc, book_shape, templates)
+        damaged = db1_doc.copy()
+        # Remove one of the two authors of book 1.
+        book = damaged.root.find("book")
+        book.remove(book.child_elements("author")[1])
+        report = baseline.evaluate(damaged)
+        assert 0.0 < report.jaccard < 1.0
+        assert report.strict < 1.0
+
+    def test_template_validation(self):
+        with pytest.raises(ValueError):
+            UsabilityTemplate("t", "year", ())
+        with pytest.raises(ValueError):
+            UsabilityTemplate("t", "year", ("year",))
+        with pytest.raises(ValueError):
+            UsabilityTemplate("t", "year", ("title",), tolerance=-1)
+
+    def test_values_match(self):
+        assert values_match("5", "5", 0.0)
+        assert not values_match("5", "5.01", 0.0)
+        assert values_match("100", "100.5", 0.01)
+        assert not values_match("100", "102", 0.01)
+        assert not values_match("abc", "abd", 0.5)
+
+    def test_template_serialisation(self):
+        template = UsabilityTemplate("t", "year", ("title",), tolerance=0.01)
+        again = UsabilityTemplate.from_dict(template.to_dict())
+        assert again == template

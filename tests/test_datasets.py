@@ -1,0 +1,160 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import base64
+
+import pytest
+
+from repro.datasets import bibliography, jobs, library, paper
+from repro.semantics import discover_fds, discover_keys, infer_schema, is_valid
+from repro.xpath import select_strings
+
+
+class TestBibliography:
+    CONFIG = bibliography.BibliographyConfig(books=40, editors=6, seed=3)
+
+    def test_deterministic(self):
+        a = bibliography.generate_document(self.CONFIG)
+        b = bibliography.generate_document(self.CONFIG)
+        assert a.equals(b)
+
+    def test_seed_changes_output(self):
+        other = bibliography.BibliographyConfig(books=40, editors=6, seed=4)
+        a = bibliography.generate_document(self.CONFIG)
+        b = bibliography.generate_document(other)
+        assert not a.equals(b)
+
+    def test_row_count_scales(self):
+        rows = bibliography.generate_rows(self.CONFIG)
+        assert len(rows) >= 40  # one or more authors per book
+
+    def test_key_holds(self):
+        doc = bibliography.generate_document(self.CONFIG)
+        assert bibliography.semantic_key().holds(doc)
+
+    def test_fd_holds_with_redundancy(self):
+        doc = bibliography.generate_document(self.CONFIG)
+        fd = bibliography.semantic_fd()
+        assert fd.holds(doc)
+        assert fd.duplicated_groups(doc)  # redundancy actually exists
+
+    def test_shapes_cover_fields(self):
+        source = bibliography.book_shape()
+        for other in (bibliography.publisher_shape(),
+                      bibliography.editor_shape()):
+            assert source.dropped_fields(other) == []
+
+    def test_discovery_recovers_semantics(self):
+        doc = bibliography.generate_document(self.CONFIG)
+        rows = bibliography.book_shape().shred(doc)
+        keys = discover_keys(rows, ["title", "publisher", "editor"])
+        assert ("title",) in [k.fields for k in keys]
+        fds = discover_fds(rows, ["editor", "publisher"])
+        assert (("editor",), "publisher") in [(f.lhs, f.rhs) for f in fds]
+
+    def test_inferred_schema_validates(self):
+        doc = bibliography.generate_document(self.CONFIG)
+        assert is_valid(infer_schema(doc), doc)
+
+    def test_scheme_constructs(self):
+        scheme = bibliography.default_scheme(gamma=8)
+        assert scheme.gamma == 8
+        assert {c.field for c in scheme.carriers} == {
+            "year", "price", "publisher"}
+
+
+class TestJobs:
+    CONFIG = jobs.JobsConfig(jobs=50, companies=5, cities=4, seed=9)
+
+    def test_deterministic(self):
+        a = jobs.generate_document(self.CONFIG)
+        b = jobs.generate_document(self.CONFIG)
+        assert a.equals(b)
+
+    def test_reference_key_unique(self):
+        doc = jobs.generate_document(self.CONFIG)
+        assert jobs.semantic_key().holds(doc)
+        refs = select_strings(doc, "/jobs/job/@reference")
+        assert len(refs) == 50
+
+    def test_fds_hold(self):
+        doc = jobs.generate_document(self.CONFIG)
+        for fd in jobs.semantic_fds():
+            assert fd.holds(doc), fd.name
+            assert fd.duplicated_groups(doc), fd.name
+
+    def test_salary_numeric(self):
+        doc = jobs.generate_document(self.CONFIG)
+        for salary in select_strings(doc, "/jobs/job/salary"):
+            assert 40_000 <= int(salary) <= 200_000
+
+    def test_posted_dates_valid(self):
+        from repro.semantics import LeafType
+        doc = jobs.generate_document(self.CONFIG)
+        for posted in select_strings(doc, "/jobs/job/posted"):
+            assert LeafType.DATE.accepts(posted)
+
+    def test_alternate_shapes_lossless(self):
+        source = jobs.listing_shape()
+        for other in (jobs.by_company_shape(), jobs.by_city_shape()):
+            assert source.dropped_fields(other) == []
+
+    def test_scheme_constructs(self):
+        scheme = jobs.default_scheme()
+        assert {c.field for c in scheme.carriers} == {
+            "salary", "posted", "position", "industry"}
+
+
+class TestLibrary:
+    CONFIG = library.LibraryConfig(items=30, categories=4, seed=2,
+                                   image_bytes=64)
+
+    def test_deterministic(self):
+        a = library.generate_document(self.CONFIG)
+        b = library.generate_document(self.CONFIG)
+        assert a.equals(b)
+
+    def test_images_are_base64(self):
+        doc = library.generate_document(self.CONFIG)
+        images = select_strings(doc, "/library/item/image")
+        assert len(images) == 30
+        for image in images:
+            assert len(base64.b64decode(image)) == 64
+
+    def test_key_and_fd(self):
+        doc = library.generate_document(self.CONFIG)
+        assert library.semantic_key().holds(doc)
+        assert library.semantic_fd().holds(doc)
+
+    def test_by_category_lossless(self):
+        assert library.catalogue_shape().dropped_fields(
+            library.by_category_shape()) == []
+
+    def test_scheme_constructs(self):
+        scheme = library.default_scheme()
+        assert {c.field for c in scheme.carriers} == {
+            "image", "pages", "shelf"}
+
+
+class TestPaperDocuments:
+    def test_db1_parses(self):
+        doc = paper.figure1_db1()
+        assert len(doc.root.child_elements("book")) == 2
+        assert select_strings(doc, "/db/book/@publisher") == ["mkp", "acm"]
+
+    def test_db2_parses(self):
+        doc = paper.figure1_db2()
+        assert select_strings(doc, "/db/publisher/@name") == ["mkp", "acm"]
+
+    def test_paper_example_query_pair(self):
+        """The §2.1 usability example: both organisations answer alike."""
+        db1 = paper.figure1_db1()
+        db2 = paper.figure1_db2()
+        # On db1 the second book uses <writer>; the paper's query for
+        # db1 therefore targets writer.
+        a1 = select_strings(
+            db1, "/db/book[title='Database Design']/writer")
+        a2 = select_strings(
+            db2,
+            "/db/publisher/author[book='Database Design']/@name")
+        assert set(a2) <= set(a1)
+        assert a2 == ["Berstein"]

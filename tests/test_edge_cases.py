@@ -1,0 +1,172 @@
+"""Edge cases across the pipeline: empty inputs, extreme parameters,
+structural misuse — the failure modes a downstream user will hit."""
+
+import pytest
+
+from repro.attacks import CollusionAttack, ReductionAttack
+from repro.core import (
+    CarrierSpec,
+    KeyIdentifier,
+    UsabilityBaseline,
+    UsabilityTemplate,
+    Watermark,
+    WatermarkRecord,
+    WatermarkingScheme,
+    WmXMLDecoder,
+    WmXMLEncoder,
+)
+from repro.rewriting import LogicalExecutor, LogicalQuery
+from repro.semantics import Row, level, shape
+from repro.xmlmodel import parse
+
+FLAT = shape("flat", "db", [
+    level("item", group_by=["key"], attributes={"key": "key"},
+          leaves={"value": "value"}),
+])
+
+
+def make_scheme(gamma=1):
+    return WatermarkingScheme(
+        shape=FLAT,
+        carriers=[CarrierSpec.create("value", "numeric",
+                                     KeyIdentifier(("key",)))],
+        gamma=gamma)
+
+
+def make_doc(n=10):
+    rows = [Row.from_values({"key": f"k{i}", "value": str(100 + i)})
+            for i in range(n)]
+    return FLAT.build(rows)
+
+
+class TestEmptyAndTiny:
+    def test_empty_document_embed(self):
+        doc = parse("<db/>")
+        result = WmXMLEncoder(make_scheme(), "k").embed(
+            doc, Watermark.from_message("M"))
+        assert result.stats.capacity_groups == 0
+        assert len(result.record) == 0
+
+    def test_empty_record_detection(self):
+        doc = make_doc()
+        record = WatermarkRecord(gamma=1, nbits=8, shape_name="flat",
+                                 key_fingerprint="x")
+        outcome = WmXMLDecoder("k").detect(doc, record, FLAT,
+                                           expected=Watermark([1] * 8))
+        assert not outcome.detected
+        assert outcome.votes_total == 0
+
+    def test_single_entity_document(self):
+        doc = make_doc(1)
+        wm = Watermark([1])
+        result = WmXMLEncoder(make_scheme(), "k").embed(doc, wm)
+        outcome = WmXMLDecoder("k", alpha=0.6).detect(
+            result.document, result.record, FLAT, expected=wm)
+        assert outcome.votes_matching == outcome.votes_total == 1
+
+    def test_watermark_longer_than_capacity(self):
+        # More bits than carrier groups: detection still verifies what
+        # was embedded (most positions simply get no votes).
+        doc = make_doc(4)
+        wm = Watermark.from_message("a long ownership message")
+        result = WmXMLEncoder(make_scheme(), "k").embed(doc, wm)
+        outcome = WmXMLDecoder("k").detect(result.document, result.record,
+                                           FLAT, expected=wm)
+        assert outcome.votes_matching == outcome.votes_total == 4
+        assert outcome.recovered_fraction < 0.1
+
+    def test_gamma_exceeding_capacity(self):
+        doc = make_doc(5)
+        result = WmXMLEncoder(make_scheme(gamma=10_000), "k").embed(
+            doc, Watermark.from_message("M"))
+        # With overwhelming probability nothing is selected.
+        assert result.stats.selected_groups <= 1
+
+    def test_executor_on_empty_document(self):
+        executor = LogicalExecutor(parse("<db/>"), FLAT)
+        assert executor.row_count == 0
+        assert executor.execute(LogicalQuery.create(
+            "value", {"key": "k0"})) == []
+
+
+class TestNestingEdges:
+    def test_rows_missing_group_field_skipped(self):
+        rows = [
+            Row.from_values({"key": "a", "value": "1"}),
+            Row.from_values({"value": "2"}),  # no key: cannot be placed
+        ]
+        doc = FLAT.build(rows)
+        assert len(doc.root.child_elements("item")) == 1
+
+    def test_empty_relation_builds_bare_root(self):
+        doc = FLAT.build([])
+        assert doc.root.tag == "db"
+        assert doc.root.children == []
+
+    def test_duplicate_key_rows_grouped(self):
+        rows = [
+            Row.from_values({"key": "a", "value": "1"}),
+            Row.from_values({"key": "a", "value": "2"}),
+        ]
+        doc = FLAT.build(rows)
+        items = doc.root.child_elements("item")
+        assert len(items) == 1
+        values = [el.text for el in items[0].child_elements("value")]
+        assert values == ["1", "2"]
+
+
+class TestCollusionEdges:
+    def test_structural_misalignment_rejected(self):
+        a = make_doc(5)
+        b = make_doc(6)  # different structure
+        attack = CollusionAttack([a, b])
+        with pytest.raises(ValueError):
+            attack.apply(a)
+
+    def test_identical_copies_merge_to_same(self):
+        doc = make_doc(5)
+        attack = CollusionAttack([doc.copy(), doc.copy()],
+                                 strategy="majority")
+        report = attack.apply(doc)
+        assert report.modifications == 0
+        assert report.document.equals(doc)
+
+
+class TestUsabilityEdges:
+    def test_no_templates_reports_zero_queries(self):
+        doc = make_doc()
+        baseline = UsabilityBaseline.snapshot(doc, FLAT, [])
+        report = baseline.evaluate(doc)
+        assert report.queries == 0
+        assert report.strict == 0.0
+
+    def test_casefold_normalisation(self):
+        template = UsabilityTemplate("t", "value", ("key",), casefold=True)
+        assert template.normalise({"AbC"}) == {"abc"}
+        plain = UsabilityTemplate("t", "value", ("key",))
+        assert plain.normalise({"AbC"}) == {"AbC"}
+
+    def test_evaluation_on_empty_document(self):
+        doc = make_doc()
+        templates = [UsabilityTemplate("t", "value", ("key",))]
+        baseline = UsabilityBaseline.snapshot(doc, FLAT, templates)
+        report = baseline.evaluate(parse("<db/>"))
+        assert report.strict == 0.0
+        assert report.destroyed()
+
+
+class TestAttackEdges:
+    def test_reduction_of_empty_document(self):
+        report = ReductionAttack(0.5).apply(parse("<db/>"))
+        assert report.modifications == 0
+
+    def test_detection_under_total_reduction(self):
+        doc = make_doc(10)
+        wm = Watermark.from_message("M")
+        result = WmXMLEncoder(make_scheme(), "k").embed(doc, wm)
+        emptied = ReductionAttack(0.0).apply(result.document).document
+        outcome = WmXMLDecoder("k").detect(emptied, result.record, FLAT,
+                                           expected=wm)
+        assert outcome.votes_total == 0
+        assert not outcome.detected
+        assert outcome.query_survival == 0.0

@@ -1,0 +1,32 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are the public face of the library; each one asserts its own
+scenario internally, so a clean exit is a meaningful end-to-end check.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert "OK" in completed.stdout
+
+
+def test_examples_present():
+    names = {path.name for path in EXAMPLES}
+    assert {"quickstart.py", "job_agent.py", "digital_library.py",
+            "figure1_reorganization.py", "traitor_tracing.py"} <= names

@@ -1,0 +1,189 @@
+"""Cross-module integration tests: the full WmXML lifecycle per dataset.
+
+Each scenario exercises generate -> validate -> embed -> attack ->
+(rewrite) -> detect -> usability in one flow, over all three demo
+domains and both baselines where relevant.
+"""
+
+import pytest
+
+from repro.attacks import (
+    CompositeAttack,
+    NodeInsertionAttack,
+    RedundancyUnificationAttack,
+    ReductionAttack,
+    ReorganizationAttack,
+    SiblingShuffleAttack,
+    ValueAlterationAttack,
+)
+from repro.core import (
+    UsabilityBaseline,
+    Watermark,
+    WatermarkRecord,
+    WmXMLDecoder,
+    WmXMLEncoder,
+)
+from repro.datasets import bibliography, jobs, library
+from repro.semantics import infer_schema, is_valid
+from repro.xmlmodel import parse, serialize
+
+KEY = "integration-secret"
+MESSAGE = "(c) owner 2005"
+
+
+def lifecycle(module, config, source_shape, alt_shape, fd):
+    """Run the full pipeline for one dataset; return all artefacts."""
+    document = module.generate_document(config)
+    scheme = module.default_scheme(gamma=2)
+    watermark = Watermark.from_message(MESSAGE)
+    encoder = WmXMLEncoder(scheme, KEY)
+    result = encoder.embed(document, watermark)
+    decoder = WmXMLDecoder(KEY, alpha=1e-3)
+    return document, scheme, watermark, result, decoder
+
+
+class TestBibliographyLifecycle:
+    CONFIG = bibliography.BibliographyConfig(books=100, editors=8, seed=31)
+
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        return lifecycle(bibliography, self.CONFIG,
+                         bibliography.book_shape(),
+                         bibliography.publisher_shape(),
+                         bibliography.semantic_fd())
+
+    def test_marked_document_still_schema_valid(self, pipeline):
+        document, scheme, watermark, result, decoder = pipeline
+        schema = infer_schema(document)
+        assert is_valid(schema, result.document)
+
+    def test_marked_document_survives_serialisation(self, pipeline):
+        document, scheme, watermark, result, decoder = pipeline
+        reloaded = parse(serialize(result.document))
+        outcome = decoder.detect(reloaded, result.record, scheme.shape,
+                                 expected=watermark)
+        assert outcome.detected and outcome.match_ratio == 1.0
+
+    def test_record_survives_persistence(self, pipeline, tmp_path):
+        document, scheme, watermark, result, decoder = pipeline
+        path = tmp_path / "record.json"
+        result.record.save(str(path))
+        loaded = WatermarkRecord.load(str(path))
+        outcome = decoder.detect(result.document, loaded, scheme.shape,
+                                 expected=watermark)
+        assert outcome.detected
+
+    def test_combined_attack_chain(self, pipeline):
+        document, scheme, watermark, result, decoder = pipeline
+        chain = CompositeAttack([
+            ValueAlterationAttack(0.05, seed=2),
+            ReductionAttack(0.7, seed=2),
+            SiblingShuffleAttack(seed=2),
+            RedundancyUnificationAttack(bibliography.semantic_fd(),
+                                        strategy="majority", seed=2),
+            ReorganizationAttack(bibliography.book_shape(),
+                                 bibliography.publisher_shape()),
+        ])
+        stolen = chain.apply(result.document).document
+        outcome = decoder.detect(stolen, result.record,
+                                 bibliography.publisher_shape(),
+                                 expected=watermark)
+        assert outcome.detected
+
+    def test_editor_shape_roundtrip_detection(self, pipeline):
+        document, scheme, watermark, result, decoder = pipeline
+        via = ReorganizationAttack(bibliography.book_shape(),
+                                   bibliography.editor_shape())
+        stolen = via.apply(result.document).document
+        outcome = decoder.detect(stolen, result.record,
+                                 bibliography.editor_shape(),
+                                 expected=watermark)
+        assert outcome.detected
+
+
+class TestJobsLifecycle:
+    CONFIG = jobs.JobsConfig(jobs=120, companies=8, cities=6, seed=37)
+
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        return lifecycle(jobs, self.CONFIG, jobs.listing_shape(),
+                         jobs.by_company_shape(), jobs.semantic_fds()[0])
+
+    def test_all_four_carrier_types_used(self, pipeline):
+        document, scheme, watermark, result, decoder = pipeline
+        assert set(result.stats.per_field) == {
+            "salary", "posted", "position", "industry"}
+
+    def test_detection_via_both_thief_layouts(self, pipeline):
+        document, scheme, watermark, result, decoder = pipeline
+        for layout in (jobs.by_company_shape(), jobs.by_city_shape()):
+            stolen = ReorganizationAttack(jobs.listing_shape(),
+                                          layout).apply(
+                result.document).document
+            outcome = decoder.detect(stolen, result.record, layout,
+                                     expected=watermark)
+            assert outcome.detected, layout.name
+            assert outcome.match_ratio == 1.0
+
+    def test_insertion_attack_does_not_poison(self, pipeline):
+        # Fabricated postings do not satisfy the stored identity queries'
+        # key bindings, so they add (almost) no votes and never flip bits.
+        document, scheme, watermark, result, decoder = pipeline
+        noisy = NodeInsertionAttack(0.3, seed=5).apply(
+            result.document).document
+        outcome = decoder.detect(noisy, result.record, scheme.shape,
+                                 expected=watermark)
+        assert outcome.detected
+
+    def test_usability_after_embedding(self, pipeline):
+        document, scheme, watermark, result, decoder = pipeline
+        baseline = UsabilityBaseline.snapshot(document, scheme.shape,
+                                              scheme.templates)
+        report = baseline.evaluate(result.document)
+        assert report.strict > 0.95
+        assert not report.destroyed()
+
+
+class TestLibraryLifecycle:
+    CONFIG = library.LibraryConfig(items=80, categories=5, seed=41,
+                                   image_bytes=128)
+
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        return lifecycle(library, self.CONFIG, library.catalogue_shape(),
+                         library.by_category_shape(), library.semantic_fd())
+
+    def test_binary_payloads_detectable(self, pipeline):
+        document, scheme, watermark, result, decoder = pipeline
+        outcome = decoder.detect(result.document, result.record,
+                                 scheme.shape, expected=watermark)
+        assert outcome.detected
+        assert outcome.match_ratio == 1.0
+
+    def test_by_category_reorganization(self, pipeline):
+        document, scheme, watermark, result, decoder = pipeline
+        stolen = ReorganizationAttack(
+            library.catalogue_shape(),
+            library.by_category_shape()).apply(result.document).document
+        outcome = decoder.detect(stolen, result.record,
+                                 library.by_category_shape(),
+                                 expected=watermark)
+        assert outcome.detected
+
+    def test_images_remain_well_formed_base64(self, pipeline):
+        import base64
+        document, scheme, watermark, result, decoder = pipeline
+        from repro.xpath import select_strings
+        for payload in select_strings(result.document,
+                                      "/library/item/image"):
+            assert len(base64.b64decode(payload)) == self.CONFIG.image_bytes
+
+    def test_shelf_fd_unification_harmless(self, pipeline):
+        document, scheme, watermark, result, decoder = pipeline
+        attack = RedundancyUnificationAttack(library.semantic_fd(),
+                                             strategy="majority", seed=3)
+        report = attack.apply(result.document)
+        assert report.modifications == 0  # duplicates bit-identical
+        outcome = decoder.detect(report.document, result.record,
+                                 scheme.shape, expected=watermark)
+        assert outcome.detected

@@ -1,0 +1,198 @@
+"""Property-based tests for the watermarking core (hypothesis)."""
+
+import base64
+
+import hypothesis.strategies as st
+from hypothesis import assume, given, settings
+
+from repro.core import KeyedPRF, Watermark, create_algorithm, identity_string
+from repro.core.watermark import VoteTally, binomial_pvalue
+
+PRF = KeyedPRF("property-test-key")
+OTHER_PRF = KeyedPRF("a-different-key")
+
+identities = st.text(min_size=1, max_size=60)
+bits = st.integers(min_value=0, max_value=1)
+
+
+class TestWatermarkProperties:
+    @given(st.text(min_size=1, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_message_roundtrip(self, message):
+        assert Watermark.from_message(message).to_message() == message
+
+    @given(st.lists(bits, min_size=1, max_size=128))
+    @settings(max_examples=100, deadline=None)
+    def test_bits_preserved(self, bit_list):
+        assert list(Watermark(bit_list).bits) == bit_list
+
+    @given(st.lists(st.tuples(bits, bits), min_size=1, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_hamming_symmetry_and_identity(self, pairs):
+        a = [pair[0] for pair in pairs]
+        b = [pair[1] for pair in pairs]
+        wa, wb = Watermark(a), Watermark(b)
+        assert wa.hamming_distance(wb) == wb.hamming_distance(wa)
+        assert wa.hamming_distance(wa) == 0
+
+
+class TestSelectionProperties:
+    @given(identities, st.integers(min_value=1, max_value=64))
+    @settings(max_examples=200, deadline=None)
+    def test_selection_deterministic(self, identity, gamma):
+        assert PRF.selects(identity, gamma) == PRF.selects(identity, gamma)
+
+    @given(identities, st.integers(min_value=1, max_value=256))
+    @settings(max_examples=200, deadline=None)
+    def test_bit_index_in_range(self, identity, nbits):
+        index = PRF.bit_index(identity, nbits)
+        assert 0 <= index < nbits
+
+    @given(identities)
+    @settings(max_examples=100, deadline=None)
+    def test_gamma_one_always_selects(self, identity):
+        assert PRF.selects(identity, 1)
+
+    @given(st.lists(st.tuples(st.text(max_size=10), st.text(max_size=10)),
+                    max_size=4),
+           st.text(min_size=1, max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_identity_string_order_invariant(self, bindings, field):
+        forward = identity_string(field, bindings)
+        backward = identity_string(field, list(reversed(bindings)))
+        assert forward == backward
+
+
+class TestNumericAlgorithmProperties:
+    ALGO0 = create_algorithm("numeric")
+    ALGO2 = create_algorithm("numeric", {"fraction_digits": 2})
+
+    @given(st.integers(min_value=-10**9, max_value=10**9), bits, identities)
+    @settings(max_examples=200, deadline=None)
+    def test_integer_roundtrip(self, value, bit, identity):
+        marked = self.ALGO0.embed(str(value), bit, PRF, identity)
+        assert self.ALGO0.extract(marked, PRF, identity) == bit
+
+    @given(st.integers(min_value=-10**9, max_value=10**9), bits, identities)
+    @settings(max_examples=200, deadline=None)
+    def test_integer_perturbation_bounded(self, value, bit, identity):
+        marked = self.ALGO0.embed(str(value), bit, PRF, identity)
+        assert abs(int(marked) - value) <= 1
+
+    @given(st.integers(min_value=-10**6, max_value=10**6), bits, identities)
+    @settings(max_examples=200, deadline=None)
+    def test_embedding_idempotent(self, value, bit, identity):
+        once = self.ALGO0.embed(str(value), bit, PRF, identity)
+        assert self.ALGO0.embed(once, bit, PRF, identity) == once
+
+    @given(st.decimals(min_value=-99999, max_value=99999, places=2),
+           bits, identities)
+    @settings(max_examples=200, deadline=None)
+    def test_decimal_roundtrip(self, value, bit, identity):
+        marked = self.ALGO2.embed(str(value), bit, PRF, identity)
+        assert self.ALGO2.extract(marked, PRF, identity) == bit
+        assert abs(float(marked) - float(value)) <= 0.01 + 1e-9
+
+
+class TestTextAlgorithmProperties:
+    ALGO = create_algorithm("text-case")
+
+    @given(st.text(alphabet=st.characters(codec="ascii",
+                                          categories=("Lu", "Ll", "Zs")),
+                   min_size=2, max_size=40),
+           bits, identities)
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_when_applicable(self, value, bit, identity):
+        assume(self.ALGO.applicable(value))
+        marked = self.ALGO.embed(value, bit, PRF, identity)
+        assert self.ALGO.extract(marked, PRF, identity) == bit
+        # Perturbation only ever toggles case.
+        assert marked.lower() == value.lower()
+        assert sum(a != b for a, b in zip(marked, value)) <= 1
+
+
+class TestBinaryAlgorithmProperties:
+    ALGO = create_algorithm("binary-lsb", {"spread": 5})
+
+    @given(st.binary(min_size=1, max_size=200), bits, identities)
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip(self, payload, bit, identity):
+        value = base64.b64encode(payload).decode("ascii")
+        marked = self.ALGO.embed(value, bit, PRF, identity)
+        assert self.ALGO.extract(marked, PRF, identity) == bit
+
+    @given(st.binary(min_size=1, max_size=200), bits, identities)
+    @settings(max_examples=150, deadline=None)
+    def test_payload_length_preserved_lsb_only(self, payload, bit, identity):
+        value = base64.b64encode(payload).decode("ascii")
+        marked = base64.b64decode(self.ALGO.embed(value, bit, PRF, identity))
+        assert len(marked) == len(payload)
+        for before, after in zip(payload, marked):
+            assert before | 1 == after | 1  # only the LSB may differ
+
+
+class TestDateAlgorithmProperties:
+    ALGO = create_algorithm("date")
+
+    @given(st.integers(min_value=1, max_value=9999),
+           st.integers(min_value=1, max_value=12),
+           st.integers(min_value=1, max_value=31),
+           bits, identities)
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_and_validity(self, year, month, day, bit, identity):
+        value = f"{year:04d}-{month:02d}-{day:02d}"
+        marked = self.ALGO.embed(value, bit, PRF, identity)
+        assert self.ALGO.extract(marked, PRF, identity) == bit
+        marked_day = int(marked[-2:])
+        assert 1 <= marked_day <= 31
+        assert abs(marked_day - day) <= 3
+        assert marked[:8] == value[:8]  # year/month untouched
+
+
+class TestCategoricalProperties:
+    @given(st.lists(st.text(min_size=1, max_size=8), min_size=2,
+                    max_size=12, unique=True),
+           bits, identities)
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip_within_domain(self, domain, bit, identity):
+        algo = create_algorithm("categorical", {"domain": domain})
+        ordered = PRF.keyed_order("categorical-order", domain)
+        for value in domain:
+            if len(domain) % 2 == 1 and value == ordered[-1]:
+                continue  # the unpaired element cannot carry a bit
+            marked = algo.embed(value, bit, PRF, identity)
+            assert marked in domain
+            assert algo.extract(marked, PRF, identity) == bit
+
+
+class TestVoteTallyProperties:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=15), bits),
+                    max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_total_votes_conserved(self, votes):
+        tally = VoteTally()
+        for index, bit in votes:
+            tally.add(index, bit)
+        assert tally.total_votes == len(votes)
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=15), bits),
+                    max_size=200),
+           st.lists(bits, min_size=16, max_size=16))
+    @settings(max_examples=100, deadline=None)
+    def test_matching_plus_mismatching_is_total(self, votes, expected_bits):
+        tally = VoteTally()
+        for index, bit in votes:
+            tally.add(index, bit)
+        expected = Watermark(expected_bits)
+        matching, total = tally.matching_votes(expected)
+        assert 0 <= matching <= total == len(votes)
+
+    @given(st.integers(min_value=0, max_value=500),
+           st.integers(min_value=0, max_value=500))
+    @settings(max_examples=200, deadline=None)
+    def test_pvalue_bounds(self, matches, extra):
+        total = matches + extra
+        p = binomial_pvalue(matches, total)
+        assert 0.0 <= p <= 1.0
+        if total > 0 and matches == total:
+            assert p == 2.0 ** -total or p < 1e-9 or total < 60

@@ -1,0 +1,147 @@
+"""Property-based tests for the record/shape layer and the pipeline.
+
+The central invariants behind WmXML's reorganisation resistance:
+
+* build-then-shred recovers exactly the logical relation,
+* reorganisation between shapes preserves the relation,
+* embed-then-detect is the identity on watermark bits for any relation
+  and any key.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import assume, given, settings
+
+from repro.core import (
+    CarrierSpec,
+    KeyIdentifier,
+    Watermark,
+    WatermarkingScheme,
+    WmXMLDecoder,
+    WmXMLEncoder,
+)
+from repro.rewriting import LogicalQuery, compile_logical, reorganize
+from repro.semantics import Row, level, shape
+from repro.xpath import select_strings
+
+# -- relation strategy ------------------------------------------------------------
+
+# Values must survive XML round-trips and field-value comparisons; keep
+# to printable, strip-stable strings.
+values = st.text(
+    alphabet=st.characters(codec="ascii", categories=("Lu", "Ll", "Nd")),
+    min_size=1, max_size=8)
+years = st.integers(min_value=1900, max_value=2099).map(str)
+
+
+@st.composite
+def relations(draw):
+    """A small publications-like relation with a unique key field."""
+    size = draw(st.integers(min_value=1, max_value=12))
+    keys = draw(st.lists(values, min_size=size, max_size=size, unique=True))
+    rows = []
+    for key in keys:
+        rows.append(Row.from_values({
+            "title": f"T{key}",
+            "publisher": draw(values),
+            "year": draw(years),
+        }))
+    return rows
+
+
+FLAT = shape("flat", "db", [
+    level("book", group_by=["title"],
+          attributes={"publisher": "publisher"},
+          leaves={"title": "title", "year": "year"}),
+])
+
+NESTED = shape("nested", "db", [
+    level("publisher", group_by=["publisher"],
+          attributes={"name": "publisher"}),
+    level("book", group_by=["title"], text_field="title",
+          leaves={"year": "year"}),
+])
+
+FIELDS = ("title", "publisher", "year")
+
+
+def relation_of(document, document_shape):
+    return {row.key(FIELDS) for row in document_shape.shred(document)}
+
+
+class TestShapeRoundTrip:
+    @given(relations())
+    @settings(max_examples=80, deadline=None)
+    def test_build_shred_identity(self, rows):
+        document = FLAT.build(rows)
+        assert relation_of(document, FLAT) == {r.key(FIELDS) for r in rows}
+
+    @given(relations())
+    @settings(max_examples=80, deadline=None)
+    def test_reorganization_preserves_relation(self, rows):
+        document = FLAT.build(rows)
+        reorganised = reorganize(document, FLAT, NESTED).document
+        assert relation_of(reorganised, NESTED) == \
+            relation_of(document, FLAT)
+
+    @given(relations())
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_through_nested(self, rows):
+        document = FLAT.build(rows)
+        there = reorganize(document, FLAT, NESTED).document
+        back = reorganize(there, NESTED, FLAT).document
+        assert relation_of(back, FLAT) == relation_of(document, FLAT)
+
+
+class TestQueryRewritingProperty:
+    @given(relations())
+    @settings(max_examples=60, deadline=None)
+    def test_rewritten_answers_agree(self, rows):
+        document = FLAT.build(rows)
+        reorganised = reorganize(document, FLAT, NESTED).document
+        for row in rows:
+            query = LogicalQuery.create("year", {"title": row["title"]})
+            flat_answer = set(select_strings(
+                document, compile_logical(query, FLAT)))
+            nested_answer = set(select_strings(
+                reorganised, compile_logical(query, NESTED)))
+            assert flat_answer == nested_answer
+
+
+class TestEmbedDetectProperty:
+    @given(relations(),
+           st.text(min_size=1, max_size=6,
+                   alphabet=st.characters(codec="ascii",
+                                          categories=("Lu", "Ll", "Nd"))),
+           st.text(min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_detection_identity(self, rows, secret_key, message):
+        scheme = WatermarkingScheme(
+            shape=FLAT,
+            carriers=[CarrierSpec.create("year", "numeric",
+                                         KeyIdentifier(("title",)))],
+            gamma=1)
+        document = FLAT.build(rows)
+        watermark = Watermark.from_message(message)
+        result = WmXMLEncoder(scheme, secret_key).embed(document, watermark)
+        outcome = WmXMLDecoder(secret_key).detect(
+            result.document, result.record, FLAT, expected=watermark)
+        # Every vote must agree with the embedded watermark.
+        assert outcome.votes_matching == outcome.votes_total
+        assert outcome.votes_total >= len(rows)
+
+    @given(relations(), st.text(min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_detection_after_reorganization(self, rows, message):
+        scheme = WatermarkingScheme(
+            shape=FLAT,
+            carriers=[CarrierSpec.create("year", "numeric",
+                                         KeyIdentifier(("title",)))],
+            gamma=1)
+        document = FLAT.build(rows)
+        watermark = Watermark.from_message(message)
+        result = WmXMLEncoder(scheme, "prop-key").embed(document, watermark)
+        reorganised = reorganize(result.document, FLAT, NESTED).document
+        outcome = WmXMLDecoder("prop-key").detect(
+            reorganised, result.record, NESTED, expected=watermark)
+        assert outcome.votes_matching == outcome.votes_total
+        assert outcome.votes_total >= len(rows)

@@ -1,0 +1,35 @@
+"""Tests for the full-report generator (repro.harness.report)."""
+
+from repro.harness import ExperimentConfig, render_report, run_all, write_report
+from repro.harness.report import ORDER
+
+TINY = ExperimentConfig(books=25, editors=5, seed=3)
+
+
+class TestRunAll:
+    def test_runs_every_experiment_in_order(self):
+        progress: list[str] = []
+        tables = run_all(TINY, progress=progress.append)
+        assert len(tables) == len(ORDER)
+        assert len(progress) == len(ORDER)
+        assert progress[0].startswith("running e1")
+
+    def test_tables_carry_config_note(self):
+        tables = run_all(TINY)
+        for table in tables:
+            assert any("books=25" in note for note in table.notes)
+
+
+class TestRendering:
+    def test_report_contains_all_titles(self):
+        tables = run_all(TINY)
+        text = render_report(tables)
+        assert "WmXML experiment report" in text
+        assert "E1 (Figure 1)" in text
+        assert "E10: false-positive" in text
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "report.txt"
+        text = write_report(str(path), TINY)
+        assert path.read_text(encoding="utf-8") == text
+        assert "E5 (attack A)" in text

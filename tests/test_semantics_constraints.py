@@ -1,0 +1,159 @@
+"""Unit tests for XML keys and functional dependencies."""
+
+import pytest
+
+from repro.semantics import ConstraintError, XMLFD, XMLKey
+from repro.xmlmodel import parse
+
+
+class TestXMLKeyDefinition:
+    def test_requires_fields(self):
+        with pytest.raises(ConstraintError):
+            XMLKey("k", "/db", "book", ())
+
+    def test_context_must_be_absolute(self):
+        with pytest.raises(ConstraintError):
+            XMLKey("k", "db", "book", ("title",))
+
+    def test_target_must_be_relative(self):
+        with pytest.raises(ConstraintError):
+            XMLKey("k", "/db", "/book", ("title",))
+
+    def test_render(self):
+        key = XMLKey("book-key", "/db", "book", ("title",))
+        assert "book-key" in key.render()
+
+
+class TestXMLKeyChecking:
+    KEY = XMLKey("book-key", "/db", "book", ("title",))
+
+    def test_holds_on_unique_titles(self, db1_doc):
+        assert self.KEY.holds(db1_doc)
+        assert self.KEY.check(db1_doc) == []
+
+    def test_duplicate_detected(self):
+        doc = parse("<db><book><title>Same</title></book>"
+                    "<book><title>Same</title></book></db>")
+        violations = self.KEY.check(doc)
+        assert len(violations) == 1
+        assert "duplicate key" in violations[0].message
+
+    def test_missing_field_detected(self):
+        doc = parse("<db><book><title>A</title></book><book/></db>")
+        violations = self.KEY.check(doc)
+        assert any("missing" in v.message for v in violations)
+
+    def test_multi_valued_field_detected(self):
+        doc = parse("<db><book><title>A</title><title>B</title></book></db>")
+        violations = self.KEY.check(doc)
+        assert len(violations) == 1
+
+    def test_index(self, db1_doc):
+        index = self.KEY.index(db1_doc)
+        assert ("Database Design",) in index
+        assert index[("Database Design",)].find_text("editor") == "Gamer"
+
+    def test_key_of(self, db1_doc):
+        book = db1_doc.root.child_elements("book")[0]
+        assert self.KEY.key_of(book) == ("Readings in Database Systems",)
+
+    def test_attribute_field(self, db1_doc):
+        key = XMLKey("pub-title", "/db", "book", ("@publisher", "title"))
+        assert key.holds(db1_doc)
+        book = db1_doc.root.child_elements("book")[0]
+        assert key.key_of(book) == ("mkp", "Readings in Database Systems")
+
+    def test_per_context_scoping(self):
+        # Same title under different contexts is not a violation.
+        doc = parse("<lib><shelf><b><t>X</t></b></shelf>"
+                    "<shelf><b><t>X</t></b></shelf></lib>")
+        key = XMLKey("k", "/lib/shelf", "b", ("t",))
+        assert key.holds(doc)
+        global_key = XMLKey("g", "/lib", "shelf/b", ("t",))
+        assert not global_key.holds(doc)
+
+    def test_violation_str(self):
+        doc = parse("<db><book><title>S</title></book>"
+                    "<book><title>S</title></book></db>")
+        text = str(self.KEY.check(doc)[0])
+        assert "book-key" in text
+
+
+class TestXMLFDDefinition:
+    def test_requires_lhs(self):
+        with pytest.raises(ConstraintError):
+            XMLFD("f", "/db/book", (), "@publisher")
+
+    def test_scope_absolute(self):
+        with pytest.raises(ConstraintError):
+            XMLFD("f", "book", ("editor",), "@publisher")
+
+    def test_rhs_not_in_lhs(self):
+        with pytest.raises(ConstraintError):
+            XMLFD("f", "/db/book", ("editor",), "editor")
+
+    def test_render(self):
+        fd = XMLFD("ed-pub", "/db/book", ("editor",), "@publisher")
+        assert "ed-pub" in fd.render()
+
+
+class TestXMLFDChecking:
+    FD = XMLFD("editor-publisher", "/db/book", ("editor",), "@publisher")
+
+    def test_holds_on_db1(self, db1_doc):
+        # Harrypotter -> mkp (twice), Gamer -> acm: consistent.
+        assert self.FD.holds(db1_doc)
+
+    def test_violation_detected(self):
+        doc = parse('<db><book publisher="mkp"><editor>E</editor></book>'
+                    '<book publisher="acm"><editor>E</editor></book></db>')
+        violations = self.FD.check(doc)
+        assert len(violations) == 1
+        assert violations[0].lhs == ("E",)
+        assert "mkp" in str(violations[0])
+
+    def test_incomplete_bindings_skipped(self):
+        doc = parse('<db><book publisher="mkp"/>'
+                    '<book><editor>E</editor></book></db>')
+        assert self.FD.holds(doc)
+
+    def test_bindings(self, db1_doc):
+        bindings = self.FD.bindings(db1_doc)
+        assert len(bindings) == 3
+        lhs_values = [b[0] for b in bindings]
+        assert ("Harrypotter",) in lhs_values
+        assert ("Gamer",) in lhs_values
+
+
+class TestRedundancyGroups:
+    FD = XMLFD("editor-publisher", "/db/book", ("editor",), "@publisher")
+
+    def test_groups(self, db1_doc):
+        groups = self.FD.redundancy_groups(db1_doc)
+        assert len(groups) == 2  # Harrypotter, Gamer
+        by_lhs = {g.lhs: g for g in groups}
+        assert len(by_lhs[("Harrypotter",)]) == 2
+        assert len(by_lhs[("Gamer",)]) == 1
+
+    def test_duplicated_groups_only(self, db1_doc):
+        duplicated = self.FD.duplicated_groups(db1_doc)
+        assert len(duplicated) == 1
+        assert duplicated[0].lhs == ("Harrypotter",)
+
+    def test_group_values_and_consistency(self, db1_doc):
+        group = self.FD.duplicated_groups(db1_doc)[0]
+        assert group.values == ("mkp", "mkp")
+        assert group.is_consistent()
+
+    def test_inconsistent_group(self):
+        doc = parse('<db><book publisher="a"><editor>E</editor></book>'
+                    '<book publisher="b"><editor>E</editor></book></db>')
+        group = self.FD.duplicated_groups(doc)[0]
+        assert not group.is_consistent()
+
+    def test_element_rhs(self, db1_doc):
+        # rhs may be an element too: title determines year here.
+        fd = XMLFD("title-year", "/db/book", ("title",), "year")
+        groups = fd.redundancy_groups(db1_doc)
+        assert len(groups) == 3
+        assert all(len(g) == 1 for g in groups)

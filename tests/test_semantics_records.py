@@ -1,0 +1,215 @@
+"""Unit tests for shredding, re-nesting, shapes and discovery."""
+
+import pytest
+
+from repro.semantics import (
+    DocumentShape,
+    FieldSpec,
+    RecordError,
+    RecordSpec,
+    discover_fds,
+    discover_keys,
+    distinct_values,
+    level,
+    project,
+    shape,
+)
+from repro.xmlmodel import parse, serialize
+
+
+class TestRecordSpecBasics:
+    def test_entity_must_be_absolute(self):
+        with pytest.raises(RecordError):
+            RecordSpec("db/book", (FieldSpec("title", "title"),))
+
+    def test_field_path_must_be_relative(self):
+        with pytest.raises(RecordError):
+            FieldSpec("title", "/db/book/title")
+
+    def test_duplicate_field_names(self):
+        with pytest.raises(RecordError):
+            RecordSpec("/db/book", (
+                FieldSpec("t", "title"), FieldSpec("t", "year")))
+
+    def test_empty_field_name(self):
+        with pytest.raises(RecordError):
+            FieldSpec("", "title")
+
+    def test_unknown_field_lookup(self):
+        spec = RecordSpec("/db/book", (FieldSpec("title", "title"),))
+        with pytest.raises(RecordError):
+            spec.field("nope")
+
+
+class TestShredding:
+    def test_shred_rows(self, db1_doc, book_shape):
+        rows = book_shape.shred(db1_doc)
+        # book1 has 2 authors, book2 has 2, book3 has 1 -> 5 rows.
+        assert len(rows) == 5
+        first = rows[0]
+        assert first["title"] == "Readings in Database Systems"
+        assert first["author"] == "Stonebraker"
+        assert first["publisher"] == "mkp"
+        assert first["year"] == "1998"
+
+    def test_nodes_accompany_values(self, db1_doc, book_shape):
+        rows = book_shape.shred(db1_doc)
+        node = rows[0].nodes["title"]
+        assert node.string_value() == "Readings in Database Systems"
+
+    def test_rows_share_entity(self, db1_doc, book_shape):
+        rows = book_shape.shred(db1_doc)
+        assert rows[0].entity is rows[1].entity  # two authors, one book
+
+    def test_multi_violation_detected(self, db1_doc):
+        spec = RecordSpec("/db/book", (FieldSpec("author", "author"),))
+        with pytest.raises(RecordError):
+            spec.shred(db1_doc)
+
+    def test_missing_single_field_skipped(self):
+        doc = parse("<db><book><title>T</title></book></db>")
+        spec = RecordSpec("/db/book", (
+            FieldSpec("title", "title"), FieldSpec("year", "year")))
+        rows = spec.shred(doc)
+        assert rows[0].get("year") is None
+        assert rows[0]["title"] == "T"
+
+    def test_row_helpers(self, db1_doc, book_shape):
+        rows = book_shape.shred(db1_doc)
+        row = rows[0]
+        assert row.key(("publisher", "year")) == ("mkp", "1998")
+        assert row.get("missing", "x") == "x"
+
+    def test_distinct_and_project(self, db1_doc, book_shape):
+        rows = book_shape.shred(db1_doc)
+        assert distinct_values(rows, "publisher") == ["mkp", "acm"]
+        pairs = project(rows, ("editor", "publisher"))
+        assert ("Harrypotter", "mkp") in pairs
+        assert ("Gamer", "acm") in pairs
+        assert len(pairs) == 2
+
+
+class TestNesting:
+    def test_roundtrip_same_shape(self, db1_doc, book_shape):
+        rows = book_shape.shred(db1_doc)
+        rebuilt = book_shape.build(rows)
+        assert rebuilt.equals(db1_doc)
+
+    def test_reorganize_to_publisher_shape(self, db1_doc, book_shape,
+                                           publisher_shape):
+        rows = book_shape.shred(db1_doc)
+        db2 = publisher_shape.build(rows)
+        publishers = db2.root.child_elements("publisher")
+        assert [p.get_attribute("name") for p in publishers] == ["mkp", "acm"]
+        stonebraker = publishers[0].child_elements("author")[0]
+        assert stonebraker.get_attribute("name") == "Stonebraker"
+        books = stonebraker.child_elements("book")
+        assert [b.text for b in books] == [
+            "Readings in Database Systems", "XML Query Processing"]
+
+    def test_full_roundtrip_through_other_shape(self, db1_doc, book_shape,
+                                                publisher_shape):
+        rows = book_shape.shred(db1_doc)
+        db2 = publisher_shape.build(rows)
+        rows_back = publisher_shape.shred(db2)
+        rebuilt = book_shape.build(rows_back)
+        # Information-preserving reorganisation: same logical relation.
+        original = {(r["title"], r["author"], r["publisher"],
+                     r.get("editor"), r["year"])
+                    for r in book_shape.shred(rebuilt)}
+        expected = {(r["title"], r["author"], r["publisher"],
+                     r.get("editor"), r["year"]) for r in rows}
+        assert original == expected
+
+    def test_lossy_shape_reported(self, book_shape, publisher_shape):
+        dropped = book_shape.dropped_fields(
+            shape("tiny", "db", [level("book", group_by=["title"],
+                                       text_field="title")]))
+        assert "author" in dropped
+        assert "publisher" in dropped
+
+    def test_check_covers(self, publisher_shape):
+        missing = publisher_shape.nesting.check_covers(
+            ["title", "salary"])
+        assert missing == ["salary"]
+
+
+class TestShapePlacements:
+    def test_placements(self, publisher_shape):
+        placement = publisher_shape.placement("publisher")
+        assert placement.kind == "attribute"
+        assert placement.level_index == 0
+        title = publisher_shape.placement("title")
+        assert title.kind == "text"
+        assert title.level_index == 2
+
+    def test_unknown_placement(self, publisher_shape):
+        with pytest.raises(RecordError):
+            publisher_shape.placement("salary")
+
+    def test_derived_record_spec(self, publisher_shape):
+        spec = publisher_shape.record_spec
+        assert spec.entity == "/db/publisher/author/book"
+        by_name = {f.name: f for f in spec.fields}
+        assert by_name["publisher"].path == "../../@name"
+        assert by_name["author"].path == "../@name"
+        assert by_name["title"].path == "text()"
+        assert by_name["editor"].path == "editor"
+        assert by_name["editor"].multi
+
+    def test_repr(self, publisher_shape):
+        assert "publisher-centric" in repr(publisher_shape)
+        assert "db/publisher/author/book" in repr(publisher_shape)
+
+
+class TestDiscovery:
+    def test_discover_keys(self, db1_doc, book_shape):
+        rows = book_shape.shred(db1_doc)
+        keys = discover_keys(rows, ["title", "publisher", "editor", "year"])
+        key_fields = [k.fields for k in keys]
+        assert ("title",) in key_fields
+        assert ("publisher",) not in key_fields  # mkp appears twice
+
+    def test_minimal_keys_only(self, db1_doc, book_shape):
+        rows = book_shape.shred(db1_doc)
+        keys = discover_keys(rows, ["title", "year"], max_width=2)
+        key_fields = [k.fields for k in keys]
+        assert ("title",) in key_fields
+        # (title, year) is a superset of the minimal key -> excluded.
+        assert ("title", "year") not in key_fields
+
+    def test_composite_key(self):
+        doc = parse("<db><r><a>1</a><b>x</b></r><r><a>1</a><b>y</b></r>"
+                    "<r><a>2</a><b>x</b></r></db>")
+        spec = RecordSpec("/db/r", (FieldSpec("a", "a"), FieldSpec("b", "b")))
+        rows = spec.shred(doc)
+        keys = discover_keys(rows, ["a", "b"])
+        assert [k.fields for k in keys] == [("a", "b")]
+
+    def test_discover_fds(self, db1_doc, book_shape):
+        rows = book_shape.shred(db1_doc)
+        fds = discover_fds(rows, ["title", "publisher", "editor", "year"])
+        found = {(fd.lhs, fd.rhs) for fd in fds}
+        assert (("editor",), "publisher") in found
+
+    def test_fd_violated_not_reported(self):
+        doc = parse('<db><r><e>E</e><p>a</p></r><r><e>E</e><p>b</p></r></db>')
+        spec = RecordSpec("/db/r", (FieldSpec("e", "e"), FieldSpec("p", "p")))
+        rows = spec.shred(doc)
+        fds = discover_fds(rows, ["e", "p"])
+        assert not any(fd.lhs == ("e",) and fd.rhs == "p" for fd in fds)
+
+    def test_trivial_fds_excluded_by_default(self, db1_doc, book_shape):
+        rows = book_shape.shred(db1_doc)
+        fds = discover_fds(rows, ["title", "year"])
+        # title -> year holds but every title is unique -> trivial.
+        assert not any(fd.lhs == ("title",) for fd in fds)
+        fds_all = discover_fds(rows, ["title", "year"], include_trivial=True)
+        assert any(fd.lhs == ("title",) for fd in fds_all)
+
+    def test_candidate_strs(self, db1_doc, book_shape):
+        rows = book_shape.shred(db1_doc)
+        keys = discover_keys(rows, ["title"])
+        fds = discover_fds(rows, ["editor", "publisher"])
+        assert "key(title)" in str(keys[0])
+        assert "fd(editor -> publisher)" in str(fds[0])

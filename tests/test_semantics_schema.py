@@ -1,0 +1,250 @@
+"""Unit tests for schema model, validation, and inference."""
+
+import base64
+
+import pytest
+
+from repro.semantics import (
+    AttributeDecl,
+    Choice,
+    ElementDecl,
+    LeafType,
+    Particle,
+    Schema,
+    SchemaError,
+    SchemaValidationError,
+    assert_valid,
+    composite,
+    infer_leaf_type,
+    infer_schema,
+    is_valid,
+    leaf,
+    validate,
+)
+from repro.xmlmodel import parse
+from tests.conftest import DB1_XML
+
+
+def book_schema() -> Schema:
+    return Schema("db", [
+        composite("db", [Particle("book", 0, None)]),
+        composite(
+            "book",
+            [
+                Particle("title"),
+                Particle("author", 1, None),
+                Particle("editor", 0, 1),
+                Particle("year"),
+            ],
+            attributes=[AttributeDecl("publisher")],
+        ),
+        leaf("title"),
+        leaf("author"),
+        leaf("editor"),
+        leaf("year", LeafType.YEAR),
+    ])
+
+
+class TestLeafTypes:
+    def test_string_accepts_anything(self):
+        assert LeafType.STRING.accepts("anything at all")
+
+    def test_integer(self):
+        assert LeafType.INTEGER.accepts("42")
+        assert LeafType.INTEGER.accepts("-17")
+        assert not LeafType.INTEGER.accepts("4.2")
+        assert not LeafType.INTEGER.accepts("abc")
+
+    def test_decimal(self):
+        assert LeafType.DECIMAL.accepts("4.2")
+        assert LeafType.DECIMAL.accepts("-0.5")
+        assert LeafType.DECIMAL.accepts(".5")
+        assert LeafType.DECIMAL.accepts("42")
+        assert not LeafType.DECIMAL.accepts("4.2.3")
+
+    def test_year(self):
+        assert LeafType.YEAR.accepts("1998")
+        assert not LeafType.YEAR.accepts("98")
+        assert not LeafType.YEAR.accepts("19985")
+
+    def test_date(self):
+        assert LeafType.DATE.accepts("2005-08-30")
+        assert not LeafType.DATE.accepts("2005-13-30")
+        assert not LeafType.DATE.accepts("2005-08-32")
+        assert not LeafType.DATE.accepts("30/08/2005")
+
+    def test_base64(self):
+        payload = base64.b64encode(b"image bytes").decode("ascii")
+        assert LeafType.BASE64.accepts(payload)
+        assert not LeafType.BASE64.accepts("not base64!!")
+
+
+class TestSchemaModel:
+    def test_particle_bounds_validated(self):
+        with pytest.raises(SchemaError):
+            Particle("x", 2, 1)
+        with pytest.raises(SchemaError):
+            Particle("x", -1)
+
+    def test_choice_needs_two(self):
+        with pytest.raises(SchemaError):
+            Choice(("only",))
+
+    def test_leaf_and_content_conflict(self):
+        with pytest.raises(SchemaError):
+            ElementDecl("x", content=(Particle("y"),),
+                        leaf_type=LeafType.STRING)
+
+    def test_duplicate_attribute_decl(self):
+        with pytest.raises(SchemaError):
+            ElementDecl("x", attributes=(
+                AttributeDecl("a"), AttributeDecl("a")))
+
+    def test_undeclared_reference(self):
+        with pytest.raises(SchemaError):
+            Schema("db", [composite("db", [Particle("ghost")])])
+
+    def test_missing_root(self):
+        with pytest.raises(SchemaError):
+            Schema("db", [leaf("other")])
+
+    def test_duplicate_declaration(self):
+        with pytest.raises(SchemaError):
+            Schema("db", [leaf("db"), leaf("db")])
+
+    def test_render(self):
+        schema = book_schema()
+        text = schema.render()
+        assert "root db" in text
+        assert "author+" in text
+        assert "editor?" in text
+
+    def test_matches_children(self):
+        schema = book_schema()
+        assert schema.matches_children(
+            "book", ["title", "author", "author", "editor", "year"])
+        assert schema.matches_children("book", ["title", "author", "year"])
+        assert not schema.matches_children("book", ["title", "year"])
+        assert not schema.matches_children(
+            "book", ["author", "title", "year"])
+        assert not schema.matches_children("book", ["title", "author",
+                                                    "year", "extra"])
+
+    def test_choice_matching(self):
+        schema = Schema("r", [
+            composite("r", [Choice(("a", "b"), 1, None)]),
+            leaf("a"), leaf("b"),
+        ])
+        assert schema.matches_children("r", ["a", "b", "a"])
+        assert not schema.matches_children("r", [])
+
+
+class TestValidator:
+    def test_valid_document(self, db1_doc):
+        assert is_valid(book_schema(), db1_doc)
+        assert_valid(book_schema(), db1_doc)  # should not raise
+
+    def test_wrong_root(self):
+        doc = parse("<database/>")
+        violations = validate(book_schema(), doc)
+        assert any("root element" in v.message for v in violations)
+
+    def test_missing_required_child(self):
+        doc = parse('<db><book publisher="x"><title>T</title>'
+                    "<year>1998</year></book></db>")
+        violations = validate(book_schema(), doc)
+        assert any("content model" in v.message for v in violations)
+
+    def test_missing_required_attribute(self):
+        doc = parse("<db><book><title>T</title><author>A</author>"
+                    "<year>1998</year></book></db>")
+        violations = validate(book_schema(), doc)
+        assert any("missing required attribute" in v.message
+                   for v in violations)
+
+    def test_undeclared_attribute(self):
+        doc = parse('<db><book publisher="x" isbn="123"><title>T</title>'
+                    "<author>A</author><year>1998</year></book></db>")
+        violations = validate(book_schema(), doc)
+        assert any("undeclared attribute" in v.message for v in violations)
+
+    def test_bad_leaf_type(self):
+        doc = parse('<db><book publisher="x"><title>T</title>'
+                    "<author>A</author><year>not-a-year</year></book></db>")
+        violations = validate(book_schema(), doc)
+        assert any("not a valid year" in v.message for v in violations)
+
+    def test_text_in_composite(self):
+        doc = parse('<db>stray text<book publisher="x"><title>T</title>'
+                    "<author>A</author><year>1998</year></book></db>")
+        violations = validate(book_schema(), doc)
+        assert any("text content" in v.message for v in violations)
+
+    def test_undeclared_element(self):
+        schema = Schema("db", [composite("db", [Particle("x", 0, None)]),
+                               leaf("x")])
+        doc = parse("<db><y/></db>")
+        violations = validate(schema, doc)
+        assert any("do not match" in v.message or "undeclared" in v.message
+                   for v in violations)
+
+    def test_assert_valid_raises(self):
+        with pytest.raises(SchemaValidationError) as excinfo:
+            assert_valid(book_schema(), parse("<wrong/>"))
+        assert excinfo.value.violations
+
+    def test_violation_str(self):
+        violations = validate(book_schema(), parse("<wrong/>"))
+        assert "/wrong" in str(violations[0])
+
+
+class TestInference:
+    def test_infer_leaf_type_priorities(self):
+        assert infer_leaf_type(["1998", "2001"]) is LeafType.YEAR
+        assert infer_leaf_type(["1998", "42"]) is LeafType.INTEGER
+        assert infer_leaf_type(["1.5", "2"]) is LeafType.DECIMAL
+        assert infer_leaf_type(["2005-08-30"]) is LeafType.DATE
+        assert infer_leaf_type(["hello"]) is LeafType.STRING
+        assert infer_leaf_type([]) is LeafType.STRING
+
+    def test_inferred_schema_validates_source(self):
+        doc = parse(DB1_XML)
+        schema = infer_schema(doc)
+        assert is_valid(schema, doc)
+
+    def test_inferred_occurrences(self):
+        doc = parse(DB1_XML)
+        schema = infer_schema(doc)
+        book = schema.declaration("book")
+        rendered = [item.render() for item in book.content]
+        # author repeats -> generalised to unbounded.
+        assert any(r.startswith("author") and "+" in r or r == "author+"
+                   for r in rendered)
+
+    def test_inferred_attribute_required(self):
+        doc = parse('<db><b x="1"/><b x="2"/></db>')
+        schema = infer_schema(doc)
+        decl = schema.declaration("b").attribute("x")
+        assert decl.required
+
+    def test_inferred_attribute_optional(self):
+        doc = parse('<db><b x="1"/><b/></db>')
+        schema = infer_schema(doc)
+        decl = schema.declaration("b").attribute("x")
+        assert not decl.required
+
+    def test_conflicting_order_falls_back_to_choice(self):
+        doc = parse("<db><r><a/><b/></r><r><b/><a/></r></db>")
+        schema = infer_schema(doc)
+        assert is_valid(schema, doc)
+
+    def test_non_contiguous_repeats(self):
+        doc = parse("<db><r><a/><b/><a/></r></db>")
+        schema = infer_schema(doc)
+        assert is_valid(schema, doc)
+
+    def test_inferred_leaf_types(self):
+        doc = parse(DB1_XML)
+        schema = infer_schema(doc)
+        assert schema.declaration("year").leaf_type is LeafType.YEAR
+        assert schema.declaration("title").leaf_type is LeafType.STRING

@@ -1,0 +1,166 @@
+"""Direct unit coverage for the XPath value model and result dataclasses."""
+
+import math
+
+import pytest
+
+from repro.core.decoder import DetectionResult
+from repro.core.encoder import EmbeddingStats
+from repro.xmlmodel import Element, parse
+from repro.xpath import AttributeNode, XPathTypeError
+from repro.xpath.values import (
+    compare,
+    format_number,
+    node_string_value,
+    to_boolean,
+    to_number,
+    to_string,
+    unique_nodes,
+)
+
+
+class TestConversions:
+    def test_to_string_variants(self):
+        assert to_string(True) == "true"
+        assert to_string(False) == "false"
+        assert to_string(3.0) == "3"
+        assert to_string(3.5) == "3.5"
+        assert to_string("x") == "x"
+        assert to_string([]) == ""
+
+    def test_to_string_node_set_first(self):
+        doc = parse("<a><b>one</b><b>two</b></a>")
+        assert to_string(list(doc.root.child_elements())) == "one"
+
+    def test_to_number_variants(self):
+        assert to_number("  42 ") == 42.0
+        assert math.isnan(to_number("x"))
+        assert to_number(True) == 1.0
+        assert to_number(False) == 0.0
+        assert to_number([]) != to_number([])  # NaN
+
+    def test_to_boolean_variants(self):
+        assert to_boolean("a") is True
+        assert to_boolean("") is False
+        assert to_boolean(0.0) is False
+        assert to_boolean(math.nan) is False
+        assert to_boolean([Element("x")]) is True
+        assert to_boolean([]) is False
+
+    def test_bad_value_types(self):
+        with pytest.raises(XPathTypeError):
+            to_string({"not": "a value"})  # type: ignore[arg-type]
+        with pytest.raises(XPathTypeError):
+            to_number(object())  # type: ignore[arg-type]
+        with pytest.raises(XPathTypeError):
+            to_boolean(object())  # type: ignore[arg-type]
+
+    def test_format_number(self):
+        assert format_number(math.nan) == "NaN"
+        assert format_number(math.inf) == "Infinity"
+        assert format_number(-math.inf) == "-Infinity"
+        assert format_number(-0.0) == "0"
+        assert format_number(2.5) == "2.5"
+
+
+class TestCompare:
+    def test_unknown_operator(self):
+        with pytest.raises(XPathTypeError):
+            compare("~", 1.0, 2.0)
+
+    def test_boolean_dominates_equality(self):
+        assert compare("=", True, "non-empty") is True
+        assert compare("=", False, "") is True
+        assert compare("!=", True, "") is True
+
+    def test_number_dominates_strings(self):
+        assert compare("=", 5.0, "5") is True
+        assert compare("=", "5", 5.0) is True
+
+    def test_string_equality(self):
+        assert compare("=", "a", "a") is True
+        assert compare("!=", "a", "b") is True
+
+    def test_nan_comparisons(self):
+        assert compare("<", math.nan, 1.0) is False
+        assert compare(">=", math.nan, math.nan) is False
+        assert compare("=", math.nan, math.nan) is False
+
+    def test_node_set_vs_boolean(self):
+        doc = parse("<a><b>x</b></a>")
+        assert compare("=", list(doc.root.child_elements()), True) is True
+        assert compare("=", [], False) is True
+
+    def test_relational_strings_numeric(self):
+        # '<' between strings converts both to numbers per the spec.
+        assert compare("<", "2", "10") is True
+        assert compare("<", "abc", "10") is False
+
+
+class TestAttributeNode:
+    def test_missing_attribute_rejected(self):
+        with pytest.raises(XPathTypeError):
+            AttributeNode(Element("a"), "missing")
+
+    def test_equality_and_hash(self):
+        owner = Element("a", attributes={"x": "1"})
+        first = AttributeNode(owner, "x")
+        second = AttributeNode(owner, "x")
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != "not a node"
+
+    def test_path_and_repr(self):
+        doc = parse('<db><item x="1"/></db>')
+        node = AttributeNode(doc.root.find("item"), "x")
+        assert node.path() == "/db/item[1]/@x"
+        assert "@x" in repr(node)
+
+    def test_unique_nodes_mixes_kinds(self):
+        owner = Element("a", attributes={"x": "1"})
+        attr1 = AttributeNode(owner, "x")
+        attr2 = AttributeNode(owner, "x")
+        assert unique_nodes([owner, attr1, owner, attr2]) == [owner, attr1]
+
+    def test_node_string_value_type_check(self):
+        with pytest.raises(XPathTypeError):
+            node_string_value("raw string")  # type: ignore[arg-type]
+
+
+class TestDetectionResultProperties:
+    def make(self, **overrides):
+        base = dict(
+            votes_total=10, votes_matching=9, queries_total=5,
+            queries_answered=4, p_value=0.001, detected=True, alpha=0.01)
+        base.update(overrides)
+        return DetectionResult(**base)
+
+    def test_ratios(self):
+        result = self.make()
+        assert result.match_ratio == 0.9
+        assert result.query_survival == 0.8
+
+    def test_zero_division_guards(self):
+        result = self.make(votes_total=0, votes_matching=0,
+                           queries_total=0, queries_answered=0,
+                           detected=False, p_value=1.0)
+        assert result.match_ratio == 0.0
+        assert result.query_survival == 0.0
+
+    def test_str_variants(self):
+        assert "DETECTED" in str(self.make())
+        assert "not detected" in str(self.make(detected=False))
+
+
+class TestEmbeddingStatsProperties:
+    def test_utilisation_and_distortion(self):
+        stats = EmbeddingStats(capacity_groups=10, selected_groups=5,
+                               nodes_modified=3, nodes_unchanged=1,
+                               total_distortion=0.4)
+        assert stats.utilisation == 0.5
+        assert stats.mean_distortion == pytest.approx(0.1)
+
+    def test_empty_stats(self):
+        stats = EmbeddingStats()
+        assert stats.utilisation == 0.0
+        assert stats.mean_distortion == 0.0

@@ -1,0 +1,326 @@
+"""Unit tests for the XML tree model (repro.xmlmodel.tree)."""
+
+import pytest
+
+from repro.xmlmodel import (
+    Comment,
+    Document,
+    Element,
+    ProcessingInstruction,
+    Text,
+    XMLNameError,
+    XMLTreeError,
+    document_order_key,
+    validate_name,
+)
+
+
+def build_sample() -> Document:
+    """<db><book publisher="mkp"><title>T1</title><year>1998</year></book>
+    <book publisher="acm"><title>T2</title></book></db>"""
+    db = Element("db")
+    book1 = db.add_child("book", attributes={"publisher": "mkp"})
+    book1.add_child("title", text="T1")
+    book1.add_child("year", text="1998")
+    book2 = db.add_child("book", attributes={"publisher": "acm"})
+    book2.add_child("title", text="T2")
+    return Document(db)
+
+
+class TestValidateName:
+    def test_accepts_simple_names(self):
+        for name in ("db", "book", "a1", "_x", "ns:tag", "with-dash", "dot.ted"):
+            assert validate_name(name) == name
+
+    def test_rejects_empty(self):
+        with pytest.raises(XMLNameError):
+            validate_name("")
+
+    def test_rejects_leading_digit(self):
+        with pytest.raises(XMLNameError):
+            validate_name("1abc")
+
+    def test_rejects_spaces(self):
+        with pytest.raises(XMLNameError):
+            validate_name("a b")
+
+    def test_rejects_bare_xml(self):
+        with pytest.raises(XMLNameError):
+            validate_name("xml")
+
+    def test_allows_xml_prefixed(self):
+        assert validate_name("xml:lang") == "xml:lang"
+
+    def test_rejects_non_string(self):
+        with pytest.raises(XMLNameError):
+            validate_name(42)  # type: ignore[arg-type]
+
+
+class TestElementConstruction:
+    def test_tag_validated(self):
+        with pytest.raises(XMLNameError):
+            Element("not a name")
+
+    def test_text_shortcut(self):
+        el = Element("title", text="DB Design")
+        assert el.text == "DB Design"
+
+    def test_attributes_stringified(self):
+        el = Element("year", attributes={"value": 1998})  # type: ignore[dict-item]
+        assert el.get_attribute("value") == "1998"
+
+    def test_children_iterable(self):
+        el = Element("book", children=[Element("title"), Text("x")])
+        assert len(el.children) == 2
+
+    def test_attribute_name_validated(self):
+        el = Element("a")
+        with pytest.raises(XMLNameError):
+            el.set_attribute("bad name", "v")
+
+
+class TestChildManipulation:
+    def test_append_sets_parent(self):
+        parent = Element("db")
+        child = Element("book")
+        parent.append(child)
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_append_rejects_attached_node(self):
+        parent = Element("db")
+        child = parent.add_child("book")
+        other = Element("db2")
+        with pytest.raises(XMLTreeError):
+            other.append(child)
+
+    def test_append_rejects_non_node(self):
+        with pytest.raises(TypeError):
+            Element("db").append("raw string")  # type: ignore[arg-type]
+
+    def test_insert_at_position(self):
+        parent = Element("db")
+        first = parent.add_child("a")
+        parent.insert(0, Element("b"))
+        assert parent.children[1] is first
+        assert parent.children[0].tag == "b"  # type: ignore[union-attr]
+
+    def test_remove_detaches(self):
+        parent = Element("db")
+        child = parent.add_child("book")
+        parent.remove(child)
+        assert child.parent is None
+        assert parent.children == []
+
+    def test_remove_foreign_child_raises(self):
+        with pytest.raises(XMLTreeError):
+            Element("db").remove(Element("book"))
+
+    def test_replace_preserves_position(self):
+        parent = Element("db")
+        parent.add_child("a")
+        old = parent.add_child("b")
+        parent.add_child("c")
+        new = Element("B")
+        parent.replace(old, new)
+        assert [c.tag for c in parent.child_elements()] == ["a", "B", "c"]
+        assert old.parent is None
+
+    def test_clear_children(self):
+        parent = Element("db")
+        kids = [parent.add_child("x") for _ in range(3)]
+        parent.clear_children()
+        assert parent.children == []
+        assert all(k.parent is None for k in kids)
+
+    def test_detach_is_idempotent(self):
+        node = Element("x")
+        assert node.detach() is node
+
+
+class TestNavigation:
+    def test_ancestors(self):
+        doc = build_sample()
+        title = doc.root.child_elements("book")[0].find("title")
+        tags = [a.tag for a in title.ancestors()]
+        assert tags == ["book", "db"]
+
+    def test_root(self):
+        doc = build_sample()
+        title = doc.root.child_elements("book")[0].find("title")
+        assert title.root() is doc.root
+
+    def test_index_in_parent(self):
+        doc = build_sample()
+        books = doc.root.child_elements("book")
+        assert books[0].index_in_parent() == 0
+        assert books[1].index_in_parent() == 1
+
+    def test_index_in_parent_detached_raises(self):
+        with pytest.raises(XMLTreeError):
+            Element("x").index_in_parent()
+
+
+class TestTextHandling:
+    def test_direct_text_only(self):
+        el = Element("a", text="hello")
+        el.add_child("b", text="world")
+        assert el.text == "hello"
+        assert el.string_value() == "helloworld"
+
+    def test_set_text_replaces(self):
+        el = Element("year", text="1998")
+        el.set_text("1999")
+        assert el.text == "1999"
+        assert sum(isinstance(c, Text) for c in el.children) == 1
+
+    def test_set_text_preserves_element_children(self):
+        el = Element("mixed", text="note: ")
+        child = el.add_child("b", text="bold")
+        el.set_text("replaced")
+        assert child.parent is el
+        assert el.text == "replaced"
+
+    def test_text_type_checked(self):
+        with pytest.raises(TypeError):
+            Text(123)  # type: ignore[arg-type]
+
+
+class TestTraversal:
+    def test_iter_preorder(self):
+        doc = build_sample()
+        tags = [n.tag for n in doc.iter_elements()]
+        assert tags == ["db", "book", "title", "year", "book", "title"]
+
+    def test_iter_elements_by_tag(self):
+        doc = build_sample()
+        assert len(list(doc.iter_elements("book"))) == 2
+        assert len(list(doc.iter_elements("title"))) == 2
+        assert list(doc.iter_elements("missing")) == []
+
+    def test_child_elements_filter(self):
+        doc = build_sample()
+        assert len(doc.root.child_elements("book")) == 2
+        assert doc.root.child_elements("title") == []
+
+    def test_find_and_find_text(self):
+        doc = build_sample()
+        book = doc.root.find("book")
+        assert book is not None
+        assert book.find_text("title") == "T1"
+        assert book.find_text("missing", "dflt") == "dflt"
+
+    def test_is_leaf(self):
+        doc = build_sample()
+        book = doc.root.find("book")
+        assert not book.is_leaf()
+        assert book.find("title").is_leaf()
+
+
+class TestPath:
+    def test_positional_paths(self):
+        doc = build_sample()
+        books = doc.root.child_elements("book")
+        assert books[0].path() == "/db/book[1]"
+        assert books[1].path() == "/db/book[2]"
+        assert books[0].find("year").path() == "/db/book[1]/year[1]"
+
+    def test_root_path(self):
+        assert Element("db").path() == "/db"
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        assert build_sample().equals(build_sample())
+
+    def test_attribute_difference(self):
+        a, b = build_sample(), build_sample()
+        b.root.find("book").set_attribute("publisher", "other")
+        assert not a.equals(b)
+
+    def test_text_difference(self):
+        a, b = build_sample(), build_sample()
+        b.root.find("book").find("title").set_text("changed")
+        assert not a.equals(b)
+
+    def test_whitespace_insensitive(self):
+        a = Element("db")
+        a.add_child("x", text="1")
+        b = Element("db")
+        b.append(Text("\n  "))
+        b.add_child("x", text="1")
+        b.append(Text("\n"))
+        assert a.equals(b)
+
+    def test_child_order_matters(self):
+        a = Element("db", children=[Element("x"), Element("y")])
+        b = Element("db", children=[Element("y"), Element("x")])
+        assert not a.equals(b)
+
+    def test_cross_type(self):
+        assert not Text("a").equals(Comment("a"))
+        assert not Element("a").equals(Text("a"))
+
+
+class TestCopy:
+    def test_deep_copy_is_detached_and_equal(self):
+        doc = build_sample()
+        clone = doc.copy()
+        assert clone.equals(doc)
+        assert clone.root is not doc.root
+
+    def test_copy_independent(self):
+        doc = build_sample()
+        clone = doc.copy()
+        clone.root.find("book").find("title").set_text("mutated")
+        assert doc.root.find("book").find_text("title") == "T1"
+
+    def test_element_copy_clears_parent(self):
+        doc = build_sample()
+        book = doc.root.find("book")
+        clone = book.copy()
+        assert clone.parent is None
+
+
+class TestOtherNodes:
+    def test_comment_rejects_double_dash(self):
+        with pytest.raises(XMLTreeError):
+            Comment("a--b")
+
+    def test_pi_target_validated(self):
+        with pytest.raises(XMLNameError):
+            ProcessingInstruction("bad target")
+
+    def test_pi_equality(self):
+        assert ProcessingInstruction("t", "d").equals(ProcessingInstruction("t", "d"))
+        assert not ProcessingInstruction("t", "d").equals(
+            ProcessingInstruction("t", "e"))
+
+    def test_document_requires_element_root(self):
+        with pytest.raises(TypeError):
+            Document(Text("x"))  # type: ignore[arg-type]
+
+
+class TestDocumentOrder:
+    def test_document_order_key(self):
+        doc = build_sample()
+        key = document_order_key(doc)
+        nodes = list(doc.iter_elements())
+        ranks = [key(n) for n in nodes]
+        assert ranks == sorted(ranks)
+
+    def test_foreign_node_sorts_last(self):
+        doc = build_sample()
+        key = document_order_key(doc)
+        foreign = Element("zzz")
+        assert key(foreign) > key(doc.root)
+
+    def test_count_elements(self):
+        assert build_sample().count_elements() == 6
+
+    def test_repr_smoke(self):
+        doc = build_sample()
+        assert "db" in repr(doc)
+        assert "Text" in repr(Text("hello"))
+        assert "Comment" in repr(Comment("c"))
+        assert "book" in repr(doc.root.find("book"))

@@ -1,0 +1,304 @@
+"""Unit tests for XPath evaluation against the tree model."""
+
+import math
+
+import pytest
+
+from repro.xmlmodel import parse
+from repro.xpath import (
+    AttributeNode,
+    XPathTypeError,
+    compile_xpath,
+    evaluate_xpath,
+    select,
+    select_strings,
+)
+
+DB1 = (
+    "<db>"
+    '<book publisher="mkp">'
+    "<title>Readings in Database Systems</title>"
+    "<author>Stonebraker</author>"
+    "<author>Hellerstein</author>"
+    "<editor>Harrypotter</editor>"
+    "<year>1998</year>"
+    "</book>"
+    '<book publisher="acm">'
+    "<title>Database Design</title>"
+    "<writer>Berstein</writer>"
+    "<writer>Newcomer</writer>"
+    "<editor>Gamer</editor>"
+    "<year>1998</year>"
+    "</book>"
+    "</db>"
+)
+
+
+@pytest.fixture()
+def db1():
+    return parse(DB1)
+
+
+class TestAbsolutePaths:
+    def test_root_step(self, db1):
+        assert select(db1, "/db") == [db1.root]
+
+    def test_child_chain(self, db1):
+        titles = select_strings(db1, "/db/book/title")
+        assert titles == ["Readings in Database Systems", "Database Design"]
+
+    def test_wrong_root_empty(self, db1):
+        assert select(db1, "/database") == []
+
+    def test_bare_slash(self, db1):
+        assert select(db1, "/") == [db1.root]
+
+    def test_wildcard(self, db1):
+        tags = [n.tag for n in select(db1, "/db/book/*")]
+        assert tags == ["title", "author", "author", "editor", "year",
+                        "title", "writer", "writer", "editor", "year"]
+
+
+class TestDescendant:
+    def test_double_slash_root(self, db1):
+        assert len(select(db1, "//author")) == 2
+        assert len(select(db1, "//book")) == 2
+
+    def test_double_slash_mid(self, db1):
+        assert select_strings(db1, "/db//year") == ["1998", "1998"]
+
+    def test_descendant_axis(self, db1):
+        assert len(select(db1, "/db/descendant::title")) == 2
+
+    def test_descendant_or_self_includes_self(self, db1):
+        result = select(db1.root, "descendant-or-self::db")
+        assert result == [db1.root]
+
+    def test_document_order(self, db1):
+        names = [n.tag for n in select(db1, "//*")]
+        assert names[0] == "db"
+        assert names[1] == "book"
+        assert names[2] == "title"
+
+
+class TestAttributes:
+    def test_attribute_axis(self, db1):
+        values = select_strings(db1, "/db/book/@publisher")
+        assert values == ["mkp", "acm"]
+
+    def test_attribute_nodes(self, db1):
+        nodes = select(db1, "/db/book/@publisher")
+        assert all(isinstance(n, AttributeNode) for n in nodes)
+        assert nodes[0].owner.tag == "book"
+
+    def test_attribute_wildcard(self, db1):
+        assert len(select(db1, "/db/book/@*")) == 2
+
+    def test_missing_attribute(self, db1):
+        assert select(db1, "/db/book/@isbn") == []
+
+    def test_attribute_predicate(self, db1):
+        titles = select_strings(db1, "/db/book[@publisher='acm']/title")
+        assert titles == ["Database Design"]
+
+    def test_attribute_write_through(self, db1):
+        node = select(db1, "/db/book/@publisher")[0]
+        node.set_value("elsevier")
+        assert select_strings(db1, "/db/book/@publisher")[0] == "elsevier"
+
+
+class TestPredicates:
+    def test_value_predicate(self, db1):
+        authors = select_strings(
+            db1, "/db/book[title='Readings in Database Systems']/author")
+        assert authors == ["Stonebraker", "Hellerstein"]
+
+    def test_positional_predicate(self, db1):
+        assert select_strings(db1, "/db/book[1]/title") == [
+            "Readings in Database Systems"]
+        assert select_strings(db1, "/db/book[2]/title") == ["Database Design"]
+
+    def test_last_function(self, db1):
+        assert select_strings(db1, "/db/book[last()]/title") == [
+            "Database Design"]
+
+    def test_position_function(self, db1):
+        assert select_strings(db1, "/db/book[position()=2]/title") == [
+            "Database Design"]
+
+    def test_and_predicate(self, db1):
+        result = select(db1, "/db/book[year='1998' and editor='Gamer']")
+        assert len(result) == 1
+
+    def test_or_predicate(self, db1):
+        result = select(db1, "/db/book[editor='Gamer' or editor='Harrypotter']")
+        assert len(result) == 2
+
+    def test_existence_predicate(self, db1):
+        assert len(select(db1, "/db/book[author]")) == 1
+        assert len(select(db1, "/db/book[writer]")) == 1
+
+    def test_chained_predicates(self, db1):
+        result = select(db1, "/db/book[year='1998'][1]")
+        assert len(result) == 1
+        assert result[0].find_text("title") == "Readings in Database Systems"
+
+    def test_nested_path_predicate(self, db1):
+        # Predicate containing a relative path with its own predicate.
+        result = select(db1, "/db[book[title='Database Design']]")
+        assert result == [db1.root]
+
+    def test_numeric_comparison_predicate(self, db1):
+        assert len(select(db1, "/db/book[year > 1997]")) == 2
+        assert select(db1, "/db/book[year > 1998]") == []
+
+
+class TestNavigation:
+    def test_parent_step(self, db1):
+        result = select(db1, "/db/book/title/..")
+        assert [n.tag for n in result] == ["book", "book"]
+
+    def test_self_step(self, db1):
+        assert select(db1, "/db/.") == [db1.root]
+
+    def test_ancestor_axis(self, db1):
+        result = select(db1, "//title/ancestor::db")
+        assert result == [db1.root]
+
+    def test_following_sibling(self, db1):
+        result = select_strings(
+            db1, "/db/book[1]/title/following-sibling::author")
+        assert result == ["Stonebraker", "Hellerstein"]
+
+    def test_preceding_sibling(self, db1):
+        result = select_strings(
+            db1, "/db/book[1]/year/preceding-sibling::title")
+        assert result == ["Readings in Database Systems"]
+
+    def test_text_nodes(self, db1):
+        texts = select(db1, "/db/book[1]/title/text()")
+        assert len(texts) == 1
+        assert texts[0].value == "Readings in Database Systems"
+
+
+class TestUnionAndFilter:
+    def test_union(self, db1):
+        result = select_strings(db1, "/db/book/author | /db/book/writer")
+        assert result == ["Stonebraker", "Hellerstein", "Berstein", "Newcomer"]
+
+    def test_union_document_order(self, db1):
+        result = [n.tag for n in
+                  select(db1, "/db/book/year | /db/book/title")]
+        assert result == ["title", "year", "title", "year"]
+
+    def test_union_dedup(self, db1):
+        assert len(select(db1, "/db/book | /db/book")) == 2
+
+    def test_filter_positional(self, db1):
+        result = select_strings(db1, "(//book)[2]/title")
+        assert result == ["Database Design"]
+
+    def test_filter_trailing_descendant(self, db1):
+        result = select_strings(db1, "(/db/book[1])//author")
+        assert result == ["Stonebraker", "Hellerstein"]
+
+    def test_union_type_error(self, db1):
+        with pytest.raises(XPathTypeError):
+            evaluate_xpath(db1, "1 | 2")
+
+
+class TestScalarResults:
+    def test_count(self, db1):
+        assert evaluate_xpath(db1, "count(/db/book)") == 2.0
+        assert evaluate_xpath(db1, "count(//author)") == 2.0
+
+    def test_arithmetic(self, db1):
+        assert evaluate_xpath(db1, "1 + 2 * 3") == 7.0
+        assert evaluate_xpath(db1, "10 div 4") == 2.5
+        assert evaluate_xpath(db1, "10 mod 3") == 1.0
+        assert evaluate_xpath(db1, "-(2 + 3)") == -5.0
+
+    def test_div_by_zero(self, db1):
+        assert evaluate_xpath(db1, "1 div 0") == math.inf
+        assert math.isnan(evaluate_xpath(db1, "0 div 0"))
+        assert math.isnan(evaluate_xpath(db1, "5 mod 0"))
+
+    def test_boolean_ops(self, db1):
+        assert evaluate_xpath(db1, "true() and not(false())") is True
+        assert evaluate_xpath(db1, "false() or false()") is False
+
+    def test_comparison_node_set_string(self, db1):
+        assert evaluate_xpath(db1, "/db/book/year = '1998'") is True
+        assert evaluate_xpath(db1, "/db/book/year = '2001'") is False
+
+    def test_comparison_node_set_number(self, db1):
+        assert evaluate_xpath(db1, "/db/book/year < 2000") is True
+        assert evaluate_xpath(db1, "/db/book/year > 1998") is False
+
+    def test_node_set_vs_node_set(self, db1):
+        # Two node-sets compare true when any pair matches.
+        assert evaluate_xpath(db1, "/db/book[1]/year = /db/book[2]/year") is True
+        assert evaluate_xpath(
+            db1, "/db/book[1]/title = /db/book[2]/title") is False
+
+    def test_select_on_scalar_raises(self, db1):
+        with pytest.raises(XPathTypeError):
+            select(db1, "count(//book)")
+
+
+class TestCompiledQuery:
+    def test_reuse_across_documents(self):
+        query = compile_xpath("/db/book/title")
+        a = parse("<db><book><title>A</title></book></db>")
+        b = parse("<db><book><title>B</title></book></db>")
+        assert query.select_strings(a) == ["A"]
+        assert query.select_strings(b) == ["B"]
+
+    def test_cache_returns_same_object(self):
+        assert compile_xpath("/db/unique-cache-test") is compile_xpath(
+            "/db/unique-cache-test")
+
+    def test_str_and_repr(self):
+        query = compile_xpath("/db/book")
+        assert str(query) == "/db/book"
+        assert "XPathQuery" in repr(query)
+
+    def test_relative_query_from_node(self, db1):
+        book = db1.root.child_elements("book")[1]
+        assert select_strings(book, "title") == ["Database Design"]
+        assert select_strings(book, "writer") == ["Berstein", "Newcomer"]
+
+    def test_absolute_query_from_node(self, db1):
+        book = db1.root.child_elements("book")[1]
+        # Absolute queries climb to the root regardless of context.
+        assert len(select(book, "/db/book")) == 2
+
+
+class TestPaperQueries:
+    """The exact queries quoted in the paper's sections 2.1-2.2."""
+
+    def test_db1_author_query(self, db1):
+        # "db/book[title='DB Design']/author" (paper uses the short title).
+        result = select_strings(
+            db1, "/db/book[title='Database Design']/writer")
+        assert result == ["Berstein", "Newcomer"]
+
+    def test_db2_rewritten_query(self):
+        db2 = parse(
+            "<db>"
+            '<publisher name="mkp">'
+            '<author name="Stonebraker">'
+            "<book>Readings in Database Systems</book>"
+            "<book>XML Query Processing</book>"
+            "</author>"
+            '<author name="Hellerstein">'
+            "<book>Readings in Database Systems</book>"
+            "<book>Relational Data Integration</book>"
+            "</author>"
+            "</publisher>"
+            "</db>"
+        )
+        result = select_strings(
+            db2,
+            "/db/publisher/author[book='Readings in Database Systems']/@name")
+        assert result == ["Stonebraker", "Hellerstein"]

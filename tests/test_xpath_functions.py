@@ -1,0 +1,161 @@
+"""Unit tests for the XPath core function library."""
+
+import math
+
+import pytest
+
+from repro.xmlmodel import parse
+from repro.xpath import XPathFunctionError, evaluate_xpath
+from repro.xpath.errors import XPathTypeError
+
+DOC = parse(
+    "<db>"
+    "<item><name>alpha beta</name><price>10.5</price></item>"
+    "<item><name>gamma</name><price>2</price></item>"
+    "<item><name>  spaced   out  </name><price>-3.5</price></item>"
+    "</db>"
+)
+
+
+def ev(expr):
+    return evaluate_xpath(DOC, expr)
+
+
+class TestStringFunctions:
+    def test_string_of_number(self):
+        assert ev("string(3.0)") == "3"
+        assert ev("string(3.25)") == "3.25"
+
+    def test_string_of_boolean(self):
+        assert ev("string(true())") == "true"
+        assert ev("string(false())") == "false"
+
+    def test_string_of_node_set_takes_first(self):
+        assert ev("string(/db/item/name)") == "alpha beta"
+
+    def test_string_of_empty_node_set(self):
+        assert ev("string(/db/missing)") == ""
+
+    def test_concat(self):
+        assert ev("concat('a', 'b', 'c')") == "abc"
+
+    def test_concat_arity(self):
+        with pytest.raises(XPathFunctionError):
+            ev("concat('a')")
+
+    def test_contains(self):
+        assert ev("contains('database', 'tab')") is True
+        assert ev("contains('database', 'xyz')") is False
+
+    def test_starts_with(self):
+        assert ev("starts-with('database', 'data')") is True
+        assert ev("starts-with('database', 'base')") is False
+
+    def test_ends_with(self):
+        assert ev("ends-with('database', 'base')") is True
+
+    def test_substring(self):
+        assert ev("substring('12345', 2, 3)") == "234"
+        assert ev("substring('12345', 2)") == "2345"
+        assert ev("substring('12345', 0)") == "12345"
+        assert ev("substring('12345', 1.5, 2.6)") == "234"
+
+    def test_substring_before_after(self):
+        assert ev("substring-before('1999/04/01', '/')") == "1999"
+        assert ev("substring-after('1999/04/01', '/')") == "04/01"
+        assert ev("substring-before('abc', 'x')") == ""
+        assert ev("substring-after('abc', 'x')") == ""
+
+    def test_string_length(self):
+        assert ev("string-length('hello')") == 5.0
+
+    def test_normalize_space(self):
+        assert ev("normalize-space('  a   b ')") == "a b"
+        assert ev("normalize-space(/db/item[3]/name)") == "spaced out"
+
+    def test_translate(self):
+        assert ev("translate('bar', 'abc', 'ABC')") == "BAr"
+        assert ev("translate('--aaa--', 'abc-', 'ABC')") == "AAA"
+
+
+class TestNumberFunctions:
+    def test_number_conversions(self):
+        assert ev("number('12.5')") == 12.5
+        assert math.isnan(ev("number('abc')"))
+        assert ev("number(true())") == 1.0
+
+    def test_number_of_node_set(self):
+        assert ev("number(/db/item/price)") == 10.5
+
+    def test_sum(self):
+        assert ev("sum(/db/item/price)") == pytest.approx(9.0)
+
+    def test_sum_requires_node_set(self):
+        with pytest.raises(XPathFunctionError):
+            ev("sum(3)")
+
+    def test_floor_ceiling(self):
+        assert ev("floor(2.6)") == 2.0
+        assert ev("ceiling(2.1)") == 3.0
+        assert ev("floor(-2.5)") == -3.0
+
+    def test_round(self):
+        assert ev("round(2.5)") == 3.0
+        assert ev("round(-2.5)") == -2.0  # rounds towards +inf
+        assert ev("round(2.4)") == 2.0
+        assert math.isnan(ev("round(number('x'))"))
+
+
+class TestBooleanFunctions:
+    def test_boolean_conversions(self):
+        assert ev("boolean(1)") is True
+        assert ev("boolean(0)") is False
+        assert ev("boolean('')") is False
+        assert ev("boolean('x')") is True
+        assert ev("boolean(/db/item)") is True
+        assert ev("boolean(/db/missing)") is False
+
+    def test_not(self):
+        assert ev("not(false())") is True
+
+    def test_nan_is_false(self):
+        assert ev("boolean(number('nope'))") is False
+
+
+class TestNodeSetFunctions:
+    def test_count(self):
+        assert ev("count(/db/item)") == 3.0
+
+    def test_count_requires_node_set(self):
+        with pytest.raises(XPathFunctionError):
+            ev("count('str')")
+
+    def test_name(self):
+        assert ev("name(/db/item)") == "item"
+        assert ev("name(/db/missing)") == ""
+
+    def test_unknown_function(self):
+        with pytest.raises(XPathFunctionError):
+            ev("no-such-function()")
+
+    def test_bad_arity(self):
+        with pytest.raises(XPathFunctionError):
+            ev("count()")
+
+
+class TestContextFunctions:
+    def test_position_in_predicate(self):
+        names = evaluate_xpath(DOC, "/db/item[position() < 3]/name")
+        assert len(names) == 2
+
+    def test_last_in_predicate(self):
+        names = evaluate_xpath(DOC, "/db/item[position() = last()]/name")
+        assert len(names) == 1
+
+    def test_string_no_arg_uses_context(self):
+        result = evaluate_xpath(DOC, "/db/item[string() != '']")
+        assert len(result) == 3
+
+    def test_string_length_no_arg(self):
+        result = evaluate_xpath(DOC, "/db/item/name[string-length() > 6]")
+        assert len(result) == 2

@@ -1,0 +1,230 @@
+"""Unit tests for the XPath lexer and parser."""
+
+import pytest
+
+from repro.xpath import XPathSyntaxError, ast
+from repro.xpath.lexer import tokenize
+from repro.xpath.parser import parse_xpath
+
+
+class TestLexer:
+    def test_simple_path(self):
+        kinds = [(t.kind, t.value) for t in tokenize("/db/book")]
+        assert kinds == [
+            ("OPERATOR", "/"), ("NAME", "db"),
+            ("OPERATOR", "/"), ("NAME", "book"), ("EOF", ""),
+        ]
+
+    def test_double_slash(self):
+        tokens = tokenize("//book")
+        assert tokens[0].value == "//"
+
+    def test_string_literals(self):
+        tokens = tokenize("'single' \"double\"")
+        assert tokens[0].kind == "LITERAL" and tokens[0].value == "single"
+        assert tokens[1].kind == "LITERAL" and tokens[1].value == "double"
+
+    def test_unterminated_literal(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("3 3.14 .5")
+        assert [t.value for t in tokens[:3]] == ["3", "3.14", ".5"]
+        assert all(t.kind == "NUMBER" for t in tokens[:3])
+
+    def test_star_disambiguation(self):
+        # After a name, '*' is multiplication; at step start it is a wildcard.
+        mult = tokenize("price * 2")
+        assert mult[1].kind == "OPERATOR" and mult[1].value == "*"
+        wild = tokenize("/db/*")
+        assert wild[-2].kind == "NAME" and wild[-2].value == "*"
+
+    def test_and_or_disambiguation(self):
+        ops = tokenize("a and b or c")
+        assert [(t.kind, t.value) for t in ops[1:4:2]] == [
+            ("OPERATOR", "and"), ("OPERATOR", "or")]
+        names = tokenize("/and/or")
+        assert names[1].kind == "NAME" and names[1].value == "and"
+
+    def test_axis_token(self):
+        tokens = tokenize("child::book")
+        assert tokens[0].kind == "AXIS" and tokens[0].value == "child"
+        assert tokens[1].kind == "NAME" and tokens[1].value == "book"
+
+    def test_unknown_axis(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("sideways::book")
+
+    def test_qualified_name(self):
+        tokens = tokenize("ns:tag")
+        assert tokens[0].value == "ns:tag"
+
+    def test_dot_and_dotdot(self):
+        tokens = tokenize("./..")
+        assert tokens[0].kind == "DOT"
+        assert tokens[2].kind == "DOTDOT"
+
+    def test_unexpected_character(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("book $ title")
+
+    def test_hyphenated_function_name(self):
+        tokens = tokenize("starts-with(a, 'x')")
+        assert tokens[0].value == "starts-with"
+
+
+class TestParserPaths:
+    def test_absolute_path(self):
+        expr = parse_xpath("/db/book")
+        assert isinstance(expr, ast.LocationPath)
+        assert expr.absolute
+        assert [s.test.name for s in expr.steps] == ["db", "book"]
+        assert all(s.axis == ast.CHILD for s in expr.steps)
+
+    def test_relative_path(self):
+        expr = parse_xpath("book/title")
+        assert not expr.absolute
+
+    def test_descendant_shorthand(self):
+        expr = parse_xpath("//book")
+        assert expr.steps[0].axis == ast.DESCENDANT_OR_SELF
+        assert expr.steps[1].test.name == "book"
+
+    def test_attribute_step(self):
+        expr = parse_xpath("/db/book/@publisher")
+        assert expr.steps[-1].axis == ast.ATTRIBUTE
+
+    def test_wildcard(self):
+        expr = parse_xpath("/db/*")
+        assert expr.steps[-1].test.name == "*"
+
+    def test_text_node_test(self):
+        expr = parse_xpath("/db/book/title/text()")
+        test = expr.steps[-1].test
+        assert isinstance(test, ast.NodeTypeTest)
+        assert test.node_type == "text"
+
+    def test_dot_dotdot_steps(self):
+        expr = parse_xpath("./..")
+        assert expr.steps[0].axis == ast.SELF
+        assert expr.steps[1].axis == ast.PARENT
+
+    def test_explicit_axes(self):
+        expr = parse_xpath("ancestor::db/descendant::title")
+        assert expr.steps[0].axis == ast.ANCESTOR
+        assert expr.steps[1].axis == ast.DESCENDANT
+
+    def test_root_only(self):
+        expr = parse_xpath("/")
+        assert expr.absolute and expr.steps == ()
+
+    def test_predicates(self):
+        expr = parse_xpath("/db/book[title='DB Design'][2]/author")
+        book = expr.steps[1]
+        assert len(book.predicates) == 2
+        first = book.predicates[0]
+        assert isinstance(first, ast.BinaryOp) and first.op == "="
+
+    def test_nested_path_in_predicate(self):
+        expr = parse_xpath("/db/book[author/name='X']")
+        pred = expr.steps[1].predicates[0]
+        assert isinstance(pred.left, ast.LocationPath)
+
+    def test_union(self):
+        expr = parse_xpath("/db/book | /db/journal")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "|"
+
+
+class TestParserExpressions:
+    def test_precedence_or_and(self):
+        expr = parse_xpath("1 or 0 and 0")
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_precedence_arith(self):
+        expr = parse_xpath("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_comparison_chain(self):
+        expr = parse_xpath("1 < 2 = true()")
+        assert expr.op == "="
+        assert expr.left.op == "<"
+
+    def test_unary_minus(self):
+        expr = parse_xpath("-3")
+        assert isinstance(expr, ast.Negate)
+
+    def test_double_negation(self):
+        expr = parse_xpath("--3")
+        assert isinstance(expr.operand, ast.Negate)
+
+    def test_function_call(self):
+        expr = parse_xpath("contains(title, 'DB')")
+        assert isinstance(expr, ast.FunctionCall)
+        assert expr.name == "contains"
+        assert len(expr.args) == 2
+
+    def test_function_no_args(self):
+        expr = parse_xpath("true()")
+        assert expr.args == ()
+
+    def test_filter_with_predicate_and_path(self):
+        expr = parse_xpath("(//book)[1]/title")
+        assert isinstance(expr, ast.FilterExpression)
+        assert len(expr.predicates) == 1
+        assert expr.path is not None
+
+    def test_parenthesised_expr(self):
+        expr = parse_xpath("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_div_mod(self):
+        expr = parse_xpath("6 div 2 mod 2")
+        assert expr.op == "mod"
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize("bad", [
+        "", "   ", "/db/book[", "/db/book]", "/db/..unknown::x",
+        "1 +", "@", "/db/book[']", "fn(", "a ~ b", "/db//",
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath(bad)
+
+    def test_trailing_tokens(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("/db/book extra")
+
+    def test_non_string(self):
+        with pytest.raises(TypeError):
+            parse_xpath(42)  # type: ignore[arg-type]
+
+
+class TestRoundTrip:
+    """str(parse(x)) must re-parse to an equivalent AST."""
+
+    CASES = [
+        "/db/book/title",
+        "//book",
+        "/db/book[title='DB Design']/author",
+        "/db/book[@publisher='mkp']/year",
+        "book/author",
+        "/db/book[2]",
+        "/db/book[title='X' and year='1998']",
+        "count(/db/book)",
+        "/db/book/title | /db/book/author",
+        "/db/book[contains(title, 'DB')]",
+        "descendant::title",
+        "/db/book/../book",
+        "/db/*[1]/text()",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_render_reparse(self, text):
+        first = parse_xpath(text)
+        second = parse_xpath(str(first))
+        assert str(second) == str(first)
