@@ -1,0 +1,28 @@
+"""Perf-regression harness entry point (see ``repro.perf.bench``).
+
+Runs the E9 pipeline stages, archives the timings to ``BENCH_e9.json``
+at the repo root, and exits non-zero when any stage is more than 20%
+slower than the best recorded run.  Typical use::
+
+    ./benchmarks/run_bench.sh            # measure + gate
+    ./benchmarks/run_bench.sh --no-check # record a new machine baseline
+
+The measurement/archiving logic lives in :mod:`repro.perf.bench` so the
+``wmxml bench`` subcommand and this script share one implementation.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src"))
+
+from repro.perf import bench  # noqa: E402 - after the path bootstrap
+
+
+def main(argv=None) -> int:
+    return bench.main(argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

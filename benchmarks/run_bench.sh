@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Run the E9 perf-regression bench from the repo root.
+#
+# Writes/updates BENCH_e9.json at the repo root and exits non-zero when
+# any pipeline stage regressed >20% against the best recorded run.
+# Extra arguments are forwarded (e.g. --books 400, --no-check).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec python benchmarks/regression.py "$@"

@@ -43,6 +43,8 @@ from repro.core import (
 )
 from repro.datasets import bibliography, jobs, library
 from repro.harness import EXPERIMENTS, ExperimentConfig
+from repro.perf import StageTimer, ThroughputReporter, use_timer
+from repro.perf import bench as perf_bench
 from repro.semantics import (
     discover_fds,
     discover_keys,
@@ -57,10 +59,17 @@ from repro.xmlmodel import parse_file, write_file
 class Profile:
     """A dataset profile: shapes, scheme factory, generator."""
 
-    def __init__(self, name: str, module, shapes: dict) -> None:
+    def __init__(self, name: str, module, shapes: dict,
+                 config_factory=None) -> None:
         self.name = name
         self.module = module
         self.shapes = shapes
+        self._config_factory = config_factory
+
+    def generate(self, size: int, seed: int):
+        """Synthesise a dataset document of ``size`` entities."""
+        return self.module.generate_document(
+            self._config_factory(size, seed))
 
     def shape(self, name: Optional[str]):
         if name is None:
@@ -78,16 +87,17 @@ PROFILES = {
         "book-centric": bibliography.book_shape(),
         "publisher-centric": bibliography.publisher_shape(),
         "editor-centric": bibliography.editor_shape(),
-    }),
+    }, lambda size, seed: bibliography.BibliographyConfig(
+        books=size, seed=seed)),
     "jobs": Profile("jobs", jobs, {
         "job-listing": jobs.listing_shape(),
         "jobs-by-company": jobs.by_company_shape(),
         "jobs-by-city": jobs.by_city_shape(),
-    }),
+    }, lambda size, seed: jobs.JobsConfig(jobs=size, seed=seed)),
     "library": Profile("library", library, {
         "library-catalogue": library.catalogue_shape(),
         "library-by-category": library.by_category_shape(),
-    }),
+    }, lambda size, seed: library.LibraryConfig(items=size, seed=seed)),
 }
 
 
@@ -104,16 +114,7 @@ def _profile(name: str) -> Profile:
 
 def cmd_generate(args: argparse.Namespace) -> int:
     profile = _profile(args.profile)
-    module = profile.module
-    if args.profile == "bibliography":
-        doc = module.generate_document(module.BibliographyConfig(
-            books=args.size, seed=args.seed))
-    elif args.profile == "jobs":
-        doc = module.generate_document(module.JobsConfig(
-            jobs=args.size, seed=args.seed))
-    else:
-        doc = module.generate_document(module.LibraryConfig(
-            items=args.size, seed=args.seed))
+    doc = profile.generate(args.size, args.seed)
     write_file(args.output, doc)
     print(f"wrote {args.profile} dataset ({args.size} entities) "
           f"to {args.output}")
@@ -123,12 +124,18 @@ def cmd_generate(args: argparse.Namespace) -> int:
 def cmd_embed(args: argparse.Namespace) -> int:
     profile = _profile(args.profile)
     scheme = profile.module.default_scheme(gamma=args.gamma)
-    document = parse_file(args.input, strip_whitespace=True)
-    watermark = Watermark.from_message(args.message)
-    encoder = WmXMLEncoder(scheme, args.key)
-    result = encoder.embed(document, watermark)
-    write_file(args.output, result.document)
-    result.record.save(args.record)
+    timer = StageTimer()
+    with use_timer(timer):
+        with timer.stage("parse"):
+            document = parse_file(args.input, strip_whitespace=True)
+        watermark = Watermark.from_message(args.message)
+        encoder = WmXMLEncoder(scheme, args.key)
+        result = encoder.embed(document, watermark)
+        with timer.stage("write"):
+            write_file(args.output, result.document)
+            result.record.save(args.record)
+    if args.profile_stages:
+        print(timer.render("embed pipeline stages"))
     stats = result.stats
     print(f"embedded {len(watermark)}-bit watermark: "
           f"{stats.selected_groups}/{stats.capacity_groups} groups "
@@ -142,11 +149,18 @@ def cmd_embed(args: argparse.Namespace) -> int:
 def cmd_detect(args: argparse.Namespace) -> int:
     profile = _profile(args.profile)
     shape = profile.shape(args.shape)
-    document = parse_file(args.input, strip_whitespace=True)
-    record = WatermarkRecord.load(args.record)
-    decoder = WmXMLDecoder(args.key, alpha=args.alpha)
-    expected = Watermark.from_message(args.message) if args.message else None
-    outcome = decoder.detect(document, record, shape, expected=expected)
+    timer = StageTimer()
+    with use_timer(timer):
+        with timer.stage("parse"):
+            document = parse_file(args.input, strip_whitespace=True)
+        record = WatermarkRecord.load(args.record)
+        decoder = WmXMLDecoder(args.key, alpha=args.alpha)
+        expected = (Watermark.from_message(args.message)
+                    if args.message else None)
+        outcome = decoder.detect(document, record, shape, expected=expected,
+                                 indexed=args.indexed)
+    if args.profile_stages:
+        print(timer.render("detect pipeline stages"))
     print(outcome)
     if outcome.recovered_message:
         print(f"recovered message: {outcome.recovered_message!r}")
@@ -245,6 +259,53 @@ def cmd_schema(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    """Stage-timed embed/detect pipeline with throughput rates."""
+    profile = _profile(args.profile)
+    document = profile.generate(args.size, args.seed)
+    scheme = profile.module.default_scheme(gamma=args.gamma)
+    watermark = Watermark.from_message(args.message)
+    timer = StageTimer()
+    with use_timer(timer):
+        encoder = WmXMLEncoder(scheme, args.key)
+        with timer.stage("embed (total)"):
+            result = encoder.embed(document, watermark)
+        decoder = WmXMLDecoder(args.key)
+        with timer.stage("detect (scan)"):
+            scan = decoder.detect(result.document, result.record,
+                                  scheme.shape, expected=watermark)
+        with timer.stage("detect (indexed)"):
+            indexed = decoder.detect(result.document, result.record,
+                                     scheme.shape, expected=watermark,
+                                     indexed=True)
+    if not (scan.detected and indexed.detected):
+        print("warning: pipeline failed to detect its own watermark")
+    elements = document.count_elements()
+    print(timer.render(f"pipeline stages ({args.profile}, "
+                       f"{args.size} entities, {elements} elements)"))
+    reporter = ThroughputReporter()
+    reporter.add("embed", elements, timer.total_ms("embed (total)") / 1000,
+                 unit="elements")
+    reporter.add("detect-scan", len(result.record.queries),
+                 timer.total_ms("detect (scan)") / 1000, unit="queries")
+    reporter.add("detect-indexed", len(result.record.queries),
+                 timer.total_ms("detect (indexed)") / 1000, unit="queries")
+    print()
+    print(reporter.render())
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the E9 regression bench and archive BENCH_e9.json."""
+    try:
+        return perf_bench.run_and_check(
+            path=args.output, books=args.books, repeats=args.repeats,
+            check=not args.no_check)
+    except (perf_bench.BenchError, ValueError) as error:
+        print(f"error: {error}")
+        return 2
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     config = ExperimentConfig(books=args.size, seed=args.seed)
     if args.id == "all":
@@ -298,6 +359,9 @@ def build_parser() -> argparse.ArgumentParser:
     embed.add_argument("--key", "-k", required=True)
     embed.add_argument("--message", "-m", required=True)
     embed.add_argument("--gamma", type=int, default=4)
+    embed.add_argument("--profile-stages", dest="profile_stages",
+                       action="store_true",
+                       help="print per-stage timings after embedding")
     embed.set_defaults(handler=cmd_embed)
 
     detect = sub.add_parser("detect", help="detect a watermark")
@@ -311,6 +375,12 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--shape", help="current organisation of the data "
                         "(enables query rewriting)")
     detect.add_argument("--alpha", type=float, default=1e-3)
+    detect.add_argument("--indexed", action="store_true",
+                        help="answer queries through the indexed logical "
+                        "executor (one shred) instead of per-query XPath")
+    detect.add_argument("--profile-stages", dest="profile_stages",
+                        action="store_true",
+                        help="print per-stage timings after detection")
     detect.set_defaults(handler=cmd_detect)
 
     attack = sub.add_parser("attack", help="apply a §4 attack")
@@ -354,6 +424,25 @@ def build_parser() -> argparse.ArgumentParser:
     schema.add_argument("--validate-dtd",
                         help="validate the document against this DTD")
     schema.set_defaults(handler=cmd_schema)
+
+    perf = sub.add_parser("perf", help="stage-timed pipeline profile")
+    perf.add_argument("--profile", default="bibliography",
+                      choices=sorted(PROFILES))
+    perf.add_argument("--size", type=int, default=200)
+    perf.add_argument("--seed", type=int, default=42)
+    perf.add_argument("--gamma", type=int, default=2)
+    perf.add_argument("--key", "-k", default="wmxml-perf-key")
+    perf.add_argument("--message", "-m", default="(c) WmXML")
+    perf.set_defaults(handler=cmd_perf)
+
+    bench = sub.add_parser(
+        "bench", help="run the E9 regression bench (BENCH_e9.json)")
+    bench.add_argument("--books", type=int, default=200)
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument("--output", "-o", default=perf_bench.BENCH_FILE)
+    bench.add_argument("--no-check", action="store_true",
+                       help="record timings without gating on regression")
+    bench.set_defaults(handler=cmd_bench)
 
     experiment = sub.add_parser("experiment",
                                 help="run an E1-E10 experiment")

@@ -8,6 +8,15 @@ decision domains so no two uses of the PRF ever collide, and the secret
 key never appears in any stored artefact (the paper's step 1: "A secret
 key is used to select a number of data elements ... safeguard the set of
 queries Q along with the secret key").
+
+Hot-path design: ``hmac.new`` re-derives the inner/outer pad key
+schedule on every call, which dominates short-message HMAC cost.  The
+schedule depends only on the key, so it is computed once per
+:class:`KeyedPRF` and reused through ``HMAC.copy()``.  On top of that a
+bounded memo caches whole digests — embedding and detection re-ask the
+same ``(purpose, identity)`` questions many times (selection, bit
+assignment, keyed domain orderings) — and batch APIs amortise the Python
+call overhead across many identities.
 """
 
 from __future__ import annotations
@@ -18,11 +27,14 @@ from typing import Iterable, Sequence, Union
 
 _SEPARATOR = b"\x1f"
 
+#: Bound on the per-key digest memo; evicts oldest entries beyond this.
+_MEMO_LIMIT = 8192
+
 
 class KeyedPRF:
     """HMAC-SHA256 pseudo-random function with purpose separation."""
 
-    __slots__ = ("_key",)
+    __slots__ = ("_key", "_hmac", "_memo", "_order_memo")
 
     def __init__(self, secret_key: Union[str, bytes]) -> None:
         if isinstance(secret_key, str):
@@ -30,6 +42,11 @@ class KeyedPRF:
         if not secret_key:
             raise ValueError("secret key must not be empty")
         self._key = secret_key
+        # The key schedule (inner/outer pads) is computed once here;
+        # every digest then clones this state instead of re-keying.
+        self._hmac = hmac.new(secret_key, digestmod=hashlib.sha256)
+        self._memo: dict[tuple[str, ...], bytes] = {}
+        self._order_memo: dict[tuple, list[str]] = {}
 
     def fingerprint(self) -> str:
         """Short public fingerprint of the key (safe to store)."""
@@ -38,10 +55,21 @@ class KeyedPRF:
     # -- primitives ------------------------------------------------------------
 
     def digest(self, purpose: str, *parts: str) -> bytes:
-        """Raw 32-byte HMAC over purpose and parts."""
+        """Raw 32-byte HMAC over purpose and parts (memoised)."""
+        memo_key = (purpose,) + parts
+        memo = self._memo
+        cached = memo.get(memo_key)
+        if cached is not None:
+            return cached
         message = _SEPARATOR.join(
             [purpose.encode("utf-8")] + [p.encode("utf-8") for p in parts])
-        return hmac.new(self._key, message, hashlib.sha256).digest()
+        mac = self._hmac.copy()
+        mac.update(message)
+        value = mac.digest()
+        if len(memo) >= _MEMO_LIMIT:
+            del memo[next(iter(memo))]
+        memo[memo_key] = value
+        return value
 
     def integer(self, purpose: str, *parts: str) -> int:
         """A uniform 64-bit integer derived from the inputs."""
@@ -54,9 +82,12 @@ class KeyedPRF:
     def stream(self, purpose: str, count: int, *parts: str) -> bytes:
         """``count`` pseudo-random bytes (counter-mode expansion)."""
         blocks: list[bytes] = []
+        length = 0
         counter = 0
-        while sum(len(b) for b in blocks) < count:
-            blocks.append(self.digest(purpose, *parts, str(counter)))
+        while length < count:
+            block = self.digest(purpose, *parts, str(counter))
+            blocks.append(block)
+            length += len(block)
             counter += 1
         return b"".join(blocks)[:count]
 
@@ -71,11 +102,34 @@ class KeyedPRF:
             raise ValueError("gamma must be >= 1")
         return self.integer("wm-select", identity) % gamma == 0
 
+    def selects_many(self, identities: Iterable[str],
+                     gamma: int) -> list[bool]:
+        """Batch form of :meth:`selects` over many identities."""
+        if gamma < 1:
+            raise ValueError("gamma must be >= 1")
+        digest = self.digest
+        return [
+            int.from_bytes(digest("wm-select", identity)[:8], "big")
+            % gamma == 0
+            for identity in identities
+        ]
+
     def bit_index(self, identity: str, nbits: int) -> int:
         """Which watermark bit the identified group carries."""
         if nbits < 1:
             raise ValueError("watermark must have at least one bit")
         return self.integer("wm-bitindex", identity) % nbits
+
+    def bit_indices(self, identities: Iterable[str],
+                    nbits: int) -> list[int]:
+        """Batch form of :meth:`bit_index` over many identities."""
+        if nbits < 1:
+            raise ValueError("watermark must have at least one bit")
+        digest = self.digest
+        return [
+            int.from_bytes(digest("wm-bitindex", identity)[:8], "big") % nbits
+            for identity in identities
+        ]
 
     def offsets(self, identity: str, count: int, modulus: int) -> list[int]:
         """``count`` distinct offsets in ``[0, modulus)`` for this identity.
@@ -103,6 +157,18 @@ class KeyedPRF:
         return self.integer(purpose, item)
 
     def keyed_order(self, purpose: str, items: Sequence[str]) -> list[str]:
-        """The items sorted by their keyed shuffle keys."""
-        return sorted(items, key=lambda item: (
-            self.shuffle_key(purpose, item), item))
+        """The items sorted by their keyed shuffle keys.
+
+        Orderings of closed domains are asked for once per embedded or
+        extracted value, so the sorted result is memoised per
+        ``(purpose, items)``.
+        """
+        memo_key = (purpose,) + tuple(items)
+        cached = self._order_memo.get(memo_key)
+        if cached is None:
+            cached = sorted(items, key=lambda item: (
+                self.shuffle_key(purpose, item), item))
+            if len(self._order_memo) >= _MEMO_LIMIT:
+                del self._order_memo[next(iter(self._order_memo))]
+            self._order_memo[memo_key] = cached
+        return list(cached)

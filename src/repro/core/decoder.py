@@ -36,6 +36,7 @@ from repro.core.watermark import (
     binomial_pvalue,
     bit_error_rate,
 )
+from repro.perf.profiler import profiled
 from repro.rewriting.rewriter import compile_logical
 from repro.semantics.errors import RecordError
 from repro.semantics.shape import DocumentShape
@@ -91,8 +92,9 @@ class WmXMLDecoder:
         self.alpha = alpha
         self._algorithms: dict[str, WatermarkAlgorithm] = {}
 
-    def _algorithm(self, name: str, params: dict) -> WatermarkAlgorithm:
-        cache_key = name + repr(sorted(params.items()))
+    def _algorithm(self, name: str, params: dict,
+                   cache_key: str) -> WatermarkAlgorithm:
+        """Plug-in lookup keyed by the query's precomputed cache key."""
         algorithm = self._algorithms.get(cache_key)
         if algorithm is None:
             algorithm = create_algorithm(name, params)
@@ -101,6 +103,7 @@ class WmXMLDecoder:
 
     # -- public API ------------------------------------------------------------
 
+    @profiled("decoder.detect")
     def detect(
         self,
         document: Document,
@@ -140,12 +143,14 @@ class WmXMLDecoder:
         tally = VoteTally()
         queries_answered = 0
         queries_rejected = 0
-        for wm_query in record.queries:
-            if not self._authentic(wm_query, record):
+        authentic_flags = self._authenticate_all(record)
+        for wm_query, authentic in zip(record.queries, authentic_flags):
+            if not authentic:
                 queries_rejected += 1
                 continue
             algorithm = self._algorithm(wm_query.algorithm,
-                                        wm_query.param_map)
+                                        wm_query.param_map,
+                                        wm_query.algorithm_cache_key)
             if executor is not None:
                 try:
                     nodes = executor.execute(wm_query.query)
@@ -198,13 +203,21 @@ class WmXMLDecoder:
 
     # -- helpers ------------------------------------------------------------
 
-    def _authentic(self, wm_query, record: WatermarkRecord) -> bool:
-        """True when the stored entry re-derives from the presented key."""
-        return (
-            self.prf.selects(wm_query.identity, record.gamma)
-            and self.prf.bit_index(wm_query.identity, record.nbits)
-            == wm_query.bit_index
-        )
+    def _authenticate_all(self, record: WatermarkRecord) -> list[bool]:
+        """Batch key authentication of every stored entry.
+
+        An entry is authentic when it re-derives from the presented
+        key: its keyed selection fires and its stored bit index matches
+        the key's derivation.  Both decisions run through the PRF's
+        batch APIs in two passes over the identities.
+        """
+        identities = [query.identity for query in record.queries]
+        selected = self.prf.selects_many(identities, record.gamma)
+        indices = self.prf.bit_indices(identities, record.nbits)
+        return [
+            chosen and index == query.bit_index
+            for query, chosen, index in zip(record.queries, selected, indices)
+        ]
 
     @staticmethod
     def _execute(document: Document, query, shape: DocumentShape) -> list:

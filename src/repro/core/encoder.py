@@ -24,6 +24,7 @@ from repro.core.record import WatermarkQuery, WatermarkRecord
 from repro.core.scheme import WatermarkingScheme
 from repro.core.selection import SelectionStats, select_groups
 from repro.core.watermark import Watermark
+from repro.perf.profiler import profiled
 from repro.xmlmodel.tree import Document, Element, Text
 from repro.xpath import NodeLike
 from repro.xpath.values import AttributeNode
@@ -96,8 +97,9 @@ class WmXMLEncoder:
         self.prf = KeyedPRF(secret_key)
         self._algorithms: dict[str, WatermarkAlgorithm] = {}
 
-    def _algorithm(self, name: str, params: dict) -> WatermarkAlgorithm:
-        cache_key = name + repr(sorted(params.items()))
+    def _algorithm(self, name: str, params: dict,
+                   cache_key: str) -> WatermarkAlgorithm:
+        """Plug-in lookup keyed by the spec's precomputed cache key."""
         algorithm = self._algorithms.get(cache_key)
         if algorithm is None:
             algorithm = create_algorithm(name, params)
@@ -106,6 +108,7 @@ class WmXMLEncoder:
 
     # -- public API ------------------------------------------------------------
 
+    @profiled("encoder.embed")
     def embed(self, document: Document, watermark: Watermark,
               in_place: bool = False) -> EmbeddingResult:
         """Embed ``watermark`` and return the marked copy plus Q.
@@ -135,7 +138,8 @@ class WmXMLEncoder:
         for slot in slots:
             group = slot.group
             carrier = group.carrier
-            algorithm = self._algorithm(carrier.algorithm, carrier.param_map)
+            algorithm = self._algorithm(carrier.algorithm, carrier.param_map,
+                                        carrier.algorithm_cache_key)
             bit = watermark.bits[slot.bit_index]
             embedded_any = False
             for node, value in zip(group.nodes, group.values):

@@ -23,10 +23,12 @@ Two identifier rules implement this:
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
+from functools import cached_property
+from json.encoder import encode_basestring as _json_string
 from typing import Any, Mapping, Optional, Sequence, Union
 
+from repro.perf.profiler import profiled
 from repro.rewriting.logical import LogicalQuery
 from repro.semantics.errors import RecordError
 from repro.semantics.records import Row
@@ -100,6 +102,15 @@ class CarrierSpec:
     def param_map(self) -> dict[str, Any]:
         return {name: value for name, value in self.params}
 
+    @cached_property
+    def algorithm_cache_key(self) -> str:
+        """Stable key identifying ``(algorithm, params)`` plug-in state.
+
+        Precomputed once per spec so the encoder's per-slot plug-in
+        lookup is a dict hit instead of a sort + ``repr`` per call.
+        """
+        return self.algorithm + repr(sorted(self.params))
+
 
 def identity_string(field_name: str,
                     bindings: Sequence[tuple[str, str]]) -> str:
@@ -109,9 +120,18 @@ def identity_string(field_name: str,
     positions or paths — which is exactly why WmXML identities survive
     reorganisation.  JSON encoding makes the string unambiguous no
     matter what characters the values contain.
+
+    The string is assembled directly from the C-accelerated JSON string
+    encoder rather than through ``json.dumps`` — identity strings are
+    built once per shredded row, so the generic encoder's dispatch
+    overhead is measurable.  Output is byte-identical to
+    ``json.dumps([field_name, sorted(bindings)], ensure_ascii=False,
+    separators=(",", ":"))`` (locked by the test suite).
     """
-    payload = [field_name, sorted(bindings)]
-    return json.dumps(payload, ensure_ascii=False, separators=(",", ":"))
+    pairs = ",".join(
+        f"[{_json_string(name)},{_json_string(value)}]"
+        for name, value in sorted(bindings))
+    return f"[{_json_string(field_name)},[{pairs}]]"
 
 
 @dataclass
@@ -138,6 +158,7 @@ class CarrierGroup:
         return len(set(self.values)) <= 1
 
 
+@profiled("identity.group")
 def build_carrier_groups(
     rows: Sequence[Row],
     carriers: Sequence[CarrierSpec],
@@ -161,38 +182,42 @@ def build_carrier_groups(
 
     groups: list[CarrierGroup] = []
     for carrier in carriers:
+        carrier_field = carrier.field
+        identifier_fields = carrier.identifier.fields
         by_identity: dict[str, CarrierGroup] = {}
         order: list[str] = []
+        # Hash-set dedupe per group: tree nodes hash by object identity,
+        # AttributeNode by (owner, name) — both correct here because
+        # shredding re-wraps the same attribute in fresh AttributeNode
+        # instances for every row.  (A linear `node in group.nodes` scan
+        # here made grouping O(n²) for large FD groups.)
+        seen_nodes: dict[str, set] = {}
         for row in rows:
-            if carrier.field not in row.values:
+            values = row.values
+            if carrier_field not in values:
                 continue
-            if any(name not in row.values
-                   for name in carrier.identifier.fields):
+            if any(name not in values for name in identifier_fields):
                 continue
-            bindings = [
-                (name, row.values[name])
-                for name in carrier.identifier.fields
-            ]
-            identity = identity_string(carrier.field, bindings)
+            bindings = [(name, values[name]) for name in identifier_fields]
+            identity = identity_string(carrier_field, bindings)
             group = by_identity.get(identity)
             if group is None:
                 group = CarrierGroup(
                     carrier=carrier,
                     identity=identity,
                     query=LogicalQuery.create(
-                        carrier.field, dict(bindings)),
+                        carrier_field, dict(bindings)),
                     nodes=[],
                     values=[],
                 )
                 by_identity[identity] = group
                 order.append(identity)
-            node = row.nodes[carrier.field]
-            # Equality dedupe: tree nodes compare by object identity,
-            # AttributeNode compares by (owner, name) — both correct here
-            # because shredding re-wraps the same attribute in fresh
-            # AttributeNode instances for every row.
-            if node not in group.nodes:
+                seen_nodes[identity] = set()
+            node = row.nodes[carrier_field]
+            seen = seen_nodes[identity]
+            if node not in seen:
+                seen.add(node)
                 group.nodes.append(node)
-                group.values.append(row.values[carrier.field])
+                group.values.append(values[carrier_field])
         groups.extend(by_identity[identity] for identity in order)
     return groups

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Any, Optional
 
 from repro.rewriting.logical import LogicalQuery
@@ -36,6 +37,11 @@ class WatermarkQuery:
     @property
     def param_map(self) -> dict[str, Any]:
         return {name: value for name, value in self.params}
+
+    @cached_property
+    def algorithm_cache_key(self) -> str:
+        """Stable key identifying ``(algorithm, params)`` plug-in state."""
+        return self.algorithm + repr(sorted(self.params))
 
     def to_dict(self) -> dict:
         return {

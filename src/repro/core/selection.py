@@ -19,6 +19,7 @@ from typing import Sequence
 
 from repro.core.crypto import KeyedPRF
 from repro.core.identity import CarrierGroup
+from repro.perf.profiler import profiled
 
 
 @dataclass
@@ -45,21 +46,31 @@ class SelectionStats:
         return self.selected / self.candidates
 
 
+@profiled("selection.select")
 def select_groups(
     groups: Sequence[CarrierGroup],
     prf: KeyedPRF,
     gamma: int,
     nbits: int,
 ) -> tuple[list[EmbeddingSlot], SelectionStats]:
-    """Apply the keyed 1-in-gamma selection to ``groups``."""
-    slots: list[EmbeddingSlot] = []
-    for group in groups:
-        if not prf.selects(group.identity, gamma):
-            continue
-        slots.append(EmbeddingSlot(
-            group=group,
-            bit_index=prf.bit_index(group.identity, nbits),
-        ))
+    """Apply the keyed 1-in-gamma selection to ``groups``.
+
+    Selection and bit assignment run through the PRF's batch APIs
+    (:meth:`~repro.core.crypto.KeyedPRF.selects_many` /
+    :meth:`~repro.core.crypto.KeyedPRF.bit_indices`), amortising the
+    per-call overhead across all candidate groups.
+    """
+    selected_flags = prf.selects_many(
+        (group.identity for group in groups), gamma)
+    selected_groups = [
+        group for group, chosen in zip(groups, selected_flags) if chosen
+    ]
+    indices = prf.bit_indices(
+        (group.identity for group in selected_groups), nbits)
+    slots = [
+        EmbeddingSlot(group=group, bit_index=bit_index)
+        for group, bit_index in zip(selected_groups, indices)
+    ]
     stats = SelectionStats(
         candidates=len(groups), selected=len(slots), gamma=gamma)
     return slots, stats

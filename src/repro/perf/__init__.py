@@ -1,0 +1,35 @@
+"""Performance instrumentation for the WmXML pipeline.
+
+The ROADMAP north star is a system that "runs as fast as the hardware
+allows"; this package is how that is *measured* rather than assumed:
+
+* :mod:`repro.perf.timers` — :class:`StageTimer`, a nestable stage
+  stopwatch the CLI's ``--profile`` flag and the ``wmxml perf``
+  subcommand wrap around the embed/detect pipeline;
+* :mod:`repro.perf.profiler` — the ``@profiled`` decorator and the
+  active-timer stack that let library internals report stages without
+  threading a timer argument everywhere;
+* :mod:`repro.perf.reporter` — :class:`ThroughputReporter`, which turns
+  raw stage timings plus work counts into elements/sec and queries/sec;
+* :mod:`repro.perf.bench` — the E9 regression bench: runs the pipeline
+  stages, archives results to ``BENCH_e9.json``, and fails when a stage
+  regresses more than 20% against the best recorded run.
+
+``repro.perf.bench`` is deliberately *not* imported here: core modules
+use ``@profiled`` on their hot paths, so this package ``__init__`` must
+stay importable from below the core layer (bench imports the encoder,
+which would close an import cycle).
+"""
+
+from repro.perf.profiler import active_timer, profiled, use_timer
+from repro.perf.reporter import ThroughputReporter
+from repro.perf.timers import StageStats, StageTimer
+
+__all__ = [
+    "StageStats",
+    "StageTimer",
+    "ThroughputReporter",
+    "active_timer",
+    "profiled",
+    "use_timer",
+]

@@ -1,0 +1,232 @@
+"""The E9 regression bench: measure, archive, and gate the hot path.
+
+Runs the stages E9 measures (shred, embed, detect via per-query scan,
+detect via the indexed executor, parse) over the bibliography dataset,
+taking the best of several repeats per stage.  Results are archived to
+``BENCH_e9.json``; once a best time is on record, any stage more than
+:data:`REGRESSION_THRESHOLD` slower than its best fails the run — so a
+PR that quietly re-introduces a quadratic loop is caught by CI, not by
+a user.
+
+Used by ``wmxml bench`` and by ``benchmarks/regression.py`` (the
+``run_bench.sh`` entry point).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from typing import Optional
+
+#: A stage this much slower than its best recorded time is a regression.
+REGRESSION_THRESHOLD = 1.20
+
+#: Default archive location (repo root by convention).
+BENCH_FILE = "BENCH_e9.json"
+
+_FORMAT = "wmxml-bench-e9-v1"
+
+#: How many archived runs to keep (oldest dropped first).
+_HISTORY_LIMIT = 50
+
+
+class BenchError(RuntimeError):
+    """A bench run that cannot produce meaningful timings."""
+
+
+def _host() -> str:
+    """Stable identifier for the measuring machine.
+
+    Best times are only comparable on the same hardware, so the archive
+    keys them per host: a contributor on a slower machine records their
+    own baseline on first run instead of failing against someone
+    else's.
+    """
+    return platform.node() or "unknown-host"
+
+
+def run_e9_bench(books: int = 200, repeats: int = 3,
+                 secret_key: str = "wmxml-bench-key",
+                 message: str = "(c) WmXML", gamma: int = 2) -> dict:
+    """Measure the E9 pipeline stages; best-of-``repeats`` per stage.
+
+    Returns ``{"books", "elements", "queries", "stages": {name: ms}}``.
+    Detection outcomes are asserted along the way so a bench run can
+    never report a fast time for a broken pipeline.
+    """
+    # Imported here: this module is reachable from ``repro.perf`` docs
+    # while the core layer itself uses ``repro.perf.profiler``.
+    from repro.core import Watermark, WmXMLDecoder, WmXMLEncoder
+    from repro.datasets import bibliography
+    from repro.xmlmodel import parse, serialize
+
+    document = bibliography.generate_document(bibliography.BibliographyConfig(
+        books=books, editors=max(2, books // 13), seed=42))
+    scheme = bibliography.default_scheme(gamma)
+    watermark = Watermark.from_message(message)
+    text = serialize(document)
+
+    stages: dict[str, float] = {}
+
+    def best(name: str, func) -> None:
+        best_seconds = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            func()
+            elapsed = time.perf_counter() - start
+            if best_seconds is None or elapsed < best_seconds:
+                best_seconds = elapsed
+        stages[name] = best_seconds * 1000.0
+
+    best("parse_ms", lambda: parse(text))
+    best("shred_ms", lambda: scheme.shape.shred(document))
+
+    result_box: dict = {}
+
+    def do_embed() -> None:
+        encoder = WmXMLEncoder(scheme, secret_key)
+        result_box["result"] = encoder.embed(document, watermark)
+
+    best("embed_ms", do_embed)
+    result = result_box["result"]
+
+    def do_detect(indexed: bool) -> None:
+        decoder = WmXMLDecoder(secret_key)
+        outcome = decoder.detect(result.document, result.record,
+                                 scheme.shape, expected=watermark,
+                                 indexed=indexed)
+        if not outcome.detected:
+            raise BenchError(
+                f"bench pipeline failed to detect its own mark at "
+                f"books={books} (votes {outcome.votes_matching}/"
+                f"{outcome.votes_total}); the document is too small to "
+                "carry the watermark — use a larger --books")
+
+    best("detect_scan_ms", lambda: do_detect(False))
+    best("detect_indexed_ms", lambda: do_detect(True))
+
+    return {
+        "books": books,
+        "elements": document.count_elements(),
+        "queries": len(result.record.queries),
+        "stages": stages,
+    }
+
+
+# -- history ------------------------------------------------------------
+
+
+def load_history(path: str) -> dict:
+    """Load the bench archive, or a fresh skeleton when absent.
+
+    ``best`` maps host -> stage -> best milliseconds; timings are only
+    comparable within one machine.
+    """
+    if not os.path.exists(path):
+        return {"format": _FORMAT, "best": {}, "runs": []}
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("format") != _FORMAT:
+        raise ValueError(f"{path} is not a {_FORMAT} archive")
+    return data
+
+
+def best_for_host(history: dict, host: Optional[str] = None) -> dict:
+    """The recorded best stage times for ``host`` (default: this one)."""
+    return dict(history["best"].get(host or _host(), {}))
+
+
+def check_regression(stages: dict[str, float], best: dict[str, float],
+                     threshold: float = REGRESSION_THRESHOLD) -> list[str]:
+    """Describe every stage slower than ``threshold`` × its best time."""
+    failures: list[str] = []
+    for name, current in sorted(stages.items()):
+        recorded = best.get(name)
+        if recorded is None or recorded <= 0:
+            continue
+        ratio = current / recorded
+        if ratio > threshold:
+            failures.append(
+                f"{name}: {current:.3f} ms vs best {recorded:.3f} ms "
+                f"({ratio:.2f}x > {threshold:.2f}x allowed)")
+    return failures
+
+
+def save_run(path: str, run: dict) -> dict:
+    """Append ``run`` to the archive and fold its times into ``best``.
+
+    Returns the updated history.  ``best`` only ever decreases, so a
+    regressing run is archived (for trend analysis) without loosening
+    the gate.
+    """
+    history = load_history(path)
+    entry = dict(run)
+    entry["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    entry["python"] = platform.python_version()
+    entry.setdefault("host", _host())
+    history["runs"].append(entry)
+    history["runs"] = history["runs"][-_HISTORY_LIMIT:]
+    best = history["best"].setdefault(entry["host"], {})
+    for name, value in run["stages"].items():
+        recorded = best.get(name)
+        if recorded is None or value < recorded:
+            best[name] = value
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(history, handle, indent=2)
+        handle.write("\n")
+    return history
+
+
+def run_and_check(path: str = BENCH_FILE, books: int = 200,
+                  repeats: int = 3, check: bool = True,
+                  printer=print) -> int:
+    """Full bench workflow: measure, compare against best, archive.
+
+    Returns a process exit code (1 on regression).  The comparison runs
+    against the best times *before* this run, then the run is archived
+    either way.
+    """
+    run = run_e9_bench(books=books, repeats=repeats)
+    previous_best = best_for_host(load_history(path))
+    printer(f"E9 bench: {run['books']} books, {run['elements']} elements, "
+            f"{run['queries']} queries  [host {_host()}]")
+    for name, value in run["stages"].items():
+        recorded = previous_best.get(name)
+        baseline = f"  (best {recorded:.3f} ms)" if recorded else ""
+        printer(f"  {name:>18}: {value:>9.3f} ms{baseline}")
+    failures = check_regression(run["stages"], previous_best) if check else []
+    save_run(path, run)
+    printer(f"archived to {path}")
+    if failures:
+        printer("PERF REGRESSION (>20% over best recorded run):")
+        for failure in failures:
+            printer(f"  {failure}")
+        return 1
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the E9 perf bench and gate regressions")
+    parser.add_argument("--books", type=int, default=200,
+                        help="bibliography size (default 200)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repeats per stage, best kept (default 3)")
+    parser.add_argument("--output", "-o", default=BENCH_FILE,
+                        help=f"archive path (default {BENCH_FILE})")
+    parser.add_argument("--no-check", action="store_true",
+                        help="record only; do not fail on regression")
+    args = parser.parse_args(argv)
+    try:
+        return run_and_check(path=args.output, books=args.books,
+                             repeats=args.repeats, check=not args.no_check)
+    except (BenchError, ValueError) as error:
+        print(f"error: {error}")
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via scripts
+    raise SystemExit(main())

@@ -1,0 +1,60 @@
+"""The ``@profiled`` decorator and the active-timer stack.
+
+Library internals cannot take a :class:`~repro.perf.timers.StageTimer`
+argument without polluting every signature, so the profiler keeps a
+small stack of active timers instead: ``use_timer(timer)`` activates one
+for a ``with`` block, and any ``@profiled`` function that runs inside
+records into it.  When no timer is active the decorator's overhead is a
+single list check — cheap enough to leave instrumentation on in
+production code paths.
+"""
+
+from __future__ import annotations
+
+import functools
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional, TypeVar
+
+from repro.perf.timers import StageTimer
+
+_ACTIVE: list[StageTimer] = []
+
+F = TypeVar("F", bound=Callable)
+
+
+def active_timer() -> Optional[StageTimer]:
+    """The innermost active timer, or None."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def use_timer(timer: StageTimer) -> Iterator[StageTimer]:
+    """Activate ``timer`` for the enclosed block."""
+    _ACTIVE.append(timer)
+    try:
+        yield timer
+    finally:
+        _ACTIVE.pop()
+
+
+def profiled(stage: Optional[str] = None) -> Callable[[F], F]:
+    """Record the wrapped function's wall time under ``stage``.
+
+    ``stage`` defaults to the function's qualified name.  Recording only
+    happens while a timer is active (see :func:`use_timer`); otherwise
+    the call passes straight through.
+    """
+
+    def decorate(func: F) -> F:
+        name = stage or func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            if not _ACTIVE:
+                return func(*args, **kwargs)
+            with _ACTIVE[-1].stage(name):
+                return func(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

@@ -1,0 +1,97 @@
+"""Stage timers: the measuring substrate of the perf package.
+
+A :class:`StageTimer` accumulates wall-clock time per named stage.
+Stages may repeat (every call adds to the stage's total and count) and
+may nest (each stage records its own wall time; nesting is purely an
+annotation concern — "shred" inside "embed" simply shows up as both).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+
+@dataclass
+class StageStats:
+    """Accumulated timing for one named stage."""
+
+    name: str
+    total_seconds: float = 0.0
+    calls: int = 0
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_seconds * 1000.0
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.calls if self.calls else 0.0
+
+    def add(self, seconds: float) -> None:
+        self.total_seconds += seconds
+        self.calls += 1
+
+
+class StageTimer:
+    """Accumulates wall-clock durations per named pipeline stage."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._stages: dict[str, StageStats] = {}
+
+    # -- recording ------------------------------------------------------------
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time the enclosed block under ``name``."""
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.record(name, self._clock() - start)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Add a measured duration to stage ``name``."""
+        stats = self._stages.get(name)
+        if stats is None:
+            stats = self._stages[name] = StageStats(name)
+        stats.add(seconds)
+
+    def measure(self, name: str, func: Callable, *args, **kwargs):
+        """Run ``func`` under stage ``name`` and return its result."""
+        with self.stage(name):
+            return func(*args, **kwargs)
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def stages(self) -> dict[str, StageStats]:
+        """name -> stats, in first-recorded order."""
+        return dict(self._stages)
+
+    def total_ms(self, name: str) -> float:
+        """Total milliseconds recorded under ``name`` (0 when absent)."""
+        stats = self._stages.get(name)
+        return stats.total_ms if stats else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """``{stage: total_ms}`` snapshot (JSON-friendly)."""
+        return {name: stats.total_ms for name, stats in self._stages.items()}
+
+    def render(self, title: Optional[str] = None) -> str:
+        """Human-readable stage table."""
+        lines: list[str] = []
+        if title:
+            lines.append(title)
+            lines.append("-" * len(title))
+        width = max((len(name) for name in self._stages), default=5)
+        lines.append(f"{'stage'.ljust(width)}  {'total-ms':>10}  "
+                     f"{'calls':>6}  {'mean-ms':>10}")
+        for stats in self._stages.values():
+            lines.append(
+                f"{stats.name.ljust(width)}  {stats.total_ms:>10.3f}  "
+                f"{stats.calls:>6}  {stats.mean_ms:>10.3f}")
+        return "\n".join(lines)

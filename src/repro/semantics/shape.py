@@ -23,10 +23,12 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import Optional, Sequence, Union
 
+from repro.perf.profiler import profiled
 from repro.semantics.errors import RecordError
 from repro.semantics.nesting import LevelSpec, NestingSpec
 from repro.semantics.records import FieldSpec, RecordSpec, Row
-from repro.xmlmodel.tree import Document, Element
+from repro.xmlmodel.tree import Document, Element, Text
+from repro.xpath.values import AttributeNode, NodeLike
 
 #: Kinds of field placement within a shape.
 ATTRIBUTE = "attribute"
@@ -113,9 +115,82 @@ class DocumentShape:
 
     # -- shredding / building ------------------------------------------------------------
 
+    @cached_property
+    def _shred_plan(self) -> tuple[tuple[FieldSpec, str, Optional[str], int], ...]:
+        """Per-field access plan: (spec, kind, name, parent hops).
+
+        Aligned with ``record_spec.fields`` order so the fast shredder
+        expands multi-valued fields in exactly the order the compiled
+        XPath path would, keeping row order bit-identical.
+        """
+        entity_depth = len(self.nesting.levels)
+        plan = []
+        for spec in self.record_spec.fields:
+            placement = self.placements[spec.name]
+            hops = entity_depth - 1 - placement.level_index
+            plan.append((spec, placement.kind, placement.name, hops))
+        return tuple(plan)
+
+    @profiled("shape.shred")
     def shred(self, document: Union[Document, Element]) -> list[Row]:
-        """Flatten a document of this shape into logical rows."""
-        return self.record_spec.shred(document)
+        """Flatten a document of this shape into logical rows.
+
+        Single-pass tree-walk shredder: entities are found by walking
+        the level-tag chain through the child-tag indexes, and each
+        field is read through direct parent hops — no XPath evaluation
+        per entity.  Produces exactly the rows
+        ``record_spec.shred(document)`` would (asserted by the test
+        suite), in the same order.
+        """
+        root = document.root if isinstance(document, Document) else document.root()
+        if not isinstance(root, Element) or root.tag != self.nesting.root:
+            return []
+        level_tags = self.level_tags()
+        rows: list[Row] = []
+        frontier: list[Element] = [root]
+        for tag in level_tags:
+            frontier = [
+                child for parent in frontier
+                for child in parent.children_by_tag(tag)
+            ]
+        for entity in frontier:
+            rows.extend(self._shred_entity_fast(entity))
+        return rows
+
+    def _shred_entity_fast(self, entity: Element):
+        spec_for_errors = self.record_spec
+        single_values: dict[str, str] = {}
+        single_nodes: dict[str, NodeLike] = {}
+        multi_fields: list[tuple[FieldSpec, list[NodeLike]]] = []
+        for spec, kind, name, hops in self._shred_plan:
+            owner = entity
+            for _ in range(hops):
+                owner = owner.parent
+            if kind == ATTRIBUTE:
+                value = owner.attributes.get(name)
+                if value is None:
+                    continue  # optional field absent on this entity
+                single_values[spec.name] = value.strip()
+                single_nodes[spec.name] = AttributeNode(owner, name)
+            elif kind == TEXT:
+                texts = [child for child in owner.children
+                         if isinstance(child, Text)]
+                if not texts:
+                    continue
+                if len(texts) > 1:
+                    raise RecordError(
+                        f"field {spec.name!r} is single-valued but "
+                        f"{entity.path()} has {len(texts)} matches; "
+                        "declare it multi=True")
+                single_values[spec.name] = texts[0].value.strip()
+                single_nodes[spec.name] = texts[0]
+            else:  # LEAF (multi-valued)
+                multi_fields.append(
+                    (spec, list(owner.children_by_tag(name))))
+        if not multi_fields:
+            return [Row(entity, dict(single_values), dict(single_nodes))]
+        return spec_for_errors._expand_multi(
+            entity, single_values, single_nodes, multi_fields)
 
     def build(self, rows: Sequence[Row]) -> Document:
         """Materialise rows as a document of this shape."""

@@ -99,9 +99,11 @@ class Node:
 
     def detach(self) -> "Node":
         """Remove this node from its parent (no-op when detached)."""
-        if self.parent is not None:
-            self.parent.children.remove(self)
+        parent = self.parent
+        if parent is not None:
+            parent.children.remove(self)
             self.parent = None
+            parent._mutated()
         return self
 
     # -- string value ------------------------------------------------------------
@@ -187,6 +189,10 @@ class ProcessingInstruction(Node):
         return f"ProcessingInstruction({self.target!r}, {self.data!r})"
 
 
+#: Shared empty result for tag lookups with no matches (never mutated).
+_NO_ELEMENTS: list = []
+
+
 class Element(Node):
     """An XML element: tag, ordered attributes, ordered children.
 
@@ -195,7 +201,9 @@ class Element(Node):
     :class:`Node` subclass; mixed content is supported.
     """
 
-    __slots__ = ("tag", "attributes", "children")
+    __slots__ = ("tag", "attributes", "children", "_children_stamp",
+                 "_subtree_stamp", "_child_index", "_index_stamp",
+                 "_order_cache", "_descendant_cache")
 
     def __init__(
         self,
@@ -206,6 +214,14 @@ class Element(Node):
     ) -> None:
         super().__init__()
         self.tag = validate_name(tag)
+        # Index/cache bookkeeping must exist before any child is appended.
+        self._children_stamp = 0
+        self._subtree_stamp = 0
+        self._child_index: Optional[dict[str, list["Element"]]] = None
+        self._index_stamp = -1
+        self._order_cache: Optional[tuple[int, dict]] = None
+        self._descendant_cache: Optional[
+            tuple[int, dict[str, list["Element"]]]] = None
         self.attributes: dict[str, str] = {}
         if attributes:
             for name, value in attributes.items():
@@ -217,6 +233,22 @@ class Element(Node):
             for child in children:
                 self.append(child)
 
+    # -- cache invalidation -----------------------------------------------------
+
+    def _mutated(self) -> None:
+        """Record a structural change under this element.
+
+        Bumps the local children stamp (invalidating the child-tag
+        index) and the subtree stamp of this element and every ancestor
+        (invalidating cached document-order keys), so lazily built
+        indexes are rebuilt on next use.
+        """
+        self._children_stamp += 1
+        node: Optional[Element] = self
+        while node is not None:
+            node._subtree_stamp += 1
+            node = node.parent
+
     # -- attribute access ------------------------------------------------------
 
     def set_attribute(self, name: str, value: str) -> None:
@@ -224,6 +256,9 @@ class Element(Node):
         validate_name(name)
         if not isinstance(value, str):
             value = str(value)
+        if name not in self.attributes:
+            # A new attribute occupies a document-order slot.
+            self._mutated()
         self.attributes[name] = value
 
     def get_attribute(self, name: str, default: Optional[str] = None) -> Optional[str]:
@@ -232,7 +267,9 @@ class Element(Node):
 
     def remove_attribute(self, name: str) -> None:
         """Delete attribute ``name`` if present."""
-        self.attributes.pop(name, None)
+        if name in self.attributes:
+            del self.attributes[name]
+            self._mutated()
 
     # -- child manipulation ------------------------------------------------------
 
@@ -244,6 +281,7 @@ class Element(Node):
             raise XMLTreeError("node already has a parent; detach it first")
         node.parent = self
         self.children.append(node)
+        self._mutated()
         return node
 
     def insert(self, index: int, node: Node) -> Node:
@@ -252,6 +290,7 @@ class Element(Node):
             raise XMLTreeError("node already has a parent; detach it first")
         node.parent = self
         self.children.insert(index, node)
+        self._mutated()
         return node
 
     def remove(self, node: Node) -> Node:
@@ -308,10 +347,18 @@ class Element(Node):
 
     def string_value(self) -> str:
         """XPath string-value: every descendant text node, in order."""
+        children = self.children
+        # Fast path for the dominant leaf shape: a single text child.
+        if len(children) == 1 and isinstance(children[0], Text):
+            return children[0].value
         parts: list[str] = []
-        for node in self.iter():
+        stack: list[Node] = list(reversed(children))
+        while stack:
+            node = stack.pop()
             if isinstance(node, Text):
                 parts.append(node.value)
+            elif isinstance(node, Element):
+                stack.extend(reversed(node.children))
         return "".join(parts)
 
     # -- traversal ------------------------------------------------------------
@@ -334,20 +381,37 @@ class Element(Node):
             if isinstance(node, Element) and (tag is None or node.tag == tag):
                 yield node
 
+    def _tag_index(self) -> dict[str, list["Element"]]:
+        """tag -> direct element children, rebuilt lazily after mutation."""
+        if self._child_index is None or self._index_stamp != self._children_stamp:
+            index: dict[str, list[Element]] = {}
+            for child in self.children:
+                if isinstance(child, Element):
+                    index.setdefault(child.tag, []).append(child)
+            self._child_index = index
+            self._index_stamp = self._children_stamp
+        return self._child_index
+
+    def children_by_tag(self, tag: str) -> list["Element"]:
+        """Direct element children with ``tag`` (shared indexed list).
+
+        The returned list is the index's own — callers must not mutate
+        it.  Use :meth:`child_elements` for an owned copy.
+        """
+        return self._tag_index().get(tag, _NO_ELEMENTS)
+
     def child_elements(self, tag: Optional[str] = None) -> list["Element"]:
         """Direct element children, optionally filtered by ``tag``."""
+        if tag is not None:
+            return list(self._tag_index().get(tag, ()))
         return [
-            child
-            for child in self.children
-            if isinstance(child, Element) and (tag is None or child.tag == tag)
+            child for child in self.children if isinstance(child, Element)
         ]
 
     def find(self, tag: str) -> Optional["Element"]:
         """First direct child element with ``tag``, or None."""
-        for child in self.children:
-            if isinstance(child, Element) and child.tag == tag:
-                return child
-        return None
+        matches = self._tag_index().get(tag)
+        return matches[0] if matches else None
 
     def find_text(self, tag: str, default: Optional[str] = None) -> Optional[str]:
         """Text of the first direct child with ``tag``, or ``default``."""
@@ -355,6 +419,47 @@ class Element(Node):
         if child is None:
             return default
         return child.text
+
+    def descendants_by_tag(self, tag: str) -> list["Element"]:
+        """Descendant-or-self elements with ``tag``, in document order.
+
+        Served from a per-subtree cache (tag -> elements) rebuilt after
+        any structural mutation below this element.  The returned list
+        is the cache's own — callers must not mutate it.
+        """
+        cache = self._descendant_cache
+        if cache is None or cache[0] != self._subtree_stamp:
+            by_tag: dict[str, list[Element]] = {}
+            for node in self.iter():
+                if isinstance(node, Element):
+                    by_tag.setdefault(node.tag, []).append(node)
+            cache = (self._subtree_stamp, by_tag)
+            self._descendant_cache = cache
+        return cache[1].get(tag, _NO_ELEMENTS)
+
+    def order_index(self) -> dict:
+        """Document-order ranks for this subtree, cached until mutation.
+
+        Maps ``id(node) -> rank`` for every node under (and including)
+        this element, and ``(id(element), attribute_name) -> rank`` for
+        attribute slots (attributes rank directly after their owner, as
+        the XPath data model requires).  The dict is rebuilt lazily when
+        the subtree stamp has moved — i.e. after any structural change.
+        """
+        cache = self._order_cache
+        if cache is not None and cache[0] == self._subtree_stamp:
+            return cache[1]
+        ranking: dict = {}
+        rank = 0
+        for node in self.iter():
+            ranking[id(node)] = rank
+            rank += 1
+            if isinstance(node, Element):
+                for name in node.attributes:
+                    ranking[(id(node), name)] = rank
+                    rank += 1
+        self._order_cache = (self._subtree_stamp, ranking)
+        return ranking
 
     # -- structure --------------------------------------------------------------
 
@@ -487,12 +592,11 @@ def document_order_key(document: Document) -> Callable[[Node], int]:
     """Return a function mapping nodes to their document-order rank.
 
     The XPath evaluator needs stable document order for node-set results;
-    computing the full order once and closing over the dict keeps sorting
-    O(n log n) overall.
+    the rank dict is served from the root's cached :meth:`Element.order_index`
+    (rebuilt only after structural mutation), keeping sorting O(n log n)
+    without a fresh walk per sort.
     """
-    order: dict[int, int] = {}
-    for rank, node in enumerate(document.iter()):
-        order[id(node)] = rank
+    order = document.root.order_index()
     total = len(order)
 
     def key(node: Node) -> int:

@@ -151,25 +151,29 @@ def _start_absolute(
     first = steps[0]
     if _is_anchor(first) and len(steps) >= 2 and steps[1].axis == ast.CHILD:
         fused = steps[1]
-        candidates: list[NodeLike] = [
-            node for node in _descendants_or_self(root)
-            if _test_matches(fused.test, node)
-        ]
+        candidates: list[NodeLike] = _descendant_matches(root, fused.test)
         for predicate in fused.predicates:
             candidates = _apply_predicate(candidates, predicate)
         return candidates, steps[2:]
     if first.axis == ast.CHILD:
         candidates = [root] if _test_matches(first.test, root) else []
     elif first.axis in (ast.DESCENDANT, ast.DESCENDANT_OR_SELF):
-        candidates = [
-            node for node in _descendants_or_self(root)
-            if _test_matches(first.test, node)
-        ]
+        candidates = _descendant_matches(root, first.test)
     else:
         return _evaluate_step(first, [root]), steps[1:]
     for predicate in first.predicates:
         candidates = _apply_predicate(candidates, predicate)
     return candidates, steps[1:]
+
+
+def _descendant_matches(root: Element, test: ast.Expression) -> list[NodeLike]:
+    """Descendant-or-self nodes of ``root`` matching ``test`` (indexed)."""
+    if isinstance(test, ast.NameTest) and test.name != "*":
+        return list(root.descendants_by_tag(test.name))
+    return [
+        node for node in _descendants_or_self(root)
+        if _test_matches(test, node)
+    ]
 
 
 def _evaluate_filter(expr: ast.FilterExpression, context: Context) -> XPathValue:
@@ -192,7 +196,11 @@ def _evaluate_step(step: ast.Step, nodes: list[NodeLike]) -> list[NodeLike]:
     gathered: list[NodeLike] = []
     for node in nodes:
         gathered.extend(_axis_candidates(step, node))
-    gathered = unique_nodes(gathered)
+    # Distinct context nodes can never share a child or an attribute, and
+    # a single context node yields unique candidates on every axis — the
+    # dedup pass is only needed for overlapping axes over several nodes.
+    if len(nodes) > 1 and step.axis not in (ast.CHILD, ast.ATTRIBUTE):
+        gathered = unique_nodes(gathered)
     for predicate in step.predicates:
         gathered = _apply_predicate(gathered, predicate)
     return gathered
@@ -200,8 +208,18 @@ def _evaluate_step(step: ast.Step, nodes: list[NodeLike]) -> list[NodeLike]:
 
 def _apply_predicate(nodes: list[NodeLike],
                      predicate: ast.Expression) -> list[NodeLike]:
+    fast = _fast_predicate(predicate)
+    if fast is not None:
+        kept = []
+        for node in nodes:
+            if isinstance(node, Element):
+                if fast(node):
+                    kept.append(node)
+            elif _matches_generic(predicate, node):
+                kept.append(node)
+        return kept
     size = len(nodes)
-    kept: list[NodeLike] = []
+    kept = []
     for position, node in enumerate(nodes, start=1):
         context = Context(node=node, position=position, size=size)
         value = evaluate(predicate, context)
@@ -212,6 +230,184 @@ def _apply_predicate(nodes: list[NodeLike],
         elif to_boolean(value):
             kept.append(node)
     return kept
+
+
+def _matches_generic(predicate: ast.Expression, node: NodeLike) -> bool:
+    """Generic single-node predicate test (fast-path fallback).
+
+    Only reached for non-element context nodes under a fast-compiled
+    predicate, which by construction is position-independent.
+    """
+    return to_boolean(evaluate(predicate, Context(node=node)))
+
+
+# -- compiled predicates ------------------------------------------------------------
+#
+# Detection evaluates tens of thousands of predicates of the shape the
+# query rewriter emits: conjunctions of ``child-path = 'literal'`` (and
+# the occasional numeric comparison).  Interpreting that through the
+# generic evaluator costs a Context allocation plus several dispatch
+# layers per node; compiling each predicate once into a closure over the
+# tree's child-tag indexes removes all of it.  Predicates that depend on
+# position()/last()/functions, or use axes outside the plain child/
+# attribute/text() chain, are left to the generic path (``None``).
+
+_FAST_UNSET = object()
+
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+
+
+def _fast_predicate(predicate: ast.Expression):
+    fast = getattr(predicate, "_fast_pred", _FAST_UNSET)
+    if fast is _FAST_UNSET:
+        fast = _compile_fast(predicate)
+        # AST nodes are frozen dataclasses; attach the compiled closure
+        # out-of-band so every cached query compiles each predicate once.
+        object.__setattr__(predicate, "_fast_pred", fast)
+    return fast
+
+
+def _compile_fast(predicate: ast.Expression):
+    if isinstance(predicate, ast.BinaryOp):
+        op = predicate.op
+        if op in ("and", "or"):
+            left = _compile_fast(predicate.left)
+            right = _compile_fast(predicate.right)
+            if left is None or right is None:
+                return None
+            if op == "and":
+                return lambda element: left(element) and right(element)
+            return lambda element: left(element) or right(element)
+        if op in _FLIPPED:
+            comparison = _compile_comparison(predicate.left, predicate.right,
+                                             op)
+            if comparison is None:
+                comparison = _compile_comparison(predicate.right,
+                                                 predicate.left, _FLIPPED[op])
+            return comparison
+        return None
+    if isinstance(predicate, ast.LocationPath):
+        collect = _compile_value_path(predicate)
+        if collect is None:
+            return None
+        return lambda element: bool(collect(element))
+    return None
+
+
+def _compile_comparison(path_side: ast.Expression, atom_side: ast.Expression,
+                        op: str):
+    """Closure for ``path op atom`` (existential node-set comparison)."""
+    if not isinstance(path_side, ast.LocationPath):
+        return None
+    collect = _compile_value_path(path_side)
+    if collect is None:
+        return None
+    if isinstance(atom_side, ast.Literal):
+        literal = atom_side.value
+        if op == "=":
+            return lambda element: literal in collect(element)
+        if op == "!=":
+            return lambda element: any(
+                value != literal for value in collect(element))
+        number = to_number(literal)
+        return lambda element: any(
+            _numeric_holds(op, to_number(value), number)
+            for value in collect(element))
+    if isinstance(atom_side, ast.Number):
+        number = atom_side.value
+        return lambda element: any(
+            _numeric_holds(op, to_number(value), number)
+            for value in collect(element))
+    return None
+
+
+def _numeric_holds(op: str, left: float, right: float) -> bool:
+    if math.isnan(left) or math.isnan(right):
+        return op == "!=" and not (math.isnan(left) and math.isnan(right))
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    return left >= right
+
+
+def _compile_value_path(path: ast.LocationPath):
+    """Closure Element -> list of string-values for a simple relative path.
+
+    Supported: ``tag``, ``tag1/tag2``, optionally terminated by
+    ``@name`` or ``text()`` — i.e. predicate-free child chains, exactly
+    what the query rewriter generates.
+    """
+    if path.absolute or not path.steps:
+        return None
+    steps = path.steps
+    tags: list[str] = []
+    tail = steps[-1]
+    for step in steps[:-1]:
+        if (step.axis != ast.CHILD or step.predicates
+                or not isinstance(step.test, ast.NameTest)
+                or step.test.name == "*"):
+            return None
+        tags.append(step.test.name)
+    if tail.predicates:
+        return None
+    if tail.axis == ast.CHILD and isinstance(tail.test, ast.NameTest) \
+            and tail.test.name != "*":
+        final_tag = tail.test.name
+
+        def collect(element: Element) -> list[str]:
+            values: list[str] = []
+            for owner in _walk_tags(element, tags):
+                for leaf in owner.children_by_tag(final_tag):
+                    values.append(leaf.string_value())
+            return values
+
+        return collect
+    if tail.axis == ast.ATTRIBUTE and isinstance(tail.test, ast.NameTest) \
+            and tail.test.name != "*":
+        attr_name = tail.test.name
+
+        def collect_attr(element: Element) -> list[str]:
+            values: list[str] = []
+            for owner in _walk_tags(element, tags):
+                value = owner.attributes.get(attr_name)
+                if value is not None:
+                    values.append(value)
+            return values
+
+        return collect_attr
+    if tail.axis == ast.CHILD and isinstance(tail.test, ast.NodeTypeTest) \
+            and tail.test.node_type == "text":
+
+        def collect_text(element: Element) -> list[str]:
+            values: list[str] = []
+            for owner in _walk_tags(element, tags):
+                for child in owner.children:
+                    if isinstance(child, Text):
+                        values.append(child.value)
+            return values
+
+        return collect_text
+    return None
+
+
+def _walk_tags(element: Element, tags: list[str]):
+    """Elements reached from ``element`` through the child-tag chain."""
+    current = [element]
+    for tag in tags:
+        scope: list[Element] = []
+        for node in current:
+            scope.extend(node.children_by_tag(tag))
+        if not scope:
+            return ()
+        current = scope
+    return current
 
 
 # -- axes ------------------------------------------------------------
@@ -231,15 +427,27 @@ def _axis_candidates(step: ast.Step, node: NodeLike) -> Iterator[NodeLike]:
         if parent is not None and _test_matches(step.test, parent):
             yield parent
     elif axis == ast.DESCENDANT_OR_SELF:
-        for candidate in _descendants_or_self(node):
-            if _test_matches(step.test, candidate):
-                yield candidate
+        test = step.test
+        if isinstance(node, Element) and isinstance(test, ast.NameTest) \
+                and test.name != "*":
+            yield from node.descendants_by_tag(test.name)
+        else:
+            for candidate in _descendants_or_self(node):
+                if _test_matches(test, candidate):
+                    yield candidate
     elif axis == ast.DESCENDANT:
-        for candidate in _descendants_or_self(node):
-            if candidate is node:
-                continue
-            if _test_matches(step.test, candidate):
-                yield candidate
+        test = step.test
+        if isinstance(node, Element) and isinstance(test, ast.NameTest) \
+                and test.name != "*":
+            for candidate in node.descendants_by_tag(test.name):
+                if candidate is not node:
+                    yield candidate
+        else:
+            for candidate in _descendants_or_self(node):
+                if candidate is node:
+                    continue
+                if _test_matches(test, candidate):
+                    yield candidate
     elif axis == ast.ANCESTOR:
         if isinstance(node, (Node,)):
             for ancestor in node.ancestors():
@@ -268,6 +476,10 @@ def _match_children(test: ast.Expression, node: NodeLike) -> Iterator[NodeLike]:
     if isinstance(node, AttributeNode):
         return
     if isinstance(node, Element):
+        if isinstance(test, ast.NameTest) and test.name != "*":
+            # Indexed lookup: only element children can match a name test.
+            yield from node.children_by_tag(test.name)
+            return
         for child in node.children:
             if _test_matches(test, child):
                 yield child
@@ -349,21 +561,14 @@ def _document_order(nodes: list[NodeLike]) -> list[NodeLike]:
     if len(roots) > 1:
         # Nodes from different documents: keep first-seen order.
         return nodes
-    ranking: dict[int, int] = {}
     root = _document_root(nodes[0])
-    rank = 0
-    for node in root.iter():
-        ranking[id(node)] = rank
-        rank += 1
-        if isinstance(node, Element):
-            for name in node.attributes:
-                ranking[(id(node), name)] = rank  # type: ignore[index]
-                rank += 1
+    ranking = root.order_index()
+    fallback = len(ranking)
 
     def order_key(node: NodeLike):
         if isinstance(node, AttributeNode):
-            return ranking.get((id(node.owner), node.name), rank)
-        return ranking.get(id(node), rank)
+            return ranking.get((id(node.owner), node.name), fallback)
+        return ranking.get(id(node), fallback)
 
     return sorted(nodes, key=order_key)
 

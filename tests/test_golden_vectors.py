@@ -1,0 +1,140 @@
+"""Golden-vector lock on the embed/detect pipeline.
+
+The hot-path overhaul (precomputed-state PRF, indexed tree, single-pass
+shredder) must preserve outputs *bit-for-bit*: the marked document, the
+stored query set Q, and every detection statistic.  The SHA-256 digests
+below were captured from the seed implementation before the refactor;
+any optimisation that changes a single selected group, perturbed value,
+or vote will flip a digest and fail here.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.core import Watermark, WmXMLDecoder, WmXMLEncoder
+from repro.datasets import bibliography, library
+from repro.rewriting import reorganize
+from repro.xmlmodel import serialize
+
+#: Captured from the seed implementation (commit 35d2983) with the exact
+#: configs used in the fixtures below.
+GOLDEN = {
+    "bibliography": {
+        "marked_sha256":
+            "e4be42bf4221ef09cf9fcfd618cb373c773758bea13c6b4206fce51d229e3833",
+        "record_sha256":
+            "f560a2be927e49a15d9bf452b13fe5e3f5031a72147a446c4d96c48bf0ce303d",
+        "queries": 64,
+        "nodes_modified": 43,
+        "selected_groups": 64,
+        "votes_total": 87,
+        "votes_matching": 87,
+        "queries_answered": 64,
+    },
+    "library": {
+        "marked_sha256":
+            "907c9235e9f1e0a420fcac45a36e7087138859392a216b63b5c338fae6b75e21",
+        "record_sha256":
+            "f86230e7992d81ffe4aa6e6d78adf35584e5bd51179a079bef687e908e9c553d",
+        "queries": 41,
+        "nodes_modified": 33,
+        "selected_groups": 41,
+        "votes_total": 53,
+        "votes_matching": 53,
+        "queries_answered": 41,
+    },
+    "bibliography-reorganized": {
+        "marked_sha256":
+            "e65f5a7d610bc5bedde90d9df7e71fd8f46624c3165788ec2edd4d2a8df87442",
+        "votes_total": 126,
+        "votes_matching": 126,
+        "queries_answered": 64,
+    },
+}
+
+
+def _embed_bibliography():
+    document = bibliography.generate_document(
+        bibliography.BibliographyConfig(books=60, editors=6, seed=1234))
+    scheme = bibliography.default_scheme(2)
+    watermark = Watermark.from_message("(c) golden")
+    result = WmXMLEncoder(scheme, "golden-key-bib").embed(document, watermark)
+    return scheme, watermark, "golden-key-bib", result
+
+
+def _embed_library():
+    document = library.generate_document(library.LibraryConfig(
+        items=60, seed=99))
+    scheme = library.default_scheme(3)
+    watermark = Watermark.from_message("GOLD")
+    result = WmXMLEncoder(scheme, "golden-key-lib").embed(document, watermark)
+    return scheme, watermark, "golden-key-lib", result
+
+
+EMBEDDERS = {
+    "bibliography": _embed_bibliography,
+    "library": _embed_library,
+}
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@pytest.mark.parametrize("profile", sorted(EMBEDDERS))
+def test_marked_document_and_record_are_bit_identical(profile):
+    golden = GOLDEN[profile]
+    scheme, watermark, key, result = EMBEDDERS[profile]()
+
+    assert _sha256(serialize(result.document)) == golden["marked_sha256"]
+    record_json = json.dumps(result.record.to_dict(), sort_keys=True)
+    assert _sha256(record_json) == golden["record_sha256"]
+    assert len(result.record.queries) == golden["queries"]
+    assert result.stats.nodes_modified == golden["nodes_modified"]
+    assert result.stats.selected_groups == golden["selected_groups"]
+
+
+@pytest.mark.parametrize("profile", sorted(EMBEDDERS))
+def test_detection_outcome_is_unchanged(profile):
+    golden = GOLDEN[profile]
+    scheme, watermark, key, result = EMBEDDERS[profile]()
+    outcome = WmXMLDecoder(key).detect(
+        result.document, result.record, scheme.shape, expected=watermark)
+
+    assert outcome.detected
+    assert outcome.votes_total == golden["votes_total"]
+    assert outcome.votes_matching == golden["votes_matching"]
+    assert outcome.queries_answered == golden["queries_answered"]
+    assert outcome.queries_rejected == 0
+
+
+@pytest.mark.parametrize("profile", sorted(EMBEDDERS))
+def test_indexed_detection_matches_scan_detection(profile):
+    scheme, watermark, key, result = EMBEDDERS[profile]()
+    decoder = WmXMLDecoder(key)
+    scan = decoder.detect(result.document, result.record, scheme.shape,
+                          expected=watermark)
+    indexed = decoder.detect(result.document, result.record, scheme.shape,
+                             expected=watermark, indexed=True)
+
+    assert indexed.votes_total == scan.votes_total
+    assert indexed.votes_matching == scan.votes_matching
+    assert indexed.queries_answered == scan.queries_answered
+    assert indexed.detected == scan.detected
+
+
+def test_reorganized_detection_is_unchanged():
+    golden = GOLDEN["bibliography-reorganized"]
+    scheme, watermark, key, result = _embed_bibliography()
+    target = bibliography.publisher_shape()
+    reorganized = reorganize(result.document, scheme.shape, target).document
+
+    assert _sha256(serialize(reorganized)) == golden["marked_sha256"]
+    outcome = WmXMLDecoder(key).detect(
+        reorganized, result.record, target, expected=watermark)
+    assert outcome.detected
+    assert outcome.votes_total == golden["votes_total"]
+    assert outcome.votes_matching == golden["votes_matching"]
+    assert outcome.queries_answered == golden["queries_answered"]

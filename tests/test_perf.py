@@ -1,0 +1,202 @@
+"""Tests for the perf subsystem: timers, profiler, reporter, bench."""
+
+import json
+
+import pytest
+
+from repro.perf import (
+    StageTimer,
+    ThroughputReporter,
+    active_timer,
+    profiled,
+    use_timer,
+)
+from repro.perf.bench import (
+    REGRESSION_THRESHOLD,
+    best_for_host,
+    check_regression,
+    load_history,
+    run_e9_bench,
+    save_run,
+)
+
+
+class TestStageTimer:
+    def test_records_and_accumulates(self):
+        timer = StageTimer()
+        timer.record("shred", 0.010)
+        timer.record("shred", 0.020)
+        timer.record("embed", 0.005)
+        assert timer.total_ms("shred") == pytest.approx(30.0)
+        assert timer.stages["shred"].calls == 2
+        assert timer.stages["shred"].mean_ms == pytest.approx(15.0)
+        assert timer.total_ms("embed") == pytest.approx(5.0)
+
+    def test_absent_stage_is_zero(self):
+        assert StageTimer().total_ms("nope") == 0.0
+
+    def test_stage_context_manager_uses_clock(self):
+        ticks = iter([0.0, 1.5])
+        timer = StageTimer(clock=lambda: next(ticks))
+        with timer.stage("work"):
+            pass
+        assert timer.total_ms("work") == pytest.approx(1500.0)
+
+    def test_measure_returns_result(self):
+        timer = StageTimer()
+        assert timer.measure("calc", lambda a, b: a + b, 2, 3) == 5
+        assert timer.stages["calc"].calls == 1
+
+    def test_records_even_when_block_raises(self):
+        timer = StageTimer()
+        with pytest.raises(ValueError):
+            with timer.stage("boom"):
+                raise ValueError("x")
+        assert timer.stages["boom"].calls == 1
+
+    def test_render_and_as_dict(self):
+        timer = StageTimer()
+        timer.record("alpha", 0.001)
+        text = timer.render("title")
+        assert "title" in text and "alpha" in text
+        assert timer.as_dict() == {"alpha": pytest.approx(1.0)}
+
+
+class TestProfiler:
+    def test_no_active_timer_is_passthrough(self):
+        @profiled("stage")
+        def work():
+            return 42
+
+        assert active_timer() is None
+        assert work() == 42
+
+    def test_active_timer_records_calls(self):
+        @profiled("inner")
+        def work():
+            return "ok"
+
+        timer = StageTimer()
+        with use_timer(timer) as active:
+            assert active is timer
+            assert active_timer() is timer
+            work()
+            work()
+        assert active_timer() is None
+        assert timer.stages["inner"].calls == 2
+
+    def test_default_stage_name_is_qualname(self):
+        @profiled()
+        def named_function():
+            return 1
+
+        timer = StageTimer()
+        with use_timer(timer):
+            named_function()
+        assert any("named_function" in name for name in timer.stages)
+
+    def test_nested_timers_record_into_innermost(self):
+        @profiled("x")
+        def work():
+            pass
+
+        outer, inner = StageTimer(), StageTimer()
+        with use_timer(outer):
+            with use_timer(inner):
+                work()
+        assert "x" in inner.stages
+        assert "x" not in outer.stages
+
+
+class TestThroughputReporter:
+    def test_rate(self):
+        reporter = ThroughputReporter()
+        line = reporter.add("embed", 500, 0.25, unit="elements")
+        assert line.rate == pytest.approx(2000.0)
+        assert "elements/s" in line.render()
+        assert "embed" in reporter.render()
+
+    def test_zero_seconds_rate_is_zero(self):
+        assert ThroughputReporter().add("x", 10, 0.0).rate == 0.0
+
+    def test_add_from_timer(self):
+        timer = StageTimer()
+        timer.record("detect", 0.5)
+        reporter = ThroughputReporter()
+        line = reporter.add_from_timer(timer, "detect", 100, unit="queries")
+        assert line is not None and line.rate == pytest.approx(200.0)
+        assert reporter.add_from_timer(timer, "absent", 100) is None
+
+
+class TestRegressionGate:
+    def test_regression_detected_beyond_threshold(self):
+        best = {"embed_ms": 10.0}
+        slow = {"embed_ms": 10.0 * REGRESSION_THRESHOLD * 1.1}
+        failures = check_regression(slow, best)
+        assert len(failures) == 1
+        assert "embed_ms" in failures[0]
+
+    def test_within_threshold_passes(self):
+        best = {"embed_ms": 10.0, "detect_scan_ms": 50.0}
+        current = {"embed_ms": 11.5, "detect_scan_ms": 40.0}
+        assert check_regression(current, best) == []
+
+    def test_unknown_stage_is_not_gated(self):
+        assert check_regression({"new_stage_ms": 100.0}, {}) == []
+
+    def test_history_roundtrip_and_best_only_decreases(self, tmp_path):
+        path = str(tmp_path / "BENCH_e9.json")
+        assert load_history(path)["runs"] == []
+        save_run(path, {"books": 10, "stages": {"embed_ms": 20.0}})
+        save_run(path, {"books": 10, "stages": {"embed_ms": 30.0}})
+        save_run(path, {"books": 10, "stages": {"embed_ms": 15.0}})
+        history = load_history(path)
+        assert len(history["runs"]) == 3
+        assert best_for_host(history)["embed_ms"] == pytest.approx(15.0)
+        assert all("timestamp" in run for run in history["runs"])
+        assert all("host" in run for run in history["runs"])
+
+    def test_best_is_kept_per_host(self, tmp_path):
+        path = str(tmp_path / "BENCH_e9.json")
+        save_run(path, {"books": 10, "host": "machine-a",
+                        "stages": {"embed_ms": 10.0}})
+        save_run(path, {"books": 10, "host": "machine-b",
+                        "stages": {"embed_ms": 40.0}})
+        history = load_history(path)
+        assert best_for_host(history, "machine-a")["embed_ms"] == 10.0
+        assert best_for_host(history, "machine-b")["embed_ms"] == 40.0
+        # A host with no recorded baseline gates against nothing.
+        assert best_for_host(history, "machine-c") == {}
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "other"}))
+        with pytest.raises(ValueError):
+            load_history(str(path))
+
+
+class TestBenchRun:
+    def test_small_bench_produces_all_stages(self):
+        run = run_e9_bench(books=10, repeats=1)
+        assert run["books"] == 10
+        assert run["elements"] > 0 and run["queries"] > 0
+        for stage in ("parse_ms", "shred_ms", "embed_ms",
+                      "detect_scan_ms", "detect_indexed_ms"):
+            assert run["stages"][stage] > 0
+
+    def test_run_and_check_cli_roundtrip(self, tmp_path, capsys):
+        from repro.perf import bench
+
+        path = str(tmp_path / "BENCH_e9.json")
+        assert bench.main(["--books", "10", "--repeats", "1",
+                           "--output", path]) == 0
+        out = capsys.readouterr().out
+        assert "archived to" in out
+        # Second run gates against the first; a same-machine rerun of a
+        # tiny bench should stay within the 20% window nearly always,
+        # but we only assert the workflow (exit code semantics) with
+        # check disabled to keep the test timing-independent.
+        assert bench.main(["--books", "10", "--repeats", "1",
+                           "--output", path, "--no-check"]) == 0
+        history = load_history(path)
+        assert len(history["runs"]) == 2

@@ -1,0 +1,123 @@
+"""The single-pass shredder must reproduce the XPath shredder exactly.
+
+``DocumentShape.shred`` walks the tree directly (one pass, child-tag
+indexes); ``RecordSpec.shred`` evaluates the compiled field paths per
+entity.  Every shape of every dataset profile — clean and reorganised —
+must yield identical rows in identical order, with the same backing
+nodes, or watermark identities would silently drift.
+"""
+
+import pytest
+
+from repro.core.identity import identity_string
+from repro.datasets import bibliography, jobs, library
+from repro.rewriting import reorganize
+from repro.xmlmodel.tree import Element
+from repro.xpath.values import AttributeNode
+
+
+def _profiles():
+    bib_doc = bibliography.generate_document(
+        bibliography.BibliographyConfig(books=40, editors=5, seed=7))
+    jobs_doc = jobs.generate_document(jobs.JobsConfig(jobs=40, seed=7))
+    lib_doc = library.generate_document(library.LibraryConfig(
+        items=40, seed=7))
+    return [
+        ("bibliography/book", bib_doc, bibliography.book_shape()),
+        ("bibliography/publisher", None, bibliography.publisher_shape()),
+        ("bibliography/editor", None, bibliography.editor_shape()),
+        ("jobs/listing", jobs_doc, jobs.listing_shape()),
+        ("jobs/by-company", None, jobs.by_company_shape()),
+        ("jobs/by-city", None, jobs.by_city_shape()),
+        ("library/catalogue", lib_doc, library.catalogue_shape()),
+        ("library/by-category", None, library.by_category_shape()),
+    ]
+
+
+def _same_node(fast, reference) -> bool:
+    if isinstance(fast, AttributeNode) or isinstance(reference, AttributeNode):
+        return fast == reference
+    return fast is reference
+
+
+def _assert_rows_equal(fast_rows, reference_rows):
+    assert len(fast_rows) == len(reference_rows)
+    for fast, reference in zip(fast_rows, reference_rows):
+        assert fast.entity is reference.entity
+        assert fast.values == reference.values
+        assert set(fast.nodes) == set(reference.nodes)
+        for name, node in fast.nodes.items():
+            assert _same_node(node, reference.nodes[name]), name
+
+
+def test_fast_shred_matches_xpath_shred_on_every_profile_shape():
+    cases = _profiles()
+    documents = {}
+    for name, document, shape in cases:
+        family = name.split("/")[0]
+        if document is not None:
+            documents[family] = document
+    for name, document, shape in cases:
+        family = name.split("/")[0]
+        base = documents[family]
+        if document is None:
+            # Reorganise the family's base document into this shape.
+            source = next(s for n, d, s in cases
+                          if n.split("/")[0] == family and d is not None)
+            document = reorganize(base, source, shape).document
+        fast = shape.shred(document)
+        reference = shape.record_spec.shred(document)
+        assert fast, name
+        _assert_rows_equal(fast, reference)
+
+
+def test_fast_shred_on_entity_subtree_matches_xpath():
+    document = bibliography.generate_document(
+        bibliography.BibliographyConfig(books=10, seed=3))
+    shape = bibliography.book_shape()
+    entity = document.root.children_by_tag("book")[0]
+    # XPath absolute entity paths resolve from the tree root even when
+    # handed a mid-tree element; the walker must do the same.
+    _assert_rows_equal(shape.shred(entity), shape.record_spec.shred(entity))
+
+
+def test_fast_shred_foreign_document_yields_nothing():
+    shape = bibliography.book_shape()
+    foreign = Element("catalog")
+    foreign.add_child("entry", text="x")
+    from repro.xmlmodel.tree import Document
+
+    assert shape.shred(Document(foreign)) == []
+
+
+def test_fast_shred_reflects_mutation():
+    document = bibliography.generate_document(
+        bibliography.BibliographyConfig(books=5, seed=3))
+    shape = bibliography.book_shape()
+    before = len(shape.shred(document))
+    document.root.children_by_tag("book")[0].detach()
+    after_rows = shape.shred(document)
+    assert len(after_rows) < before
+    _assert_rows_equal(after_rows, shape.record_spec.shred(document))
+
+
+class TestIdentityStringEncoder:
+    """The hand-rolled JSON encoder must match json.dumps byte-for-byte."""
+
+    CASES = [
+        ("field", [("a", "plain")]),
+        ("field", [("b", 'quotes " inside'), ("a", "and 'single'")]),
+        ("field", [("k", "back\\slash"), ("k2", "tab\there")]),
+        ("field", [("k", "newline\nand\rcarriage")]),
+        ("field", [("k", "unicode: åéîøü — 中文 🎉")]),
+        ("field", [("k", "control \x01\x1f chars")]),
+        ("f", []),
+    ]
+
+    @pytest.mark.parametrize("field_name,bindings", CASES)
+    def test_matches_json_dumps(self, field_name, bindings):
+        import json
+
+        expected = json.dumps([field_name, sorted(bindings)],
+                              ensure_ascii=False, separators=(",", ":"))
+        assert identity_string(field_name, bindings) == expected
