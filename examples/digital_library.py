@@ -19,8 +19,7 @@ Run:  python examples/digital_library.py
 
 import base64
 
-from repro.attacks import NodeDeletionAttack, ValueAlterationAttack
-from repro.core import Watermark, WmXMLDecoder, WmXMLEncoder
+from repro.api import NodeDeletionAttack, ValueAlterationAttack, WmXMLSystem
 from repro.datasets import library
 from repro.xpath import select_strings
 
@@ -32,11 +31,11 @@ def main() -> None:
     config = library.LibraryConfig(items=300, categories=8, seed=5,
                                    image_bytes=160)
     catalogue = library.generate_document(config)
-    scheme = library.default_scheme(gamma=1)  # dense marking
-    watermark = Watermark.from_message(MESSAGE)
 
-    encoder = WmXMLEncoder(scheme, SECRET_KEY)
-    result = encoder.embed(catalogue, watermark)
+    system = WmXMLSystem(SECRET_KEY, alpha=1e-6)
+    system.register("library", library.default_scheme(gamma=1))  # dense
+    pipeline = system.pipeline("library")
+    result = pipeline.embed(catalogue, MESSAGE)
     print(f"catalogue: {config.items} items, "
           f"{result.stats.nodes_modified} values perturbed "
           f"across {result.stats.embedded_groups} groups")
@@ -53,23 +52,21 @@ def main() -> None:
     print(f"image perturbation: {byte_flips}/{total_bytes} bytes "
           f"({100 * byte_flips / total_bytes:.2f}%), all LSB-only\n")
 
-    decoder = WmXMLDecoder(SECRET_KEY, alpha=1e-6)
-
     # Blind detection: no expected message supplied.
-    blind = decoder.detect(result.document, result.record, scheme.shape)
+    blind = pipeline.detect(result.document, result.record)
     print("=== blind detection ===")
     print(f"recovered bit positions: "
           f"{sum(b is not None for b in blind.recovered_bits)}"
           f"/{len(blind.recovered_bits)}")
-    print(f"recovered message: {blind.recovered_message!r}")
+    print(f"recovered message: {blind.recovered_message!r} "
+          f"(status: {blind.message_status})")
 
     # Robustness: a vandal deletes 30% of the catalogue's metadata and
     # scrambles 10% of the remaining values.
     vandal = ValueAlterationAttack(0.10, seed=7).apply(
         NodeDeletionAttack(0.30, tag="pages", seed=7).apply(
             result.document).document).document
-    verified = decoder.detect(vandal, result.record, scheme.shape,
-                              expected=watermark)
+    verified = pipeline.detect(vandal, result.record, expected=MESSAGE)
     print("\n=== after vandalism (30% pages deleted, 10% noise) ===")
     print(verified)
 

@@ -15,11 +15,10 @@ Reproduces the paper's running example end to end:
 Run:  python examples/figure1_reorganization.py
 """
 
+from repro.api import SchemeBuilder, Watermark, WmXMLSystem, parse, pretty
 from repro.baselines import AKWatermarker
-from repro.core import Watermark, WmXMLDecoder, WmXMLEncoder
 from repro.datasets import bibliography
 from repro.rewriting import LogicalQuery, reorganize, rewrite
-from repro.xmlmodel import parse, pretty
 from repro.xpath import select_strings
 
 DB1 = (
@@ -74,34 +73,30 @@ def main() -> None:
 
     # --- watermark in db1, detect in db2 --------------------------------------
     # price is absent in this small document; use a year+publisher scheme.
-    from repro.core import CarrierSpec, FDIdentifier, KeyIdentifier
-    from repro.core import WatermarkingScheme
     from repro.datasets import vocab
 
-    scheme = WatermarkingScheme(
-        shape=source,
-        carriers=[
-            CarrierSpec.create("year", "numeric", KeyIdentifier(("title",))),
-            CarrierSpec.create("publisher", "categorical",
-                               FDIdentifier(("editor",)),
-                               {"domain": list(vocab.PUBLISHERS)}),
-        ],
-        gamma=1)
-    watermark = Watermark.from_message("WM")
-    result = WmXMLEncoder(scheme, SECRET_KEY).embed(db1, watermark)
+    scheme = (SchemeBuilder(source)
+              .carrier("year", "numeric", key="title")
+              .carrier("publisher", "categorical", fd="editor",
+                       params={"domain": list(vocab.PUBLISHERS)})
+              .gamma(1)
+              .build())
+    system = WmXMLSystem(SECRET_KEY, alpha=0.05)
+    pipeline = system.pipeline(system.register("figure1", scheme))
+    result = pipeline.embed(db1, "WM")
     stolen = reorganize(result.document, source, target).document
 
-    decoder = WmXMLDecoder(SECRET_KEY, alpha=0.05)
-    rewritten = decoder.detect(stolen, result.record, target,
-                               expected=watermark)
-    unrewritten = decoder.detect(stolen, result.record, source,
-                                 expected=watermark)
+    rewritten = pipeline.detect(stolen, result.record, shape=target,
+                                expected="WM")
+    unrewritten = pipeline.detect(stolen, result.record, shape=source,
+                                  expected="WM")
     print("=== detection on the reorganised copy ===")
     print(f"WmXML with rewriting:    {rewritten}")
     print(f"WmXML without rewriting: {unrewritten}")
 
     ak = AKWatermarker(SECRET_KEY, source, scheme.carriers, gamma=1,
                        alpha=0.05)
+    watermark = Watermark.from_message("WM")
     ak_doc, ak_record = ak.embed(db1, watermark)
     ak_stolen = reorganize(ak_doc, source, target).document
     ak_outcome = ak.detect(ak_stolen, ak_record, watermark)

@@ -18,18 +18,14 @@ stored query set Q, the secret key, and query rewriting.
 Run:  python examples/job_agent.py
 """
 
-from repro.attacks import (
+from repro.api import (
     CompositeAttack,
     RedundancyUnificationAttack,
     ReductionAttack,
     ReorganizationAttack,
     SiblingShuffleAttack,
-)
-from repro.core import (
     UsabilityBaseline,
-    Watermark,
-    WmXMLDecoder,
-    WmXMLEncoder,
+    WmXMLSystem,
 )
 from repro.datasets import jobs
 
@@ -42,10 +38,11 @@ def main() -> None:
     config = jobs.JobsConfig(jobs=200, companies=12, cities=10, seed=3)
     feed = jobs.generate_document(config)
     scheme = jobs.default_scheme(gamma=3)
-    watermark = Watermark.from_message(MESSAGE)
 
-    encoder = WmXMLEncoder(scheme, SECRET_KEY)
-    published = encoder.embed(feed, watermark)
+    system = WmXMLSystem(SECRET_KEY, alpha=1e-3)
+    system.register("job-feed", scheme)
+    pipeline = system.pipeline("job-feed")
+    published = pipeline.embed(feed, MESSAGE)
     print(f"published feed: {feed.count_elements()} elements, "
           f"{published.stats.selected_groups} marked groups "
           f"({published.stats.nodes_modified} perturbed values)")
@@ -65,12 +62,12 @@ def main() -> None:
           "postings, reorganised by company")
 
     # --- the agent proves ownership -------------------------------------------
-    decoder = WmXMLDecoder(SECRET_KEY, alpha=1e-3)
     # The agent inspects the thief's site and models its organisation —
     # that model is the schema mapping of paper Figure 2; detection
     # rewrites every stored query against it.
-    outcome = decoder.detect(stolen.document, published.record,
-                             jobs.by_company_shape(), expected=watermark)
+    outcome = pipeline.detect(stolen.document, published.record,
+                              shape=jobs.by_company_shape(),
+                              expected=MESSAGE)
     print(f"\ndetection on the stolen copy: {outcome}")
 
     # The stolen copy is still useful to the thief (that is the point of
@@ -83,9 +80,10 @@ def main() -> None:
           "postings — what the thief kept still answers correctly)")
 
     # A competitor without the key cannot claim the same feed.
-    impostor = WmXMLDecoder("competitor-guess", alpha=1e-3)
-    claim = impostor.detect(stolen.document, published.record,
-                            jobs.by_company_shape(), expected=watermark)
+    impostor = WmXMLSystem("competitor-guess", alpha=1e-3)
+    claim = impostor.detect(scheme, stolen.document, published.record,
+                            shape=jobs.by_company_shape(),
+                            expected=MESSAGE)
     print(f"\nimpostor with wrong key: {claim}")
 
     assert outcome.detected and not claim.detected

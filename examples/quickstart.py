@@ -1,26 +1,23 @@
 #!/usr/bin/env python3
 """Quickstart: watermark the paper's own Figure 1 bibliography.
 
-Walks the complete WmXML lifecycle on a small generated bibliography:
+Walks the complete WmXML lifecycle through the :mod:`repro.api` facade
+on a small generated bibliography:
 
 1. generate data and inspect its semantics (key + FD),
-2. define the watermarking scheme (carriers, identifiers, templates),
-3. embed a watermark,
+2. define the watermarking scheme and save it as a ``scheme.json``
+   deployment artefact,
+3. embed a watermark through the system facade,
 4. verify it — on the marked document and on an attacked copy,
 5. confirm the usability guarantee of paper §2.1.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.attacks import ValueAlterationAttack
-from repro.core import (
-    UsabilityBaseline,
-    Watermark,
-    WmXMLDecoder,
-    WmXMLEncoder,
-)
+import json
+
+from repro import api
 from repro.datasets import bibliography
-from repro.xmlmodel import pretty
 
 SECRET_KEY = "the-owners-secret"
 MESSAGE = "(c) 2005 WmXML demo"
@@ -31,7 +28,7 @@ def main() -> None:
     config = bibliography.BibliographyConfig(books=40, editors=6, seed=1)
     document = bibliography.generate_document(config)
     print("=== sample of the data ===")
-    print(pretty(document.root.child_elements("book")[0]))
+    print(api.pretty(document.root.child_elements("book")[0]))
 
     # The semantics WmXML builds identifiers from:
     key = bibliography.semantic_key()
@@ -43,44 +40,50 @@ def main() -> None:
 
     # 2. The scheme: numeric year/price carriers identified by the title
     #    key; the categorical publisher carrier identified (and folded)
-    #    by the editor FD; usability templates with tolerances.
+    #    by the editor FD; usability templates with tolerances.  The
+    #    built scheme is a declarative artefact — it round-trips through
+    #    JSON, so a deployment is config, not code.
     scheme = bibliography.default_scheme(gamma=2)
+    artefact = scheme.to_json()
+    scheme = api.WatermarkingScheme.from_json(artefact)  # config round-trip
     print("=== watermarking scheme ===")
-    print(scheme.describe(), "\n")
+    print(scheme.describe())
+    print(f"(scheme.json artefact: {len(artefact)} bytes, "
+          f"format {json.loads(artefact)['format']})\n")
 
-    # 3. Embed.
-    watermark = Watermark.from_message(MESSAGE)
-    encoder = WmXMLEncoder(scheme, SECRET_KEY)
-    result = encoder.embed(document, watermark)
+    # 3. Embed, through the system facade that owns the secret key.
+    system = api.WmXMLSystem(SECRET_KEY, alpha=1e-3)
+    system.register("bibliography", scheme)
+    pipeline = system.pipeline("bibliography")
+    result = pipeline.embed(document, MESSAGE)
     stats = result.stats
     print("=== embedding ===")
-    print(f"watermark bits:    {len(watermark)}")
+    print(f"watermark bits:    {result.record.nbits}")
     print(f"capacity groups:   {stats.capacity_groups}")
     print(f"selected (1/{scheme.gamma}):    {stats.selected_groups}")
     print(f"nodes perturbed:   {stats.nodes_modified}")
     print(f"query set Q size:  {len(result.record)}\n")
 
     # 4. Detect — on the marked copy, and after an alteration attack.
-    decoder = WmXMLDecoder(SECRET_KEY, alpha=1e-3)
-    clean = decoder.detect(result.document, result.record, scheme.shape,
-                           expected=watermark)
+    clean = pipeline.detect(result.document, result.record,
+                            expected=MESSAGE)
     print("=== detection ===")
     print(f"marked document:   {clean}")
 
-    attacked = ValueAlterationAttack(rate=0.2, seed=9).apply(
+    attacked = api.ValueAlterationAttack(rate=0.2, seed=9).apply(
         result.document).document
-    after_attack = decoder.detect(attacked, result.record, scheme.shape,
-                                  expected=watermark)
+    after_attack = pipeline.detect(attacked, result.record,
+                                   expected=MESSAGE)
     print(f"after 20% noise:   {after_attack}")
 
-    stranger = WmXMLDecoder("not-the-key", alpha=1e-3)
-    wrong = stranger.detect(result.document, result.record, scheme.shape,
-                            expected=watermark)
+    stranger = api.WmXMLSystem("not-the-key", alpha=1e-3)
+    wrong = stranger.detect(scheme, result.document, result.record,
+                            expected=MESSAGE)
     print(f"wrong key:         {wrong}\n")
 
     # 5. Usability: embedding must not break the template answers.
-    baseline = UsabilityBaseline.snapshot(document, scheme.shape,
-                                          scheme.templates)
+    baseline = api.UsabilityBaseline.snapshot(document, scheme.shape,
+                                              scheme.templates)
     print("=== usability (paper §2.1) ===")
     print(f"marked document:   {baseline.evaluate(result.document)}")
     print(f"attacked document: {baseline.evaluate(attacked)}")

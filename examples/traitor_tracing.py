@@ -10,9 +10,8 @@ then shows what a two-partner collusion can and cannot achieve.
 Run:  python examples/traitor_tracing.py
 """
 
-from repro.attacks import CollusionAttack, ReductionAttack, \
-    SiblingShuffleAttack, ValueAlterationAttack, CompositeAttack
-from repro.core import Fingerprinter
+from repro.api import CollusionAttack, CompositeAttack, Fingerprinter, \
+    ReductionAttack, SiblingShuffleAttack, ValueAlterationAttack
 from repro.datasets import bibliography
 
 MASTER_KEY = "publisher-master-key"

@@ -7,6 +7,8 @@ EXPERIMENTS.md for the paper-versus-measured results.
 
 Package map (bottom-up):
 
+* :mod:`repro.api`        — **the public facade**: system, pipelines,
+  scheme builder, consolidated error hierarchy
 * :mod:`repro.xmlmodel`   — XML tree model, parser, serialisers
 * :mod:`repro.xpath`      — XPath 1.0-subset query engine
 * :mod:`repro.semantics`  — schemas, keys, FDs, records, shapes
@@ -18,7 +20,16 @@ Package map (bottom-up):
 * :mod:`repro.harness`    — experiments E1-E10 and result tables
 * :mod:`repro.cli`        — the ``wmxml`` command-line tool
 
-The most common entry points are re-exported here::
+New code should drive the system through the facade::
+
+    from repro import api
+
+    system = api.WmXMLSystem("owner-secret")
+    pipeline = system.pipeline(system.register("books", scheme))
+    result = pipeline.embed(document, "(c) me")
+
+The pre-facade entry points stay importable from here (and from
+:mod:`repro.core`) for existing callers::
 
     from repro import (Watermark, WatermarkingScheme, WmXMLEncoder,
                        WmXMLDecoder, CarrierSpec, KeyIdentifier,

@@ -1,0 +1,126 @@
+"""Fluent construction of watermarking schemes.
+
+A :class:`SchemeBuilder` assembles the four user inputs of Figure 4 —
+document shape, carrier fields with identifier rules, usability
+templates, and the selection density gamma — step by step, then
+validates everything at :meth:`SchemeBuilder.build` by constructing the
+:class:`~repro.core.scheme.WatermarkingScheme` (whose eager validation
+rejects unknown fields, self-identifying carriers, and bad plug-in
+parameters).
+
+The builder is the programmatic twin of the declarative JSON format:
+``builder.build().to_dict()`` is the document form, and
+``WatermarkingScheme.from_dict`` (or ``.load``) is the way back.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence, Union
+
+from repro.core.identity import CarrierSpec, FDIdentifier, KeyIdentifier
+from repro.core.scheme import WatermarkingScheme
+from repro.core.usability import UsabilityTemplate
+from repro.errors import SchemeFormatError
+from repro.semantics.shape import DocumentShape
+
+FieldNames = Union[str, Sequence[str]]
+
+
+def _fields_tuple(value: FieldNames) -> tuple[str, ...]:
+    if isinstance(value, str):
+        return (value,)
+    return tuple(value)
+
+
+class SchemeBuilder:
+    """Build a :class:`WatermarkingScheme` fluently.
+
+    Every method returns ``self`` so calls chain; :meth:`build` performs
+    the full validation and returns the immutable-ish scheme.  The
+    builder itself may be reused (``build`` does not consume it).
+    """
+
+    def __init__(self, shape: Optional[DocumentShape] = None) -> None:
+        self._shape = shape
+        self._carriers: list[CarrierSpec] = []
+        self._templates: list[UsabilityTemplate] = []
+        self._gamma = 4
+
+    # -- inputs ------------------------------------------------------------
+
+    def shape(self, shape: DocumentShape) -> "SchemeBuilder":
+        """The document organisation the scheme embeds through."""
+        self._shape = shape
+        return self
+
+    def gamma(self, gamma: int) -> "SchemeBuilder":
+        """Selection density: one carrier group in ``gamma`` is marked."""
+        self._gamma = gamma
+        return self
+
+    def carrier(
+        self,
+        field: str,
+        algorithm: str,
+        *,
+        key: Optional[FieldNames] = None,
+        fd: Optional[FieldNames] = None,
+        params: Optional[Mapping[str, Any]] = None,
+    ) -> "SchemeBuilder":
+        """Declare a carrier field.
+
+        Exactly one of ``key`` (entity-key identifier fields) or ``fd``
+        (FD left-hand-side fields, folding duplicates into one group)
+        must be given; either accepts a single field name or a sequence.
+        """
+        if (key is None) == (fd is None):
+            raise SchemeFormatError(
+                f"carrier {field!r}: declare exactly one of key=... "
+                "(entity-key identifier) or fd=... (FD identifier)")
+        if key is not None:
+            identifier = KeyIdentifier(_fields_tuple(key))
+        else:
+            identifier = FDIdentifier(_fields_tuple(fd))
+        self._carriers.append(
+            CarrierSpec.create(field, algorithm, identifier, params))
+        return self
+
+    def template(
+        self,
+        name: str,
+        target: str,
+        conditions: FieldNames,
+        *,
+        tolerance: float = 0.0,
+        casefold: bool = False,
+    ) -> "SchemeBuilder":
+        """Declare a §2.1 usability query template."""
+        self._templates.append(UsabilityTemplate(
+            name, target, _fields_tuple(conditions),
+            tolerance=tolerance, casefold=casefold))
+        return self
+
+    def templates(
+            self,
+            templates: Sequence[UsabilityTemplate]) -> "SchemeBuilder":
+        """Adopt already-constructed templates (e.g. a dataset's suite)."""
+        self._templates.extend(templates)
+        return self
+
+    # -- output ------------------------------------------------------------
+
+    def build(self) -> WatermarkingScheme:
+        """Validate and return the scheme (raises on misconfiguration)."""
+        if self._shape is None:
+            raise SchemeFormatError(
+                "no document shape declared; call .shape(...) first")
+        return WatermarkingScheme(
+            shape=self._shape,
+            carriers=list(self._carriers),
+            templates=list(self._templates),
+            gamma=self._gamma,
+        )
+
+    def to_dict(self) -> dict:
+        """Shorthand for ``build().to_dict()`` — the JSON artefact."""
+        return self.build().to_dict()

@@ -1,0 +1,167 @@
+"""The WmXML system facade: Figure 4 as a single object.
+
+A :class:`WmXMLSystem` owns the owner's secret key and a registry of
+named watermarking schemes (deployments).  Schemes register either as
+live :class:`~repro.core.scheme.WatermarkingScheme` objects, as
+declarative dicts, or straight from ``scheme.json`` files; each is
+compiled once into a :class:`~repro.api.pipeline.Pipeline` and cached,
+so repeated ``embed``/``detect`` calls pay no setup cost.
+
+The secret key never leaves the system: registry listings and log
+output only ever see its public fingerprint.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Iterable, Optional, Union
+
+from repro.api.pipeline import MessageLike, Pipeline
+from repro.core.crypto import KeyedPRF
+from repro.core.decoder import DetectionResult
+from repro.core.encoder import EmbeddingResult
+from repro.core.record import WatermarkRecord
+from repro.core.scheme import WatermarkingScheme
+from repro.errors import SchemeFormatError, UnknownSchemeError
+from repro.semantics.shape import DocumentShape
+from repro.xmlmodel.tree import Document
+
+SchemeLike = Union[str, WatermarkingScheme, dict]
+
+
+class WmXMLSystem:
+    """The owner's watermarking service: key + schemes + pipelines."""
+
+    def __init__(self, secret_key: Union[str, bytes],
+                 alpha: float = 1e-3) -> None:
+        self._secret_key = secret_key
+        self._fingerprint = KeyedPRF(secret_key).fingerprint()
+        self.alpha = alpha
+        self._schemes: dict[str, WatermarkingScheme] = {}
+        # Registered deployments hit the O(1) name-keyed cache (evicted
+        # when the name is re-registered); ad-hoc scheme objects/dicts
+        # fall back to a content-keyed cache so equal content shares
+        # one pipeline no matter how often it is re-sent.
+        self._named_pipelines: dict[tuple[str, float], Pipeline] = {}
+        self._content_pipelines: dict[tuple[str, float], Pipeline] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def key_fingerprint(self) -> str:
+        """Public fingerprint of the system's secret key."""
+        return self._fingerprint
+
+    # -- scheme registry ------------------------------------------------------------
+
+    def register(self, name: str,
+                 scheme: Union[WatermarkingScheme, dict]) -> WatermarkingScheme:
+        """Register a deployment under ``name``; returns the live scheme.
+
+        Accepts a built scheme or its declarative dict form.
+        Re-registering a name replaces it and evicts the name's
+        compiled pipelines.
+        """
+        if isinstance(scheme, dict):
+            scheme = WatermarkingScheme.from_dict(scheme)
+        with self._lock:
+            self._schemes[name] = scheme
+            self._named_pipelines = {
+                key: pipeline
+                for key, pipeline in self._named_pipelines.items()
+                if key[0] != name
+            }
+        return scheme
+
+    def register_file(self, name: str, path: str) -> WatermarkingScheme:
+        """Register a deployment from a ``scheme.json`` artefact."""
+        return self.register(name, WatermarkingScheme.load(path))
+
+    def scheme(self, name: str) -> WatermarkingScheme:
+        with self._lock:
+            try:
+                return self._schemes[name]
+            except KeyError:
+                raise UnknownSchemeError(name, self._schemes) from None
+
+    def scheme_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._schemes)
+
+    # -- compilation ------------------------------------------------------------
+
+    def _resolve(self, scheme: SchemeLike) -> WatermarkingScheme:
+        if isinstance(scheme, str):
+            return self.scheme(scheme)
+        if isinstance(scheme, dict):
+            return WatermarkingScheme.from_dict(scheme)
+        return scheme
+
+    def pipeline(self, scheme: SchemeLike,
+                 alpha: Optional[float] = None) -> Pipeline:
+        """The compiled pipeline for a scheme, cached.
+
+        Registered names are the hot path: a dict lookup per call, no
+        serialization.  Scheme objects and declarative dicts are keyed
+        by their *content*, so re-sending an equal deployment on every
+        request (the service case) still shares one pipeline — and one
+        set of warm PRF/plug-in caches.  Cache size is bounded by the
+        number of distinct deployments, not the number of calls.
+        """
+        effective_alpha = self.alpha if alpha is None else alpha
+        if isinstance(scheme, str):
+            key = (scheme, effective_alpha)
+            with self._lock:
+                pipeline = self._named_pipelines.get(key)
+            if pipeline is not None:
+                return pipeline
+            pipeline = Pipeline(self.scheme(scheme), self._secret_key,
+                                alpha=effective_alpha)
+            with self._lock:
+                return self._named_pipelines.setdefault(key, pipeline)
+        resolved = self._resolve(scheme)
+        try:
+            content = json.dumps(resolved.to_dict(), sort_keys=True)
+        except TypeError as error:
+            raise SchemeFormatError(
+                f"scheme is not JSON-serialisable: {error}") from error
+        key = (content, effective_alpha)
+        with self._lock:
+            pipeline = self._content_pipelines.get(key)
+            if pipeline is None:
+                pipeline = Pipeline(resolved, self._secret_key,
+                                    alpha=effective_alpha)
+                self._content_pipelines[key] = pipeline
+        return pipeline
+
+    # -- conveniences ------------------------------------------------------------
+
+    def embed(self, scheme: SchemeLike, document: Document,
+              message: MessageLike, in_place: bool = False) -> EmbeddingResult:
+        return self.pipeline(scheme).embed(document, message,
+                                           in_place=in_place)
+
+    def embed_many(self, scheme: SchemeLike,
+                   documents: Iterable[Document],
+                   message: MessageLike,
+                   in_place: bool = False) -> list[EmbeddingResult]:
+        return self.pipeline(scheme).embed_many(documents, message,
+                                                in_place=in_place)
+
+    def detect(
+        self,
+        scheme: SchemeLike,
+        document: Document,
+        record: WatermarkRecord,
+        *,
+        expected: Optional[MessageLike] = None,
+        shape: Optional[DocumentShape] = None,
+        strategy: str = "auto",
+    ) -> DetectionResult:
+        return self.pipeline(scheme).detect(
+            document, record, expected=expected, shape=shape,
+            strategy=strategy)
+
+    def __repr__(self) -> str:
+        return (f"WmXMLSystem(key_fingerprint={self._fingerprint!r}, "
+                f"schemes={self.scheme_names()!r})")

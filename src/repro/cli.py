@@ -12,10 +12,16 @@ Mirrors the workflow of the paper's demonstration (§4):
 * ``wmxml usability`` — score a document's usability against the
   original via the profile's query templates;
 * ``wmxml discover`` — mine candidate keys and FDs from a document;
+* ``wmxml scheme`` — export a profile's deployment as a declarative
+  ``scheme.json`` artefact (or describe one);
 * ``wmxml experiment`` — run one of the E1-E10 experiments.
 
 Dataset *profiles* bundle the shapes, schemes, and templates so the CLI
-stays declarative; custom deployments use the library API directly.
+stays declarative; every embedding/detecting subcommand also accepts
+``--scheme scheme.json`` to run a deployment from its declarative
+artefact instead of a built-in profile.  All watermarking runs through
+the :mod:`repro.api` facade — the CLI constructs no encoder or decoder
+of its own.
 """
 
 from __future__ import annotations
@@ -25,21 +31,19 @@ import sys
 from dataclasses import replace
 from typing import Optional
 
-from repro.attacks import (
+from repro.api import (
     NodeDeletionAttack,
     NodeInsertionAttack,
     RedundancyUnificationAttack,
     ReductionAttack,
     ReorganizationAttack,
     SiblingShuffleAttack,
-    ValueAlterationAttack,
-)
-from repro.core import (
     UsabilityBaseline,
-    Watermark,
+    ValueAlterationAttack,
     WatermarkRecord,
-    WmXMLDecoder,
-    WmXMLEncoder,
+    WatermarkingScheme,
+    WmXMLError,
+    WmXMLSystem,
 )
 from repro.datasets import bibliography, jobs, library
 from repro.harness import EXPERIMENTS, ExperimentConfig
@@ -109,6 +113,27 @@ def _profile(name: str) -> Profile:
             f"unknown profile {name!r}; choices: {sorted(PROFILES)}")
 
 
+def _scheme_for(args: argparse.Namespace, profile: Profile,
+                gamma: Optional[int] = None) -> WatermarkingScheme:
+    """The deployment for this invocation.
+
+    ``--scheme scheme.json`` wins (the artefact is authoritative,
+    including its gamma); otherwise the profile's default scheme with
+    the requested gamma.
+    """
+    path = getattr(args, "scheme_file", None)
+    if path:
+        try:
+            return WatermarkingScheme.load(path)
+        except OSError as error:
+            raise SystemExit(f"cannot read scheme {path!r}: {error}")
+        except WmXMLError as error:
+            raise SystemExit(f"bad scheme {path!r}: {error}")
+    if gamma is not None:
+        return profile.module.default_scheme(gamma=gamma)
+    return profile.module.default_scheme()
+
+
 # -- subcommand handlers ------------------------------------------------------------
 
 
@@ -123,23 +148,22 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 def cmd_embed(args: argparse.Namespace) -> int:
     profile = _profile(args.profile)
-    scheme = profile.module.default_scheme(gamma=args.gamma)
+    scheme = _scheme_for(args, profile, gamma=args.gamma)
+    system = WmXMLSystem(args.key)
     timer = StageTimer()
     with use_timer(timer):
         with timer.stage("parse"):
             document = parse_file(args.input, strip_whitespace=True)
-        watermark = Watermark.from_message(args.message)
-        encoder = WmXMLEncoder(scheme, args.key)
-        result = encoder.embed(document, watermark)
+        result = system.embed(scheme, document, args.message)
         with timer.stage("write"):
             write_file(args.output, result.document)
             result.record.save(args.record)
     if args.profile_stages:
         print(timer.render("embed pipeline stages"))
     stats = result.stats
-    print(f"embedded {len(watermark)}-bit watermark: "
+    print(f"embedded {result.record.nbits}-bit watermark: "
           f"{stats.selected_groups}/{stats.capacity_groups} groups "
-          f"selected (gamma={args.gamma}), "
+          f"selected (gamma={scheme.gamma}), "
           f"{stats.nodes_modified} nodes perturbed")
     print(f"marked document: {args.output}")
     print(f"query set Q:     {args.record}  (keep with your secret key)")
@@ -148,25 +172,40 @@ def cmd_embed(args: argparse.Namespace) -> int:
 
 def cmd_detect(args: argparse.Namespace) -> int:
     profile = _profile(args.profile)
-    shape = profile.shape(args.shape)
+    # Detection itself consumes only the record, the key, and the
+    # document's current shape; the scheme here just anchors the
+    # facade's pipeline (and, with --scheme, supplies the default
+    # shape for rewriting).
+    scheme = _scheme_for(args, profile)
+    if args.shape:
+        shape = profile.shape(args.shape)
+    elif getattr(args, "scheme_file", None):
+        shape = scheme.shape
+    else:
+        shape = profile.shape(None)
+    system = WmXMLSystem(args.key, alpha=args.alpha)
+    strategy = "indexed" if args.indexed else args.strategy
     timer = StageTimer()
     with use_timer(timer):
         with timer.stage("parse"):
             document = parse_file(args.input, strip_whitespace=True)
         record = WatermarkRecord.load(args.record)
-        decoder = WmXMLDecoder(args.key, alpha=args.alpha)
-        expected = (Watermark.from_message(args.message)
-                    if args.message else None)
-        outcome = decoder.detect(document, record, shape, expected=expected,
-                                 indexed=args.indexed)
+        outcome = system.detect(scheme, document, record,
+                                expected=args.message or None,
+                                shape=shape, strategy=strategy)
     if args.profile_stages:
         print(timer.render("detect pipeline stages"))
     print(outcome)
     if outcome.recovered_message:
         print(f"recovered message: {outcome.recovered_message!r}")
+    else:
+        print(f"no message decoded ({outcome.message_status})")
     if outcome.queries_rejected:
         print(f"warning: {outcome.queries_rejected} stored queries failed "
               "key authentication")
+    if args.result:
+        outcome.save(args.result)
+        print(f"detection result: {args.result}")
     return 0 if outcome.detected else 1
 
 
@@ -184,7 +223,10 @@ def cmd_attack(args: argparse.Namespace) -> int:
     elif args.kind == "shuffle":
         attack = SiblingShuffleAttack(seed=args.seed)
     elif args.kind == "reorganize":
-        source = profile.shape(args.shape)
+        if getattr(args, "scheme_file", None) and not args.shape:
+            source = _scheme_for(args, profile).shape
+        else:
+            source = profile.shape(args.shape)
         target = profile.shape(args.to_shape)
         attack = ReorganizationAttack(source, target)
     elif args.kind == "unify":
@@ -203,11 +245,18 @@ def cmd_attack(args: argparse.Namespace) -> int:
 
 def cmd_usability(args: argparse.Namespace) -> int:
     profile = _profile(args.profile)
-    original_shape = profile.shape(args.shape)
-    current_shape = profile.shape(args.current_shape or args.shape)
+    if getattr(args, "scheme_file", None):
+        scheme = _scheme_for(args, profile)
+        original_shape = (profile.shape(args.shape) if args.shape
+                          else scheme.shape)
+        templates = scheme.templates
+    else:
+        original_shape = profile.shape(args.shape)
+        templates = profile.module.usability_templates()
+    current_shape = (profile.shape(args.current_shape)
+                     if args.current_shape else original_shape)
     original = parse_file(args.original, strip_whitespace=True)
     suspected = parse_file(args.input, strip_whitespace=True)
-    templates = profile.module.usability_templates()
     baseline = UsabilityBaseline.snapshot(original, original_shape,
                                           templates)
     report = baseline.evaluate(suspected, current_shape)
@@ -259,25 +308,39 @@ def cmd_schema(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scheme(args: argparse.Namespace) -> int:
+    """Export a deployment as a declarative scheme.json, or describe one."""
+    if getattr(args, "scheme_file", None):
+        scheme = _scheme_for(args, None)
+    else:
+        profile = _profile(args.profile)
+        scheme = profile.module.default_scheme(gamma=args.gamma)
+    if args.output:
+        scheme.save(args.output)
+        print(f"wrote scheme artefact: {args.output}")
+    else:
+        print(scheme.describe())
+    return 0
+
+
 def cmd_perf(args: argparse.Namespace) -> int:
     """Stage-timed embed/detect pipeline with throughput rates."""
     profile = _profile(args.profile)
     document = profile.generate(args.size, args.seed)
-    scheme = profile.module.default_scheme(gamma=args.gamma)
-    watermark = Watermark.from_message(args.message)
+    scheme = _scheme_for(args, profile, gamma=args.gamma)
+    system = WmXMLSystem(args.key)
+    pipeline = system.pipeline(scheme)
     timer = StageTimer()
     with use_timer(timer):
-        encoder = WmXMLEncoder(scheme, args.key)
         with timer.stage("embed (total)"):
-            result = encoder.embed(document, watermark)
-        decoder = WmXMLDecoder(args.key)
+            result = pipeline.embed(document, args.message)
         with timer.stage("detect (scan)"):
-            scan = decoder.detect(result.document, result.record,
-                                  scheme.shape, expected=watermark)
+            scan = pipeline.detect(result.document, result.record,
+                                   expected=args.message, strategy="scan")
         with timer.stage("detect (indexed)"):
-            indexed = decoder.detect(result.document, result.record,
-                                     scheme.shape, expected=watermark,
-                                     indexed=True)
+            indexed = pipeline.detect(result.document, result.record,
+                                      expected=args.message,
+                                      strategy="indexed")
     if not (scan.detected and indexed.detected):
         print("warning: pipeline failed to detect its own watermark")
     elements = document.count_elements()
@@ -300,7 +363,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     try:
         return perf_bench.run_and_check(
             path=args.output, books=args.books, repeats=args.repeats,
-            check=not args.no_check)
+            check=not args.no_check, smoke=args.smoke)
     except (perf_bench.BenchError, ValueError) as error:
         print(f"error: {error}")
         return 2
@@ -352,6 +415,10 @@ def build_parser() -> argparse.ArgumentParser:
     embed = sub.add_parser("embed", help="embed a watermark")
     embed.add_argument("--profile", default="bibliography",
                        choices=sorted(PROFILES))
+    embed.add_argument("--scheme", dest="scheme_file",
+                       help="declarative scheme.json deployment artefact "
+                       "(overrides the profile's default scheme and "
+                       "--gamma)")
     embed.add_argument("--input", "-i", required=True)
     embed.add_argument("--output", "-o", required=True)
     embed.add_argument("--record", "-r", required=True,
@@ -367,6 +434,8 @@ def build_parser() -> argparse.ArgumentParser:
     detect = sub.add_parser("detect", help="detect a watermark")
     detect.add_argument("--profile", default="bibliography",
                         choices=sorted(PROFILES))
+    detect.add_argument("--scheme", dest="scheme_file",
+                        help="declarative scheme.json deployment artefact")
     detect.add_argument("--input", "-i", required=True)
     detect.add_argument("--record", "-r", required=True)
     detect.add_argument("--key", "-k", required=True)
@@ -375,9 +444,14 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--shape", help="current organisation of the data "
                         "(enables query rewriting)")
     detect.add_argument("--alpha", type=float, default=1e-3)
+    detect.add_argument("--strategy", default="auto",
+                        choices=["auto", "indexed", "scan"],
+                        help="query engine: indexed logical executor "
+                        "(one shred), per-query XPath scan, or auto")
     detect.add_argument("--indexed", action="store_true",
-                        help="answer queries through the indexed logical "
-                        "executor (one shred) instead of per-query XPath")
+                        help="deprecated alias for --strategy indexed")
+    detect.add_argument("--result", help="also save the detection result "
+                        "as versioned JSON here")
     detect.add_argument("--profile-stages", dest="profile_stages",
                         action="store_true",
                         help="print per-stage timings after detection")
@@ -386,6 +460,9 @@ def build_parser() -> argparse.ArgumentParser:
     attack = sub.add_parser("attack", help="apply a §4 attack")
     attack.add_argument("--profile", default="bibliography",
                         choices=sorted(PROFILES))
+    attack.add_argument("--scheme", dest="scheme_file",
+                        help="scheme.json whose shape is the reorganise "
+                        "attack's source organisation")
     attack.add_argument("--input", "-i", required=True)
     attack.add_argument("--output", "-o", required=True)
     attack.add_argument("--kind", required=True,
@@ -402,6 +479,9 @@ def build_parser() -> argparse.ArgumentParser:
                                help="score usability vs the original")
     usability.add_argument("--profile", default="bibliography",
                            choices=sorted(PROFILES))
+    usability.add_argument("--scheme", dest="scheme_file",
+                           help="scheme.json supplying the shape and "
+                           "usability templates")
     usability.add_argument("--original", required=True)
     usability.add_argument("--input", "-i", required=True)
     usability.add_argument("--shape", help="original organisation")
@@ -425,9 +505,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="validate the document against this DTD")
     schema.set_defaults(handler=cmd_schema)
 
+    scheme = sub.add_parser(
+        "scheme",
+        help="export a deployment as scheme.json, or describe one")
+    scheme.add_argument("--profile", default="bibliography",
+                        choices=sorted(PROFILES))
+    scheme.add_argument("--scheme", dest="scheme_file",
+                        help="describe/re-export an existing scheme.json "
+                        "instead of a profile default")
+    scheme.add_argument("--gamma", type=int, default=4)
+    scheme.add_argument("--output", "-o",
+                        help="write the declarative artefact here "
+                        "(omit to print a description)")
+    scheme.set_defaults(handler=cmd_scheme)
+
     perf = sub.add_parser("perf", help="stage-timed pipeline profile")
     perf.add_argument("--profile", default="bibliography",
                       choices=sorted(PROFILES))
+    perf.add_argument("--scheme", dest="scheme_file",
+                      help="declarative scheme.json deployment artefact")
     perf.add_argument("--size", type=int, default=200)
     perf.add_argument("--seed", type=int, default=42)
     perf.add_argument("--gamma", type=int, default=2)
@@ -442,6 +538,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--output", "-o", default=perf_bench.BENCH_FILE)
     bench.add_argument("--no-check", action="store_true",
                        help="record timings without gating on regression")
+    bench.add_argument("--smoke", action="store_true",
+                       help="CI smoke mode: single repetition, no "
+                       "regression gate, no archive write")
     bench.set_defaults(handler=cmd_bench)
 
     experiment = sub.add_parser("experiment",

@@ -27,9 +27,10 @@ from abc import ABC, abstractmethod
 from typing import Any, Mapping, Optional
 
 from repro.core.crypto import KeyedPRF
+from repro.errors import WmXMLError
 
 
-class AlgorithmError(Exception):
+class AlgorithmError(WmXMLError):
     """Unknown algorithm name or invalid algorithm parameters."""
 
 

@@ -36,6 +36,8 @@ from repro.core.watermark import (
     binomial_pvalue,
     bit_error_rate,
 )
+from repro.errors import RecordFormatError
+from repro.serialize import VersionedDocument
 from repro.perf.profiler import profiled
 from repro.rewriting.rewriter import compile_logical
 from repro.semantics.errors import RecordError
@@ -44,9 +46,24 @@ from repro.xmlmodel.tree import Document
 from repro.xpath import XPathError, compile_xpath
 
 
+#: Version tag of the persisted detection-result format.
+DETECTION_FORMAT = "wmxml-detection-v1"
+
+
 @dataclass
-class DetectionResult:
-    """Everything the decoder can say about a suspected document."""
+class DetectionResult(VersionedDocument):
+    """Everything the decoder can say about a suspected document.
+
+    ``message_status`` explains the ``recovered_message`` field instead
+    of leaving a silent ``None``: ``"decoded"`` (message recovered),
+    ``"incomplete"`` (some bit positions had no votes or tied),
+    ``"not-byte-aligned"`` (the scheme embeds a bit count that is not a
+    whole number of bytes), or ``"invalid-utf8"`` (every bit recovered
+    but the bytes decode to no text — typical of a damaged mark).
+    """
+
+    format_tag = DETECTION_FORMAT
+    format_error = RecordFormatError
 
     votes_total: int
     votes_matching: int
@@ -60,6 +77,7 @@ class DetectionResult:
     bit_error: Optional[float] = None
     recovered_fraction: float = 0.0
     queries_rejected: int = 0
+    message_status: str = "incomplete"
 
     @property
     def match_ratio(self) -> float:
@@ -79,6 +97,38 @@ class DetectionResult:
             f"{verdict}: {self.votes_matching}/{self.votes_total} votes "
             f"match (p={self.p_value:.2e}), "
             f"{self.queries_answered}/{self.queries_total} queries answered")
+
+    # -- serialisation ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Versioned JSON-safe form, so results survive process hops."""
+        return {
+            "format": DETECTION_FORMAT,
+            "votes_total": self.votes_total,
+            "votes_matching": self.votes_matching,
+            "queries_total": self.queries_total,
+            "queries_answered": self.queries_answered,
+            "p_value": self.p_value,
+            "detected": self.detected,
+            "alpha": self.alpha,
+            "recovered_bits": list(self.recovered_bits),
+            "recovered_message": self.recovered_message,
+            "bit_error": self.bit_error,
+            "recovered_fraction": self.recovered_fraction,
+            "queries_rejected": self.queries_rejected,
+            "message_status": self.message_status,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DetectionResult":
+        cls._check_format(data)
+        fields = {key: value for key, value in data.items()
+                  if key != "format"}
+        try:
+            return cls(**fields)
+        except TypeError as error:
+            raise RecordFormatError(
+                f"malformed detection result: {error}") from error
 
 
 class WmXMLDecoder:
@@ -170,7 +220,7 @@ class WmXMLDecoder:
                 queries_answered += 1
 
         recovered = tally.reconstruct(record.nbits)
-        recovered_message = self._decode_message(recovered)
+        recovered_message, message_status = self._decode_message(recovered)
 
         if expected is not None:
             matching, total = tally.matching_votes(expected)
@@ -199,6 +249,7 @@ class WmXMLDecoder:
             bit_error=bit_error,
             recovered_fraction=tally.recovered_fraction(record.nbits),
             queries_rejected=queries_rejected,
+            message_status=message_status,
         )
 
     # -- helpers ------------------------------------------------------------
@@ -230,8 +281,14 @@ class WmXMLDecoder:
             return []
 
     @staticmethod
-    def _decode_message(recovered: list[Optional[int]]) -> Optional[str]:
+    def _decode_message(
+            recovered: list[Optional[int]]) -> tuple[Optional[str], str]:
+        """(message, status) — status says *why* when message is None."""
         if any(bit is None for bit in recovered):
-            return None
-        return Watermark([bit for bit in recovered if bit is not None]
-                         ).to_message()
+            return None, "incomplete"
+        if len(recovered) % 8 != 0:
+            return None, "not-byte-aligned"
+        message = Watermark(recovered).to_message()
+        if message is None:
+            return None, "invalid-utf8"
+        return message, "decoded"

@@ -66,6 +66,24 @@ class FDIdentifier:
 
 IdentifierRule = Union[KeyIdentifier, FDIdentifier]
 
+_IDENTIFIER_KINDS = {"key": KeyIdentifier, "fd": FDIdentifier}
+
+
+def identifier_to_dict(rule: IdentifierRule) -> dict:
+    """Declarative form of an identifier rule."""
+    return {"kind": rule.kind(), "fields": list(rule.fields)}
+
+
+def identifier_from_dict(data: dict) -> IdentifierRule:
+    """Rebuild an identifier rule from its declarative form."""
+    try:
+        rule_cls = _IDENTIFIER_KINDS[data["kind"]]
+    except KeyError:
+        raise RecordError(
+            f"unknown identifier kind {data.get('kind')!r}; "
+            f"expected one of {sorted(_IDENTIFIER_KINDS)}")
+    return rule_cls(tuple(data["fields"]))
+
 
 @dataclass(frozen=True)
 class CarrierSpec:
@@ -110,6 +128,27 @@ class CarrierSpec:
         lookup is a dict hit instead of a sort + ``repr`` per call.
         """
         return self.algorithm + repr(sorted(self.params))
+
+    # -- serialisation ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        data: dict = {
+            "field": self.field,
+            "algorithm": self.algorithm,
+            "identifier": identifier_to_dict(self.identifier),
+        }
+        if self.params:
+            data["params"] = [[name, value] for name, value in self.params]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CarrierSpec":
+        return cls.create(
+            data["field"],
+            data["algorithm"],
+            identifier_from_dict(data["identifier"]),
+            {name: value for name, value in data.get("params", ())},
+        )
 
 
 def identity_string(field_name: str,

@@ -15,12 +15,16 @@ directions, byte offsets, domain orderings) all require the key.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Any, Optional
+from typing import Any
 
+from repro.errors import RecordFormatError
 from repro.rewriting.logical import LogicalQuery
+from repro.serialize import VersionedDocument
+
+#: Version tag of the persisted record format.
+RECORD_FORMAT = "wmxml-record-v1"
 
 
 @dataclass(frozen=True)
@@ -66,8 +70,11 @@ class WatermarkQuery:
 
 
 @dataclass
-class WatermarkRecord:
+class WatermarkRecord(VersionedDocument):
     """Everything the decoder needs besides the secret key and the data."""
+
+    format_tag = RECORD_FORMAT
+    format_error = RecordFormatError
 
     gamma: int
     nbits: int
@@ -77,7 +84,7 @@ class WatermarkRecord:
 
     def to_dict(self) -> dict:
         return {
-            "format": "wmxml-record-v1",
+            "format": RECORD_FORMAT,
             "gamma": self.gamma,
             "nbits": self.nbits,
             "shape_name": self.shape_name,
@@ -87,8 +94,7 @@ class WatermarkRecord:
 
     @classmethod
     def from_dict(cls, data: dict) -> "WatermarkRecord":
-        if data.get("format") != "wmxml-record-v1":
-            raise ValueError("not a WmXML watermark record")
+        cls._check_format(data)
         return cls(
             gamma=data["gamma"],
             nbits=data["nbits"],
@@ -96,22 +102,6 @@ class WatermarkRecord:
             key_fingerprint=data["key_fingerprint"],
             queries=[WatermarkQuery.from_dict(q) for q in data["queries"]],
         )
-
-    def to_json(self, indent: Optional[int] = 2) -> str:
-        return json.dumps(self.to_dict(), indent=indent)
-
-    @classmethod
-    def from_json(cls, text: str) -> "WatermarkRecord":
-        return cls.from_dict(json.loads(text))
-
-    def save(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_json())
-
-    @classmethod
-    def load(cls, path: str) -> "WatermarkRecord":
-        with open(path, "r", encoding="utf-8") as handle:
-            return cls.from_json(handle.read())
 
     def __len__(self) -> int:
         return len(self.queries)

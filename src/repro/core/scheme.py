@@ -22,13 +22,21 @@ from typing import Sequence
 from repro.core.algorithms import create_algorithm
 from repro.core.identity import CarrierSpec
 from repro.core.usability import UsabilityTemplate
+from repro.errors import SchemeFormatError, WmXMLError
 from repro.semantics.errors import RecordError
 from repro.semantics.shape import DocumentShape
+from repro.serialize import VersionedDocument
+
+#: Version tag of the declarative scheme format.
+SCHEME_FORMAT = "wmxml-scheme-v1"
 
 
 @dataclass
-class WatermarkingScheme:
+class WatermarkingScheme(VersionedDocument):
     """User configuration for one watermarking deployment."""
+
+    format_tag = SCHEME_FORMAT
+    format_error = SchemeFormatError
 
     shape: DocumentShape
     carriers: list[CarrierSpec]
@@ -57,6 +65,47 @@ class WatermarkingScheme:
                 raise RecordError(
                     f"template {template.name!r} references fields "
                     f"{missing!r} absent from shape {self.shape.name!r}")
+
+    # -- serialisation ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The versioned declarative form: a deployment as a document.
+
+        Everything the scheme holds — shape (with its nesting levels),
+        carriers (with identifier rules and algorithm parameters),
+        usability templates, and gamma — round-trips through this dict,
+        so a deployment can live in version control as a JSON artefact
+        instead of Python code.
+        """
+        return {
+            "format": SCHEME_FORMAT,
+            "shape": self.shape.to_dict(),
+            "carriers": [carrier.to_dict() for carrier in self.carriers],
+            "templates": [template.to_dict() for template in self.templates],
+            "gamma": self.gamma,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WatermarkingScheme":
+        cls._check_format(data)
+        try:
+            return cls(
+                shape=DocumentShape.from_dict(data["shape"]),
+                carriers=[CarrierSpec.from_dict(entry)
+                          for entry in data["carriers"]],
+                templates=[UsabilityTemplate.from_dict(entry)
+                           for entry in data.get("templates", ())],
+                gamma=data.get("gamma", 4),
+            )
+        except SchemeFormatError:
+            raise
+        except (KeyError, TypeError, ValueError, WmXMLError) as error:
+            # Everything a malformed document can trip — missing keys,
+            # wrong value shapes, and the scheme's own eager semantic
+            # validation (RecordError, AlgorithmError...) — surfaces as
+            # the one documented loading error.
+            raise SchemeFormatError(
+                f"malformed scheme document: {error}") from error
 
     def carrier_for(self, field_name: str) -> CarrierSpec:
         for carrier in self.carriers:

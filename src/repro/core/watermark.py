@@ -20,6 +20,8 @@ from typing import Optional, Sequence
 
 from scipy import stats
 
+from repro.errors import WatermarkDecodeError
+
 
 class Watermark:
     """An immutable bit string with optional text interpretation."""
@@ -44,9 +46,20 @@ class Watermark:
                 bits.append((byte >> position) & 1)
         return cls(bits)
 
-    def to_message(self) -> Optional[str]:
-        """Decode back to text; None when the bits are not clean UTF-8."""
+    def to_message(self, strict: bool = False) -> Optional[str]:
+        """Decode back to text.
+
+        By default undecodable bit strings yield ``None``; with
+        ``strict=True`` they raise :class:`~repro.errors.
+        WatermarkDecodeError` naming the reason — callers that treat a
+        silent ``None`` as data loss (services persisting results)
+        should use strict mode.
+        """
         if len(self.bits) % 8 != 0:
+            if strict:
+                raise WatermarkDecodeError(
+                    f"{len(self.bits)} bits is not a whole number of "
+                    "bytes; the bit string has no text interpretation")
             return None
         data = bytearray()
         for start in range(0, len(self.bits), 8):
@@ -56,7 +69,11 @@ class Watermark:
             data.append(byte)
         try:
             return data.decode("utf-8")
-        except UnicodeDecodeError:
+        except UnicodeDecodeError as error:
+            if strict:
+                raise WatermarkDecodeError(
+                    f"recovered bytes are not valid UTF-8: {error}"
+                ) from error
             return None
 
     def __len__(self) -> int:

@@ -1,0 +1,58 @@
+"""The consolidated WmXML error hierarchy.
+
+Every exception the library raises on purpose descends from
+:class:`WmXMLError`, so service callers — the ``repro.api`` facade's
+audience — can wrap any WmXML operation in one ``except WmXMLError``
+instead of learning the per-layer families.  The per-layer bases
+(:class:`~repro.xmlmodel.errors.XMLError`,
+:class:`~repro.xpath.errors.XPathError`,
+:class:`~repro.semantics.errors.SemanticsError`,
+:class:`~repro.core.algorithms.AlgorithmError`, ...) still exist and
+still work in ``except`` clauses; they are now subclasses of the single
+root defined here.
+
+This module sits below every other package (it imports nothing from
+``repro``) so any layer can raise from the shared hierarchy without
+import cycles.
+
+Dual inheritance note: errors that historically derived from a builtin
+(``ValueError``, ``KeyError``, ``RuntimeError``) keep that builtin as a
+second base, so pre-existing ``except ValueError`` call sites continue
+to catch them.
+"""
+
+from __future__ import annotations
+
+
+class WmXMLError(Exception):
+    """Base class for every error raised by the WmXML system."""
+
+
+class SerializationError(WmXMLError, ValueError):
+    """A persisted WmXML artefact (scheme, record, result) is malformed."""
+
+
+class SchemeFormatError(SerializationError):
+    """A declarative scheme document failed to parse or validate."""
+
+
+class RecordFormatError(SerializationError):
+    """A watermark record or detection-result document is malformed."""
+
+
+class UnknownSchemeError(WmXMLError, KeyError):
+    """A scheme name is not present in the system's registry."""
+
+    def __init__(self, name: str, known=()) -> None:
+        hint = f"; registered: {sorted(known)}" if known else ""
+        super().__init__(f"unknown scheme {name!r}{hint}")
+        self.name = name
+
+    def __str__(self) -> str:
+        # KeyError.__str__ would repr() the message, printing spurious
+        # quotes around it; render it like every other exception.
+        return self.args[0]
+
+
+class WatermarkDecodeError(WmXMLError, ValueError):
+    """Recovered watermark bits do not decode to a text message."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, replace
 
+from repro.api import Pipeline, SchemeBuilder
 from repro.attacks import (
     RedundancyUnificationAttack,
     ReductionAttack,
@@ -24,9 +25,6 @@ from repro.core import (
     FDIdentifier,
     UsabilityBaseline,
     Watermark,
-    WatermarkingScheme,
-    WmXMLDecoder,
-    WmXMLEncoder,
 )
 from repro.datasets import bibliography, vocab
 from repro.harness.tables import ResultTable
@@ -56,12 +54,17 @@ def _watermark(config: ExperimentConfig) -> Watermark:
     return Watermark.from_message(config.message)
 
 
+def _pipeline(config: ExperimentConfig, scheme) -> Pipeline:
+    """The facade's compiled pipeline for one experiment deployment."""
+    return Pipeline(scheme, config.secret_key, alpha=config.alpha)
+
+
 def _embedded(config: ExperimentConfig, gamma=None):
     scheme = bibliography.default_scheme(gamma or config.gamma)
     document = _dataset(config)
-    encoder = WmXMLEncoder(scheme, config.secret_key)
-    result = encoder.embed(document, _watermark(config))
-    return document, scheme, result
+    pipeline = _pipeline(config, scheme)
+    result = pipeline.embed(document, _watermark(config))
+    return document, scheme, result, pipeline
 
 
 def _sion_slots() -> list[SionSlot]:
@@ -124,8 +127,7 @@ def e1_reorganization_equivalence(
 def e2_rewriting_fanout(
         config: ExperimentConfig = ExperimentConfig()) -> ResultTable:
     """One insert query set, detection on Y1/Y2/Y3 reorganisations."""
-    _, scheme, result = _embedded(config)
-    decoder = WmXMLDecoder(config.secret_key, alpha=config.alpha)
+    _, scheme, result, pipeline = _embedded(config)
     watermark = _watermark(config)
     source = bibliography.book_shape()
     table = ResultTable(
@@ -143,8 +145,8 @@ def e2_rewriting_fanout(
         else:
             suspected = reorganize(result.document, source,
                                    target_shape).document
-        outcome = decoder.detect(suspected, result.record, target_shape,
-                                 expected=watermark)
+        outcome = pipeline.detect(suspected, result.record,
+                                  shape=target_shape, expected=watermark)
         table.add(label,
                   f"{outcome.queries_answered}/{outcome.queries_total}",
                   outcome.votes_total, outcome.match_ratio,
@@ -164,7 +166,7 @@ def e3_capacity(config: ExperimentConfig = ExperimentConfig(),
         ["gamma", "candidate-groups", "selected", "expected(1/gamma)",
          "utilisation", "nodes-modified"])
     for gamma in gammas:
-        _, _, result = _embedded(config, gamma=gamma)
+        _, _, result, _ = _embedded(config, gamma=gamma)
         stats = result.stats
         table.add(gamma, stats.capacity_groups, stats.selected_groups,
                   1.0 / gamma, stats.utilisation, stats.nodes_modified)
@@ -188,7 +190,7 @@ def e4_embedding_usability(
          "usability-strict", "usability-jaccard", "destroyed"])
     for gamma in gammas:
         scheme = bibliography.default_scheme(gamma)
-        result = WmXMLEncoder(scheme, config.secret_key).embed(
+        result = _pipeline(config, scheme).embed(
             document, _watermark(config))
         baseline = UsabilityBaseline.snapshot(document, scheme.shape,
                                               scheme.templates)
@@ -211,8 +213,7 @@ def e5_alteration_sweep(
         rates: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.35, 0.5,
                                     0.75, 1.0)) -> ResultTable:
     """The paper's central claim: the watermark outlives usability."""
-    document, scheme, result = _embedded(config)
-    decoder = WmXMLDecoder(config.secret_key, alpha=config.alpha)
+    document, scheme, result, pipeline = _embedded(config)
     watermark = _watermark(config)
     baseline = UsabilityBaseline.snapshot(document, scheme.shape,
                                           scheme.templates)
@@ -223,8 +224,8 @@ def e5_alteration_sweep(
     for rate in rates:
         attacked = ValueAlterationAttack(rate, seed=config.seed).apply(
             result.document).document
-        outcome = decoder.detect(attacked, result.record, scheme.shape,
-                                 expected=watermark)
+        outcome = pipeline.detect(attacked, result.record,
+                                  expected=watermark)
         report = baseline.evaluate(attacked)
         table.add(rate, outcome.votes_total, outcome.match_ratio,
                   outcome.p_value, outcome.detected, report.strict,
@@ -242,8 +243,7 @@ def e6_reduction_sweep(
         keep_fractions: tuple[float, ...] = (1.0, 0.75, 0.5, 0.25, 0.1,
                                              0.05, 0.02)) -> ResultTable:
     """Detection from ever-smaller stolen subsets."""
-    document, scheme, result = _embedded(config)
-    decoder = WmXMLDecoder(config.secret_key, alpha=config.alpha)
+    document, scheme, result, pipeline = _embedded(config)
     watermark = _watermark(config)
     baseline = UsabilityBaseline.snapshot(document, scheme.shape,
                                           scheme.templates)
@@ -255,8 +255,8 @@ def e6_reduction_sweep(
         report = ReductionAttack(keep, seed=config.seed).apply(
             result.document)
         attacked = report.document
-        outcome = decoder.detect(attacked, result.record, scheme.shape,
-                                 expected=watermark)
+        outcome = pipeline.detect(attacked, result.record,
+                                  expected=watermark)
         usability = baseline.evaluate(attacked)
         table.add(keep, len(attacked.root.child_elements("book")),
                   outcome.votes_total, outcome.match_ratio,
@@ -279,9 +279,8 @@ def e7_reorganization_matrix(
     target = bibliography.publisher_shape()
 
     scheme = bibliography.default_scheme(config.gamma)
-    wm_result = WmXMLEncoder(scheme, config.secret_key).embed(
-        document, watermark)
-    decoder = WmXMLDecoder(config.secret_key, alpha=config.alpha)
+    pipeline = _pipeline(config, scheme)
+    wm_result = pipeline.embed(document, watermark)
 
     ak = AKWatermarker(config.secret_key, source, scheme.carriers,
                        gamma=config.gamma, alpha=config.alpha)
@@ -295,8 +294,8 @@ def e7_reorganization_matrix(
     reorg = ReorganizationAttack(source, target)
 
     def wmxml_detect(doc, shape):
-        return decoder.detect(doc, wm_result.record, shape,
-                              expected=watermark)
+        return pipeline.detect(doc, wm_result.record, shape=shape,
+                               expected=watermark)
 
     table = ResultTable(
         "E7 (attack C): structural attacks, WmXML vs baselines",
@@ -343,15 +342,13 @@ def e8_redundancy(config: ExperimentConfig = ExperimentConfig(),
     fd = bibliography.semantic_fd()
     domain = list(vocab.PUBLISHERS)
 
-    fd_aware = WatermarkingScheme(
-        shape=source,
-        carriers=[CarrierSpec.create(
-            "publisher", "categorical", FDIdentifier(("editor",)),
-            {"domain": domain})],
-        gamma=1)
-    aware_result = WmXMLEncoder(fd_aware, config.secret_key).embed(
-        document, watermark)
-    decoder = WmXMLDecoder(config.secret_key, alpha=config.alpha)
+    fd_aware = (SchemeBuilder(source)
+                .carrier("publisher", "categorical", fd="editor",
+                         params={"domain": domain})
+                .gamma(1)
+                .build())
+    pipeline = _pipeline(config, fd_aware)
+    aware_result = pipeline.embed(document, watermark)
 
     ak = AKWatermarker(
         config.secret_key, source,
@@ -378,8 +375,8 @@ def e8_redundancy(config: ExperimentConfig = ExperimentConfig(),
                   outcome.p_value, outcome.detected)
 
     add_row("WmXML (FD-identified)", "(clean)", None,
-            decoder.detect(aware_result.document, aware_result.record,
-                           source, expected=watermark))
+            pipeline.detect(aware_result.document, aware_result.record,
+                            expected=watermark))
     add_row("Agrawal-Kiernan", "(clean)", None,
             ak.detect(ak_doc, ak_record, watermark))
     add_row("Sion-labeling", "(clean)", None,
@@ -389,8 +386,8 @@ def e8_redundancy(config: ExperimentConfig = ExperimentConfig(),
                                              seed=config.seed)
         report = attack.apply(aware_result.document)
         add_row("WmXML (FD-identified)", strategy, report,
-                decoder.detect(report.document, aware_result.record,
-                               source, expected=watermark))
+                pipeline.detect(report.document, aware_result.record,
+                                expected=watermark))
         report = attack.apply(ak_doc)
         add_row("Agrawal-Kiernan", strategy, report,
                 ak.detect(report.document, ak_record, watermark))
@@ -423,19 +420,17 @@ def e9_performance(config: ExperimentConfig = ExperimentConfig(),
         scoped = replace(config, books=books)
         document = _dataset(scoped)
         scheme = bibliography.default_scheme(config.gamma)
-        encoder = WmXMLEncoder(scheme, config.secret_key)
+        pipeline = _pipeline(config, scheme)
         start = time.perf_counter()
-        result = encoder.embed(document, watermark)
+        result = pipeline.embed(document, watermark)
         embed_ms = (time.perf_counter() - start) * 1000
-        decoder = WmXMLDecoder(config.secret_key, alpha=config.alpha)
         start = time.perf_counter()
-        outcome = decoder.detect(result.document, result.record,
-                                 scheme.shape, expected=watermark)
+        outcome = pipeline.detect(result.document, result.record,
+                                  expected=watermark, strategy="scan")
         detect_ms = (time.perf_counter() - start) * 1000
         start = time.perf_counter()
-        indexed = decoder.detect(result.document, result.record,
-                                 scheme.shape, expected=watermark,
-                                 indexed=True)
+        indexed = pipeline.detect(result.document, result.record,
+                                  expected=watermark, strategy="indexed")
         indexed_ms = (time.perf_counter() - start) * 1000
         assert outcome.detected and indexed.detected
         assert outcome.votes_total == indexed.votes_total
@@ -452,14 +447,13 @@ def e9_performance(config: ExperimentConfig = ExperimentConfig(),
 def e10_false_positives(config: ExperimentConfig = ExperimentConfig(),
                         trials: int = 20) -> ResultTable:
     """No detection without the mark, no detection without the key."""
-    document, scheme, result = _embedded(config)
+    document, scheme, result, pipeline = _embedded(config)
     watermark = _watermark(config)
     table = ResultTable(
         "E10: false-positive resistance",
         ["scenario", "trials", "detections", "max-match-ratio",
          "min-p-value"])
 
-    decoder = WmXMLDecoder(config.secret_key, alpha=config.alpha)
     detections = 0
     max_ratio = 0.0
     min_p = 1.0
@@ -468,8 +462,8 @@ def e10_false_positives(config: ExperimentConfig = ExperimentConfig(),
             bibliography.BibliographyConfig(
                 books=config.books, editors=config.editors,
                 seed=config.seed + 1000 + trial))
-        outcome = decoder.detect(other, result.record, scheme.shape,
-                                 expected=watermark)
+        outcome = pipeline.detect(other, result.record,
+                                  expected=watermark)
         detections += outcome.detected
         max_ratio = max(max_ratio, outcome.match_ratio)
         min_p = min(min_p, outcome.p_value)
@@ -480,17 +474,18 @@ def e10_false_positives(config: ExperimentConfig = ExperimentConfig(),
     max_ratio = 0.0
     min_p = 1.0
     for trial in range(trials):
-        stranger = WmXMLDecoder(f"wrong-key-{trial}", alpha=config.alpha)
+        stranger = Pipeline(scheme, f"wrong-key-{trial}",
+                            alpha=config.alpha)
         outcome = stranger.detect(result.document, result.record,
-                                  scheme.shape, expected=watermark)
+                                  expected=watermark)
         detections += outcome.detected
         max_ratio = max(max_ratio, outcome.match_ratio)
         min_p = min(min_p, outcome.p_value)
     table.add("marked data, wrong key", trials, detections, max_ratio,
               min_p)
 
-    original = decoder.detect(document, result.record, scheme.shape,
-                              expected=watermark)
+    original = pipeline.detect(document, result.record,
+                               expected=watermark)
     table.add("original (pre-marking) data", 1, int(original.detected),
               original.match_ratio, original.p_value)
     table.note("record authentication is deterministic: the true key "

@@ -21,6 +21,8 @@ import platform
 import time
 from typing import Optional
 
+from repro.errors import WmXMLError
+
 #: A stage this much slower than its best recorded time is a regression.
 REGRESSION_THRESHOLD = 1.20
 
@@ -32,8 +34,11 @@ _FORMAT = "wmxml-bench-e9-v1"
 #: How many archived runs to keep (oldest dropped first).
 _HISTORY_LIMIT = 50
 
+#: Documents per batch in the API-level embed_many throughput stage.
+BATCH_DOCS = 50
 
-class BenchError(RuntimeError):
+
+class BenchError(WmXMLError, RuntimeError):
     """A bench run that cannot produce meaningful timings."""
 
 
@@ -108,11 +113,30 @@ def run_e9_bench(books: int = 200, repeats: int = 3,
     best("detect_scan_ms", lambda: do_detect(False))
     best("detect_indexed_ms", lambda: do_detect(True))
 
+    # API-level batch throughput: one compiled pipeline embedding a
+    # fleet of small bibliographies, the service-facing workload the
+    # facade's embed_many() exists for.
+    from repro.api import Pipeline
+
+    batch = [
+        bibliography.generate_document(bibliography.BibliographyConfig(
+            books=max(10, books // 10), editors=4, seed=1000 + index))
+        for index in range(BATCH_DOCS)
+    ]
+    pipeline = Pipeline(scheme, secret_key)
+    best("api_embed_many_ms",
+         lambda: pipeline.embed_many(batch, watermark))
+
     return {
         "books": books,
         "elements": document.count_elements(),
         "queries": len(result.record.queries),
+        "batch_docs": len(batch),
         "stages": stages,
+        "throughput": {
+            "api_embed_many_docs_per_s":
+                len(batch) / (stages["api_embed_many_ms"] / 1000.0),
+        },
     }
 
 
@@ -182,13 +206,18 @@ def save_run(path: str, run: dict) -> dict:
 
 def run_and_check(path: str = BENCH_FILE, books: int = 200,
                   repeats: int = 3, check: bool = True,
+                  archive: bool = True, smoke: bool = False,
                   printer=print) -> int:
     """Full bench workflow: measure, compare against best, archive.
 
     Returns a process exit code (1 on regression).  The comparison runs
     against the best times *before* this run, then the run is archived
-    either way.
+    either way.  ``smoke=True`` — what CI runs on every push — is the
+    one definition of smoke mode: a single repetition, no regression
+    gate, and no archive write.
     """
+    if smoke:
+        repeats, check, archive = 1, False, False
     run = run_e9_bench(books=books, repeats=repeats)
     previous_best = best_for_host(load_history(path))
     printer(f"E9 bench: {run['books']} books, {run['elements']} elements, "
@@ -197,9 +226,15 @@ def run_and_check(path: str = BENCH_FILE, books: int = 200,
         recorded = previous_best.get(name)
         baseline = f"  (best {recorded:.3f} ms)" if recorded else ""
         printer(f"  {name:>18}: {value:>9.3f} ms{baseline}")
+    docs_per_s = run["throughput"]["api_embed_many_docs_per_s"]
+    printer(f"  api.embed_many throughput: {docs_per_s:.1f} docs/s "
+            f"({run['batch_docs']} documents per batch)")
     failures = check_regression(run["stages"], previous_best) if check else []
-    save_run(path, run)
-    printer(f"archived to {path}")
+    if archive:
+        save_run(path, run)
+        printer(f"archived to {path}")
+    else:
+        printer("smoke mode: archive not written")
     if failures:
         printer("PERF REGRESSION (>20% over best recorded run):")
         for failure in failures:
@@ -219,10 +254,14 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help=f"archive path (default {BENCH_FILE})")
     parser.add_argument("--no-check", action="store_true",
                         help="record only; do not fail on regression")
+    parser.add_argument("--smoke", action="store_true",
+                        help="single repetition, no gate, no archive "
+                        "write (CI smoke mode)")
     args = parser.parse_args(argv)
     try:
         return run_and_check(path=args.output, books=args.books,
-                             repeats=args.repeats, check=not args.no_check)
+                             repeats=args.repeats, check=not args.no_check,
+                             smoke=args.smoke)
     except (BenchError, ValueError) as error:
         print(f"error: {error}")
         return 2

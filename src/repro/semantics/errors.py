@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+from repro.errors import WmXMLError
 
-class SemanticsError(Exception):
+
+class SemanticsError(WmXMLError):
     """Base class for semantics-layer errors."""
 
 

@@ -58,6 +58,30 @@ class LevelSpec:
             placed.add(self.text_field)
         return placed
 
+    def to_dict(self) -> dict:
+        data: dict = {"tag": self.tag, "group_by": list(self.group_by)}
+        if self.attributes:
+            data["attributes"] = [list(pair) for pair in self.attributes]
+        if self.leaves:
+            data["leaves"] = [list(pair) for pair in self.leaves]
+        if self.text_field is not None:
+            data["text_field"] = self.text_field
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LevelSpec":
+        return cls(
+            tag=data["tag"],
+            group_by=tuple(data["group_by"]),
+            attributes=tuple(
+                (name, field_name)
+                for name, field_name in data.get("attributes", ())),
+            leaves=tuple(
+                (tag, field_name)
+                for tag, field_name in data.get("leaves", ())),
+            text_field=data.get("text_field"),
+        )
+
 
 @dataclass(frozen=True)
 class NestingSpec:
@@ -86,6 +110,20 @@ class NestingSpec:
         """Fields of the relation that this nesting would drop."""
         placed = self.placed_fields()
         return [name for name in field_names if name not in placed]
+
+    def to_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "levels": [level.to_dict() for level in self.levels],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NestingSpec":
+        return cls(
+            root=data["root"],
+            levels=tuple(LevelSpec.from_dict(entry)
+                         for entry in data["levels"]),
+        )
 
     # -- building ------------------------------------------------------------
 

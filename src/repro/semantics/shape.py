@@ -203,6 +203,16 @@ class DocumentShape:
         """Fields this shape materialises that ``other`` would lose."""
         return sorted(set(self.field_names) - set(other.field_names))
 
+    # -- serialisation ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Declarative form of the shape (part of the scheme format)."""
+        return {"name": self.name, "nesting": self.nesting.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DocumentShape":
+        return cls(data["name"], NestingSpec.from_dict(data["nesting"]))
+
     def __repr__(self) -> str:
         chain = "/".join((self.nesting.root,) + self.level_tags())
         return f"DocumentShape({self.name!r}, {chain})"

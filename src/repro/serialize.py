@@ -1,0 +1,75 @@
+"""Shared machinery for WmXML's versioned JSON artefacts.
+
+Schemes (``wmxml-scheme-v1``), watermark records (``wmxml-record-v1``),
+and detection results (``wmxml-detection-v1``) all persist the same
+way: a dict with a ``format`` version tag, JSON text, and a file.  This
+mixin provides the common surface — ``to_json``/``from_json``/
+``save``/``load`` plus the format-tag gate — around each class's own
+``to_dict``/``from_dict``, so version-handling behaviour (error
+wrapping, migration hooks) lives in exactly one place.
+
+Like :mod:`repro.errors`, this module imports nothing above itself and
+is usable from any layer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import ClassVar, Optional
+
+from repro.errors import SerializationError
+
+
+class VersionedDocument:
+    """Mixin: versioned JSON round-trip for a ``to_dict``-able class.
+
+    Subclasses set ``format_tag`` (the value of the ``format`` key) and
+    ``format_error`` (the :class:`~repro.errors.SerializationError`
+    subclass to raise on malformed input), and call
+    :meth:`_check_format` at the top of their ``from_dict``.
+    """
+
+    format_tag: ClassVar[str]
+    format_error: ClassVar[type] = SerializationError
+
+    def to_dict(self) -> dict:  # pragma: no cover - subclasses override
+        raise NotImplementedError
+
+    @classmethod
+    def from_dict(cls, data: dict):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    @classmethod
+    def _check_format(cls, data) -> None:
+        """Reject anything but a dict carrying this class's format tag."""
+        if not isinstance(data, dict):
+            raise cls.format_error(
+                f"{cls.__name__} document must be an object, got "
+                f"{type(data).__name__}")
+        if data.get("format") != cls.format_tag:
+            raise cls.format_error(
+                f"not a {cls.format_tag} document "
+                f"(format={data.get('format')!r})")
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str):
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise cls.format_error(
+                f"{cls.__name__} document is not valid JSON: "
+                f"{error}") from error
+        return cls.from_dict(data)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str):
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())

@@ -7,8 +7,10 @@ serializers so that callers can catch one family of exceptions.
 
 from __future__ import annotations
 
+from repro.errors import WmXMLError
 
-class XMLError(Exception):
+
+class XMLError(WmXMLError):
     """Base class for every error raised by :mod:`repro.xmlmodel`."""
 
 

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+from repro.errors import WmXMLError
 
-class XPathError(Exception):
+
+class XPathError(WmXMLError):
     """Base class for all XPath engine errors."""
 
 

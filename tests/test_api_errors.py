@@ -1,0 +1,168 @@
+"""The consolidated WmXMLError hierarchy and strict message decoding.
+
+Contract: every error the library raises on purpose is catchable via
+``except WmXMLError`` — a service wraps any WmXML call in one handler.
+Legacy catch styles (per-layer bases, builtin bases like ValueError)
+must keep working too.
+"""
+
+import pytest
+
+from repro import api
+from repro.core.algorithms import AlgorithmError, create_algorithm
+from repro.core.watermark import Watermark
+from repro.datasets import bibliography
+from repro.errors import WmXMLError
+from repro.perf.bench import BenchError
+from repro.semantics.errors import (
+    ConstraintError,
+    RecordError,
+    SchemaError,
+    SemanticsError,
+)
+from repro.xmlmodel import parse
+from repro.xmlmodel.errors import XMLError, XMLSyntaxError, XMLTreeError
+from repro.xpath import compile_xpath
+from repro.xpath.errors import XPathError, XPathSyntaxError
+
+#: Every public error class must descend from the one base.
+PUBLIC_ERRORS = [
+    AlgorithmError,
+    BenchError,
+    ConstraintError,
+    RecordError,
+    SchemaError,
+    SemanticsError,
+    XMLError,
+    XMLSyntaxError,
+    XMLTreeError,
+    XPathError,
+    XPathSyntaxError,
+    api.RecordFormatError,
+    api.SchemeFormatError,
+    api.SerializationError,
+    api.UnknownSchemeError,
+    api.WatermarkDecodeError,
+]
+
+
+@pytest.mark.parametrize("error_cls", PUBLIC_ERRORS,
+                         ids=lambda cls: cls.__name__)
+def test_every_public_error_is_a_wmxml_error(error_cls):
+    assert issubclass(error_cls, WmXMLError)
+
+
+def test_api_reexports_the_base():
+    assert api.WmXMLError is WmXMLError
+
+
+class TestOneHandlerCatchesEverything:
+    """Live raises from different layers, one ``except WmXMLError``."""
+
+    def test_xml_parse_error(self):
+        with pytest.raises(api.WmXMLError):
+            parse("<unclosed>")
+
+    def test_xpath_syntax_error(self):
+        with pytest.raises(api.WmXMLError):
+            compile_xpath("//book[")
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(api.WmXMLError):
+            create_algorithm("quantum", {})
+
+    def test_scheme_validation_error(self):
+        with pytest.raises(api.WmXMLError):
+            api.WatermarkingScheme(shape=bibliography.book_shape(),
+                                   carriers=[])
+
+    def test_carrier_in_own_identifier(self):
+        with pytest.raises(api.WmXMLError):
+            api.CarrierSpec.create("year", "numeric",
+                                   api.KeyIdentifier(("year",)))
+
+    def test_bad_scheme_document(self):
+        with pytest.raises(api.WmXMLError):
+            api.WatermarkingScheme.from_dict({"format": "wrong"})
+
+    def test_unknown_registry_name(self):
+        with pytest.raises(api.WmXMLError):
+            api.WmXMLSystem("k").pipeline("ghost")
+
+
+class TestLegacyCatchStylesStillWork:
+    def test_per_layer_bases_unchanged(self):
+        with pytest.raises(XMLError):
+            parse("<unclosed>")
+        with pytest.raises(XPathError):
+            compile_xpath("//book[")
+        with pytest.raises(SemanticsError):
+            api.WatermarkingScheme(shape=bibliography.book_shape(),
+                                   carriers=[])
+
+    def test_unknown_scheme_error_renders_without_keyerror_quotes(self):
+        try:
+            api.WmXMLSystem("k").scheme("typo")
+        except api.UnknownSchemeError as error:
+            assert str(error).startswith("unknown scheme")  # no repr quotes
+
+    def test_builtin_bases_kept_for_dual_parented_errors(self):
+        assert issubclass(api.SerializationError, ValueError)
+        assert issubclass(api.UnknownSchemeError, KeyError)
+        assert issubclass(BenchError, RuntimeError)
+        assert issubclass(api.WatermarkDecodeError, ValueError)
+
+
+class TestStrictToMessage:
+    def test_default_returns_none_on_bad_length(self):
+        assert Watermark([1, 0, 1]).to_message() is None
+
+    def test_default_returns_none_on_bad_utf8(self):
+        assert Watermark([1] * 8).to_message() is None  # 0xFF
+
+    def test_strict_raises_on_bad_length(self):
+        with pytest.raises(api.WatermarkDecodeError, match="whole number"):
+            Watermark([1, 0, 1]).to_message(strict=True)
+
+    def test_strict_raises_on_bad_utf8(self):
+        with pytest.raises(api.WatermarkDecodeError, match="UTF-8"):
+            Watermark([1] * 8).to_message(strict=True)
+
+    def test_strict_decodes_clean_messages(self):
+        watermark = Watermark.from_message("héllo")
+        assert watermark.to_message(strict=True) == "héllo"
+
+
+class TestMessageStatusReporting:
+    """DetectionResult says *why* no message was decoded."""
+
+    def _pipeline(self, gamma):
+        return api.Pipeline(bibliography.default_scheme(gamma), "status-key")
+
+    def _document(self):
+        return bibliography.generate_document(
+            bibliography.BibliographyConfig(books=60, editors=6, seed=4))
+
+    def test_decoded_status_when_message_recovers(self):
+        pipeline = self._pipeline(gamma=1)  # dense: every bit voted on
+        result = pipeline.embed(self._document(), "OK!")
+        outcome = pipeline.detect(result.document, result.record)
+        assert outcome.recovered_message == "OK!"
+        assert outcome.message_status == "decoded"
+
+    def test_incomplete_status_when_bits_missing(self):
+        pipeline = self._pipeline(gamma=2)
+        # A long message over sparse selection: some bit positions get
+        # no votes, so blind reconstruction cannot finish.
+        result = pipeline.embed(
+            self._document(), "(c) a rather long ownership message")
+        outcome = pipeline.detect(result.document, result.record)
+        assert outcome.recovered_message is None
+        assert outcome.message_status == "incomplete"
+
+    def test_status_survives_serialization(self):
+        pipeline = self._pipeline(gamma=1)
+        result = pipeline.embed(self._document(), "OK!")
+        outcome = pipeline.detect(result.document, result.record)
+        reloaded = api.DetectionResult.from_json(outcome.to_json())
+        assert reloaded.message_status == "decoded"

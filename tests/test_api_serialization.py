@@ -1,0 +1,173 @@
+"""Versioned JSON round-trips for schemes, records, and results.
+
+The service requirement: a deployment (scheme), its query set Q
+(record), and a detection verdict must all survive process boundaries.
+Property-style lock: build -> dump -> load -> re-embed must reproduce
+the marked document bit-for-bit for every dataset profile.
+"""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.core.record import RECORD_FORMAT
+from repro.core.scheme import SCHEME_FORMAT
+from repro.datasets import bibliography, jobs, library
+from repro.xmlmodel import serialize
+
+PROFILES = {
+    "bibliography": (
+        lambda: bibliography.generate_document(
+            bibliography.BibliographyConfig(books=40, editors=6, seed=11)),
+        lambda: bibliography.default_scheme(2)),
+    "jobs": (
+        lambda: jobs.generate_document(
+            jobs.JobsConfig(jobs=40, seed=11)),
+        lambda: jobs.default_scheme(2)),
+    "library": (
+        lambda: library.generate_document(
+            library.LibraryConfig(items=40, seed=11)),
+        lambda: library.default_scheme(2)),
+}
+
+
+class TestSchemeRoundTrip:
+    @pytest.mark.parametrize("profile", sorted(PROFILES))
+    def test_dict_round_trip_is_exact(self, profile):
+        _, make_scheme = PROFILES[profile]
+        scheme = make_scheme()
+        reloaded = api.WatermarkingScheme.from_dict(
+            json.loads(json.dumps(scheme.to_dict())))
+        assert reloaded.to_dict() == scheme.to_dict()
+
+    @pytest.mark.parametrize("profile", sorted(PROFILES))
+    def test_reloaded_scheme_re_embeds_bit_identically(self, profile):
+        """The property the declarative format exists for."""
+        make_doc, make_scheme = PROFILES[profile]
+        scheme = make_scheme()
+        reloaded = api.WatermarkingScheme.from_json(scheme.to_json())
+
+        original = api.Pipeline(scheme, "rt-key").embed(
+            make_doc(), "(c) round-trip")
+        again = api.Pipeline(reloaded, "rt-key").embed(
+            make_doc(), "(c) round-trip")
+        assert serialize(again.document) == serialize(original.document)
+        assert again.record.to_dict() == original.record.to_dict()
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "scheme.json"
+        scheme = bibliography.default_scheme(3)
+        scheme.save(str(path))
+        reloaded = api.WatermarkingScheme.load(str(path))
+        assert reloaded.to_dict() == scheme.to_dict()
+        assert json.loads(path.read_text())["format"] == SCHEME_FORMAT
+
+    def test_wrong_format_tag_rejected(self):
+        data = bibliography.default_scheme(2).to_dict()
+        data["format"] = "wmxml-scheme-v999"
+        with pytest.raises(api.SchemeFormatError):
+            api.WatermarkingScheme.from_dict(data)
+
+    def test_malformed_document_rejected(self):
+        data = bibliography.default_scheme(2).to_dict()
+        del data["shape"]
+        with pytest.raises(api.SchemeFormatError):
+            api.WatermarkingScheme.from_dict(data)
+
+    def test_garbage_json_rejected(self):
+        with pytest.raises(api.SchemeFormatError):
+            api.WatermarkingScheme.from_json("{not json")
+
+    def test_bad_identifier_kind_rejected(self):
+        data = bibliography.default_scheme(2).to_dict()
+        data["carriers"][0]["identifier"]["kind"] = "vibes"
+        # The documented loading contract: malformed documents surface
+        # as SchemeFormatError, whichever layer caught the problem.
+        with pytest.raises(api.SchemeFormatError):
+            api.WatermarkingScheme.from_dict(data)
+
+    def test_semantically_invalid_document_is_a_format_error(self):
+        data = bibliography.default_scheme(2).to_dict()
+        data["carriers"][0]["field"] = "no-such-field"
+        with pytest.raises(api.SchemeFormatError):
+            api.WatermarkingScheme.from_dict(data)
+
+
+class TestRecordRoundTrip:
+    @pytest.mark.parametrize("profile", sorted(PROFILES))
+    def test_record_json_round_trip_preserves_detection(self, profile):
+        make_doc, make_scheme = PROFILES[profile]
+        pipeline = api.Pipeline(make_scheme(), "rt-key")
+        result = pipeline.embed(make_doc(), "(c) record")
+        reloaded = api.WatermarkRecord.from_json(result.record.to_json())
+        assert reloaded.to_dict() == result.record.to_dict()
+
+        direct = pipeline.detect(result.document, result.record,
+                                 expected="(c) record")
+        via_json = pipeline.detect(result.document, reloaded,
+                                   expected="(c) record")
+        assert via_json.to_dict() == direct.to_dict()
+        assert via_json.detected
+
+    def test_wrong_format_tag_rejected(self):
+        with pytest.raises(api.RecordFormatError):
+            api.WatermarkRecord.from_dict({"format": "something-else"})
+        with pytest.raises(ValueError):  # legacy catch style still works
+            api.WatermarkRecord.from_dict({"format": "something-else"})
+
+    def test_garbage_json_rejected(self):
+        with pytest.raises(api.RecordFormatError):
+            api.WatermarkRecord.from_json("][")
+
+    def test_format_tag_value(self):
+        pipeline = api.Pipeline(bibliography.default_scheme(2), "k")
+        doc = PROFILES["bibliography"][0]()
+        record = pipeline.embed(doc, "x").record
+        assert record.to_dict()["format"] == RECORD_FORMAT
+
+
+class TestDetectionResultRoundTrip:
+    def _outcome(self, expected="(c) result"):
+        make_doc, make_scheme = PROFILES["bibliography"]
+        pipeline = api.Pipeline(make_scheme(), "rt-key")
+        result = pipeline.embed(make_doc(), "(c) result")
+        return pipeline.detect(result.document, result.record,
+                               expected=expected)
+
+    def test_round_trip_is_exact(self):
+        outcome = self._outcome()
+        reloaded = api.DetectionResult.from_json(outcome.to_json())
+        assert reloaded.to_dict() == outcome.to_dict()
+        assert reloaded.detected == outcome.detected
+        assert reloaded.match_ratio == outcome.match_ratio
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "result.json"
+        outcome = self._outcome()
+        outcome.save(str(path))
+        assert api.DetectionResult.load(str(path)).to_dict() \
+            == outcome.to_dict()
+
+    def test_blind_outcome_round_trips_none_bits(self):
+        make_doc, make_scheme = PROFILES["bibliography"]
+        pipeline = api.Pipeline(make_scheme(), "rt-key")
+        result = pipeline.embed(make_doc(), "(c) result")
+        blind = pipeline.detect(result.document, result.record)
+        reloaded = api.DetectionResult.from_json(blind.to_json())
+        assert reloaded.recovered_bits == blind.recovered_bits
+        assert reloaded.message_status == blind.message_status
+
+    def test_wrong_format_tag_rejected(self):
+        outcome = self._outcome()
+        data = outcome.to_dict()
+        data["format"] = "nope"
+        with pytest.raises(api.RecordFormatError):
+            api.DetectionResult.from_dict(data)
+
+    def test_unknown_field_rejected(self):
+        outcome = self._outcome()
+        data = outcome.to_dict()
+        data["surprise"] = 1
+        with pytest.raises(api.RecordFormatError):
+            api.DetectionResult.from_dict(data)

@@ -94,6 +94,87 @@ class TestEmbedDetectFlow:
         assert code == 0
 
 
+class TestSchemeArtefactFlow:
+    """The acceptance path: scheme.json drives embed and detect."""
+
+    def _setup(self, workspace):
+        data = workspace / "data.xml"
+        scheme = workspace / "scheme.json"
+        run("generate", "--profile", "bibliography", "--size", "40",
+            "-o", str(data))
+        assert run("scheme", "--profile", "bibliography", "--gamma", "2",
+                   "-o", str(scheme)) == 0
+        return data, scheme
+
+    def test_scheme_export_is_versioned(self, workspace, capsys):
+        _, scheme = self._setup(workspace)
+        payload = json.loads(scheme.read_text())
+        assert payload["format"] == "wmxml-scheme-v1"
+        assert payload["gamma"] == 2
+        assert {c["field"] for c in payload["carriers"]} == \
+            {"year", "price", "publisher"}
+
+    def test_scheme_describe_without_output(self, workspace, capsys):
+        run("scheme", "--profile", "bibliography")
+        out = capsys.readouterr().out
+        assert "carriers:" in out and "templates:" in out
+
+    def test_embed_detect_round_trip_via_scheme_json(self, workspace,
+                                                     capsys):
+        data, scheme = self._setup(workspace)
+        marked = workspace / "marked.xml"
+        record = workspace / "r.json"
+        result = workspace / "verdict.json"
+        code = run("embed", "--scheme", str(scheme), "-i", str(data),
+                   "-o", str(marked), "-r", str(record),
+                   "-k", "artefact-secret", "-m", "(c) artefact")
+        assert code == 0
+        assert "gamma=2" in capsys.readouterr().out  # scheme.json wins
+        code = run("detect", "--scheme", str(scheme), "--record",
+                   str(record), "-i", str(marked), "-k", "artefact-secret",
+                   "-m", "(c) artefact", "--result", str(result))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DETECTED" in out
+        verdict = json.loads(result.read_text())
+        assert verdict["format"] == "wmxml-detection-v1"
+        assert verdict["detected"] is True
+
+    def test_detect_strategies_agree(self, workspace, capsys):
+        data, scheme = self._setup(workspace)
+        marked = workspace / "marked.xml"
+        record = workspace / "r.json"
+        run("embed", "--scheme", str(scheme), "-i", str(data),
+            "-o", str(marked), "-r", str(record), "-k", "s", "-m", "(c) x")
+        capsys.readouterr()
+        votes = {}
+        for strategy in ("scan", "indexed", "auto"):
+            assert run("detect", "--scheme", str(scheme), "--record",
+                       str(record), "-i", str(marked), "-k", "s",
+                       "-m", "(c) x", "--strategy", strategy) == 0
+            votes[strategy] = capsys.readouterr().out.split("votes")[0]
+        assert votes["scan"] == votes["indexed"] == votes["auto"]
+
+    def test_detect_reports_why_no_message(self, workspace, capsys):
+        data, scheme = self._setup(workspace)
+        marked = workspace / "marked.xml"
+        record = workspace / "r.json"
+        run("embed", "--scheme", str(scheme), "-i", str(data),
+            "-o", str(marked), "-r", str(record), "-k", "s",
+            "-m", "(c) quite a long message for forty books")
+        capsys.readouterr()
+        run("detect", "--scheme", str(scheme), "--record", str(record),
+            "-i", str(marked), "-k", "s")
+        assert "no message decoded (incomplete)" in capsys.readouterr().out
+
+    def test_bad_scheme_file_is_a_clean_exit(self, workspace):
+        bad = workspace / "bad.json"
+        bad.write_text("{\"format\": \"nope\"}")
+        with pytest.raises(SystemExit):
+            run("embed", "--scheme", str(bad), "-i", "x.xml", "-o", "y.xml",
+                "-r", "r.json", "-k", "k", "-m", "m")
+
+
 class TestOtherCommands:
     def test_attack_kinds(self, workspace):
         data = workspace / "data.xml"

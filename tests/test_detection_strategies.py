@@ -1,0 +1,120 @@
+"""Scan vs indexed detection: equal votes under every attack.
+
+ROADMAP open item: the indexed executor may only become the preferred
+path once its semantics are proven equal to per-query XPath scanning on
+*attacked* documents.  This suite runs both strategies over every
+attack class in :mod:`repro.attacks` on the E9 bibliography and asserts
+vote-for-vote equality — the proof the pipeline's ``strategy="auto"``
+promotion rests on.
+"""
+
+import pytest
+
+import repro.attacks as attacks_module
+from repro import api
+from repro.attacks import Attack
+from repro.datasets import bibliography
+
+E9_CONFIG = bibliography.BibliographyConfig(books=200, editors=15, seed=42)
+KEY = "strategy-equivalence-key"
+MESSAGE = "(c) WmXML"
+
+
+@pytest.fixture(scope="module")
+def embedded():
+    scheme = bibliography.default_scheme(2)
+    pipeline = api.Pipeline(scheme, KEY)
+    document = bibliography.generate_document(E9_CONFIG)
+    result = pipeline.embed(document, MESSAGE)
+    return pipeline, result
+
+
+def _collusion_copies():
+    """Two fingerprinted copies of the same document (aligned trees)."""
+    document = bibliography.generate_document(E9_CONFIG)
+    scheme = bibliography.default_scheme(2)
+    return [
+        api.Pipeline(scheme, f"colluder-{tag}").embed(document, MESSAGE)
+        .document
+        for tag in ("a", "b")
+    ]
+
+
+#: attack-name -> (build attack, shape the attacked document has).
+#: Shapes: every structural attack here leaves the book-centric
+#: organisation intact except "reorganize", which detection must answer
+#: through the publisher-centric shape (query rewriting).
+ATTACK_CASES = {
+    "ValueAlterationAttack":
+        (lambda: attacks_module.ValueAlterationAttack(0.2, seed=7), None),
+    "NodeDeletionAttack":
+        (lambda: attacks_module.NodeDeletionAttack(0.3, seed=7), None),
+    "NodeInsertionAttack":
+        (lambda: attacks_module.NodeInsertionAttack(0.3, seed=7), None),
+    "ReductionAttack":
+        (lambda: attacks_module.ReductionAttack(0.5, seed=7), None),
+    "SiblingShuffleAttack":
+        (lambda: attacks_module.SiblingShuffleAttack(seed=7), None),
+    "ReorganizationAttack":
+        (lambda: attacks_module.ReorganizationAttack(
+            bibliography.book_shape(), bibliography.publisher_shape()),
+         bibliography.publisher_shape),
+    "RedundancyUnificationAttack":
+        (lambda: attacks_module.RedundancyUnificationAttack(
+            bibliography.semantic_fd(), strategy="majority", seed=7), None),
+    "CollusionAttack":
+        (lambda: attacks_module.CollusionAttack(
+            _collusion_copies(), strategy="random", seed=7), None),
+    "CompositeAttack":
+        (lambda: attacks_module.CompositeAttack([
+            attacks_module.ValueAlterationAttack(0.1, seed=7),
+            attacks_module.SiblingShuffleAttack(seed=7),
+            attacks_module.ReductionAttack(0.7, seed=7),
+        ]), None),
+}
+
+
+def test_every_exported_attack_class_is_covered():
+    """A new attack must be added to this equivalence matrix."""
+    exported = {
+        name for name in attacks_module.__all__
+        if isinstance(getattr(attacks_module, name), type)
+        and issubclass(getattr(attacks_module, name), Attack)
+        and getattr(attacks_module, name) is not Attack
+    }
+    assert exported == set(ATTACK_CASES)
+
+
+@pytest.mark.parametrize("attack_name", sorted(ATTACK_CASES))
+def test_scan_and_indexed_agree_vote_for_vote(embedded, attack_name):
+    pipeline, result = embedded
+    build_attack, shape_factory = ATTACK_CASES[attack_name]
+    attacked = build_attack().apply(result.document).document
+    shape = shape_factory() if shape_factory else None
+
+    scan = pipeline.detect(attacked, result.record, expected=MESSAGE,
+                           shape=shape, strategy="scan")
+    indexed = pipeline.detect(attacked, result.record, expected=MESSAGE,
+                              shape=shape, strategy="indexed")
+
+    assert indexed.votes_total == scan.votes_total
+    assert indexed.votes_matching == scan.votes_matching
+    assert indexed.queries_answered == scan.queries_answered
+    assert indexed.queries_rejected == scan.queries_rejected
+    assert indexed.p_value == scan.p_value
+    assert indexed.detected == scan.detected
+    assert indexed.recovered_bits == scan.recovered_bits
+
+
+@pytest.mark.parametrize("attack_name", sorted(ATTACK_CASES))
+def test_auto_strategy_matches_both(embedded, attack_name):
+    pipeline, result = embedded
+    build_attack, shape_factory = ATTACK_CASES[attack_name]
+    attacked = build_attack().apply(result.document).document
+    shape = shape_factory() if shape_factory else None
+
+    auto = pipeline.detect(attacked, result.record, expected=MESSAGE,
+                           shape=shape, strategy="auto")
+    scan = pipeline.detect(attacked, result.record, expected=MESSAGE,
+                           shape=shape, strategy="scan")
+    assert auto.to_dict() == scan.to_dict()

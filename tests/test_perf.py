@@ -181,8 +181,29 @@ class TestBenchRun:
         assert run["books"] == 10
         assert run["elements"] > 0 and run["queries"] > 0
         for stage in ("parse_ms", "shred_ms", "embed_ms",
-                      "detect_scan_ms", "detect_indexed_ms"):
+                      "detect_scan_ms", "detect_indexed_ms",
+                      "api_embed_many_ms"):
             assert run["stages"][stage] > 0
+
+    def test_bench_records_api_batch_throughput(self):
+        from repro.perf.bench import BATCH_DOCS
+
+        run = run_e9_bench(books=10, repeats=1)
+        assert run["batch_docs"] == BATCH_DOCS
+        docs_per_s = run["throughput"]["api_embed_many_docs_per_s"]
+        assert docs_per_s == pytest.approx(
+            BATCH_DOCS / (run["stages"]["api_embed_many_ms"] / 1000.0))
+
+    def test_smoke_mode_measures_without_archiving(self, tmp_path, capsys):
+        from repro.perf import bench
+
+        path = str(tmp_path / "BENCH_e9.json")
+        assert bench.main(["--books", "10", "--smoke",
+                           "--output", path]) == 0
+        out = capsys.readouterr().out
+        assert "smoke mode: archive not written" in out
+        assert "api.embed_many throughput" in out
+        assert not (tmp_path / "BENCH_e9.json").exists()
 
     def test_run_and_check_cli_roundtrip(self, tmp_path, capsys):
         from repro.perf import bench
