@@ -92,6 +92,7 @@ from repro.xmlmodel import (
     XMLError,
     parse,
     parse_file,
+    parse_many,
     pretty,
     serialize,
     write_file,
@@ -140,6 +141,7 @@ __all__ = [
     # XML I/O
     "parse",
     "parse_file",
+    "parse_many",
     "pretty",
     "serialize",
     "write_file",

@@ -17,7 +17,7 @@ import json
 import threading
 from typing import Iterable, Optional, Union
 
-from repro.api.pipeline import MessageLike, Pipeline
+from repro.api.pipeline import DocumentLike, MessageLike, Pipeline
 from repro.core.crypto import KeyedPRF
 from repro.core.decoder import DetectionResult
 from repro.core.encoder import EmbeddingResult
@@ -142,11 +142,13 @@ class WmXMLSystem:
                                            in_place=in_place)
 
     def embed_many(self, scheme: SchemeLike,
-                   documents: Iterable[Document],
+                   documents: Iterable[DocumentLike],
                    message: MessageLike,
-                   in_place: bool = False) -> list[EmbeddingResult]:
+                   in_place: bool = False,
+                   processes: Optional[int] = None) -> list[EmbeddingResult]:
         return self.pipeline(scheme).embed_many(documents, message,
-                                                in_place=in_place)
+                                                in_place=in_place,
+                                                processes=processes)
 
     def detect(
         self,
@@ -161,6 +163,20 @@ class WmXMLSystem:
         return self.pipeline(scheme).detect(
             document, record, expected=expected, shape=shape,
             strategy=strategy)
+
+    def detect_many(
+        self,
+        scheme: SchemeLike,
+        items: list[tuple[DocumentLike, WatermarkRecord]],
+        *,
+        expected: Optional[MessageLike] = None,
+        shape: Optional[DocumentShape] = None,
+        strategy: str = "auto",
+        processes: Optional[int] = None,
+    ) -> list[DetectionResult]:
+        return self.pipeline(scheme).detect_many(
+            items, expected=expected, shape=shape, strategy=strategy,
+            processes=processes)
 
     def __repr__(self) -> str:
         return (f"WmXMLSystem(key_fingerprint={self._fingerprint!r}, "

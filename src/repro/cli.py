@@ -447,7 +447,10 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--strategy", default="auto",
                         choices=["auto", "indexed", "scan"],
                         help="query engine: indexed logical executor "
-                        "(one shred), per-query XPath scan, or auto")
+                        "(one shred; what 'auto' always runs, with "
+                        "vote-for-vote equivalence proven on every "
+                        "profile) or per-query XPath scan (the "
+                        "reference engine)")
     detect.add_argument("--indexed", action="store_true",
                         help="deprecated alias for --strategy indexed")
     detect.add_argument("--result", help="also save the detection result "

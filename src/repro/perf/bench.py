@@ -127,6 +127,21 @@ def run_e9_bench(books: int = 200, repeats: int = 3,
     best("api_embed_many_ms",
          lambda: pipeline.embed_many(batch, watermark))
 
+    # Batch parse throughput: the per-document parse is the batch
+    # bottleneck the scanner attacks; one reused parser over the fleet
+    # (serial — process-pool sharding is measured by callers, not here,
+    # to keep CI timings deterministic).
+    from repro.xmlmodel import parse_many
+
+    batch_texts = [serialize(item) for item in batch]
+
+    def do_parse_many() -> None:
+        parsed = parse_many(batch_texts)
+        if len(parsed) != len(batch_texts):
+            raise BenchError("parse_many dropped documents")
+
+    best("parse_many_ms", do_parse_many)
+
     return {
         "books": books,
         "elements": document.count_elements(),
@@ -136,6 +151,8 @@ def run_e9_bench(books: int = 200, repeats: int = 3,
         "throughput": {
             "api_embed_many_docs_per_s":
                 len(batch) / (stages["api_embed_many_ms"] / 1000.0),
+            "parse_many_docs_per_s":
+                len(batch_texts) / (stages["parse_many_ms"] / 1000.0),
         },
     }
 

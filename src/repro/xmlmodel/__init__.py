@@ -23,7 +23,7 @@ from repro.xmlmodel.errors import (
     XMLSyntaxError,
     XMLTreeError,
 )
-from repro.xmlmodel.parser import XMLParser, parse, parse_file
+from repro.xmlmodel.parser import XMLParser, parse, parse_file, parse_many
 from repro.xmlmodel.serializer import pretty, serialize, write_file
 from repro.xmlmodel.tree import (
     Comment,
@@ -53,6 +53,7 @@ __all__ = [
     "document_order_key",
     "parse",
     "parse_file",
+    "parse_many",
     "pretty",
     "semantically_equal",
     "serialize",

@@ -27,6 +27,13 @@ class XMLSyntaxError(XMLError):
         self.line = line
         self.column = column
 
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` (the formatted
+        # string) against the three-argument constructor and explodes;
+        # parse errors must survive the trip back from ``parse_many``'s
+        # process-pool workers.
+        return (XMLSyntaxError, (self.message, self.line, self.column))
+
 
 class XMLTreeError(XMLError):
     """An illegal tree manipulation, e.g. attaching a node to two parents."""

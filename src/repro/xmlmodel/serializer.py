@@ -9,6 +9,13 @@ Two styles are provided:
 
 Escaping follows the XML 1.0 rules: ``&``, ``<`` (and ``>`` after ``]]``)
 in character data; ``&``, ``<`` and the active quote in attribute values.
+Carriage returns are emitted as ``&#13;`` in both contexts: a literal
+``\r`` in output would be folded to ``\n`` by any conformant parser's
+end-of-line normalization (XML 1.0 §2.11, including ours), so the
+character reference is the only representation that survives a
+round-trip.  Newlines and tabs in attribute values are likewise
+referenced (``&#10;``/``&#9;``) to survive attribute-value
+normalization.
 """
 
 from __future__ import annotations
@@ -27,22 +34,28 @@ from repro.xmlmodel.tree import (
 
 def escape_text(value: str) -> str:
     """Escape character data for element content."""
-    return (
+    escaped = (
         value.replace("&", "&amp;")
         .replace("<", "&lt;")
         .replace(">", "&gt;")
     )
+    if "\r" in escaped:
+        escaped = escaped.replace("\r", "&#13;")
+    return escaped
 
 
 def escape_attribute(value: str) -> str:
     """Escape an attribute value for double-quoted serialisation."""
-    return (
+    escaped = (
         value.replace("&", "&amp;")
         .replace("<", "&lt;")
         .replace('"', "&quot;")
         .replace("\n", "&#10;")
         .replace("\t", "&#9;")
     )
+    if "\r" in escaped:
+        escaped = escaped.replace("\r", "&#13;")
+    return escaped
 
 
 def _serialize_node(node: Node, parts: list[str]) -> None:
@@ -158,6 +171,8 @@ def pretty(node: Union[Document, Node], indent: str = "  ",
         for item in node.prolog:
             _pretty_node(item, parts, 0, indent)
         _pretty_node(node.root, parts, 0, indent)
+        for item in node.epilog:
+            _pretty_node(item, parts, 0, indent)
     else:
         _pretty_node(node, parts, 0, indent)
     return "".join(parts)

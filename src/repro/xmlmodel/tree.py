@@ -124,6 +124,14 @@ class Text(Node):
             raise TypeError(f"text value must be str, got {type(value).__name__}")
         self.value = value
 
+    @classmethod
+    def _blank(cls, value: str) -> "Text":
+        """Fast construction for the parser: value already known to be str."""
+        node = cls.__new__(cls)
+        node.parent = None
+        node.value = value
+        return node
+
     def equals(self, other: Node) -> bool:
         return isinstance(other, Text) and other.value == self.value
 
@@ -232,6 +240,50 @@ class Element(Node):
         if children:
             for child in children:
                 self.append(child)
+
+    @classmethod
+    def _blank(cls, tag: str) -> "Element":
+        """Fast construction for the parser (tag already validated).
+
+        The scanner's tokenizer admits only names that also satisfy
+        :func:`validate_name` (and checks the reserved bare ``xml``
+        itself), so this skips re-validation and the keyword plumbing
+        of ``__init__`` while producing the identical initial state —
+        except ``_child_index`` starts as a live empty dict the parser
+        maintains directly.
+        """
+        element = cls.__new__(cls)
+        element.parent = None
+        element.tag = tag
+        element.attributes = {}
+        element.children = []
+        element._children_stamp = 0
+        element._subtree_stamp = 0
+        element._child_index = {}
+        element._index_stamp = -1
+        element._order_cache = None
+        element._descendant_cache = None
+        return element
+
+    # -- pickling ------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Slot state with the ``id()``-keyed order cache dropped.
+
+        Document-order ranks are keyed by object identity, which does
+        not survive a trip through pickle (a ``parse_many`` process-pool
+        worker's ids mean nothing to the receiving process), so the
+        cache is shed here and lazily rebuilt on first use.  The
+        child-tag and descendant indexes hold node *references* — pickle
+        preserves those consistently — so they travel as-is.
+        """
+        state = {slot: getattr(self, slot) for slot in _ELEMENT_SLOTS}
+        state["_order_cache"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
 
     # -- cache invalidation -----------------------------------------------------
 
@@ -510,6 +562,16 @@ class Element(Node):
 
     def __repr__(self) -> str:
         return f"Element({self.tag!r}, attrs={len(self.attributes)}, children={len(self.children)})"
+
+
+#: Every slot an Element instance owns (its own plus Node's), resolved
+#: once — __getstate__ runs per node when process-pool workers ship
+#: parsed trees back, so the MRO walk must not happen per pickle.
+_ELEMENT_SLOTS = tuple(
+    slot
+    for klass in Element.__mro__
+    for slot in getattr(klass, "__slots__", ())
+)
 
 
 def _significant_children(element: Element) -> list[Node]:

@@ -223,6 +223,47 @@ class TestPipelineBatch:
         assert len(outcomes) == 2
         assert all(o.detected for o in outcomes)
 
+    def test_embed_many_accepts_raw_xml_text(self):
+        scheme = bibliography.default_scheme(2)
+        docs = [_small_bibliography(seed) for seed in (1, 2)]
+        from_docs = api.Pipeline(scheme, "k").embed_many(docs, "(c) t")
+        from_text = api.Pipeline(scheme, "k").embed_many(
+            [serialize(doc) for doc in docs], "(c) t")
+        for a, b in zip(from_docs, from_text):
+            assert serialize(a.document) == serialize(b.document)
+            assert a.record.to_dict() == b.record.to_dict()
+
+    def test_embed_many_text_with_process_sharding(self):
+        scheme = bibliography.default_scheme(2)
+        texts = [serialize(_small_bibliography(seed)) for seed in (1, 2, 3)]
+        serial = api.Pipeline(scheme, "k").embed_many(texts, "(c) p")
+        sharded = api.Pipeline(scheme, "k").embed_many(texts, "(c) p",
+                                                       processes=2)
+        for a, b in zip(serial, sharded):
+            assert serialize(a.document) == serialize(b.document)
+
+    def test_detect_many_accepts_iterator_input(self):
+        scheme = bibliography.default_scheme(2)
+        pipeline = api.Pipeline(scheme, "k")
+        results = pipeline.embed_many(
+            [_small_bibliography(seed) for seed in (1, 2)], "(c) gen")
+        outcomes = pipeline.detect_many(
+            iter([(r.document, r.record) for r in results]),
+            expected="(c) gen")
+        assert len(outcomes) == 2
+        assert all(o.detected for o in outcomes)
+
+    def test_detect_many_accepts_raw_xml_text(self):
+        scheme = bibliography.default_scheme(2)
+        pipeline = api.Pipeline(scheme, "k")
+        results = pipeline.embed_many(
+            [_small_bibliography(seed) for seed in (1, 2)], "(c) many")
+        outcomes = pipeline.detect_many(
+            [(serialize(r.document), r.record) for r in results],
+            expected="(c) many", processes=2)
+        assert len(outcomes) == 2
+        assert all(o.detected for o in outcomes)
+
     def test_unknown_strategy_rejected(self):
         scheme = bibliography.default_scheme(2)
         pipeline = api.Pipeline(scheme, "k")

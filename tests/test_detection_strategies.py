@@ -1,11 +1,12 @@
-"""Scan vs indexed detection: equal votes under every attack.
+"""Scan vs indexed detection: equal votes under every attack, every profile.
 
-ROADMAP open item: the indexed executor may only become the preferred
-path once its semantics are proven equal to per-query XPath scanning on
-*attacked* documents.  This suite runs both strategies over every
-attack class in :mod:`repro.attacks` on the E9 bibliography and asserts
-vote-for-vote equality — the proof the pipeline's ``strategy="auto"``
-promotion rests on.
+Closed ROADMAP item: ``strategy="auto"`` may only drop its query-count
+heuristic and always run the indexed executor once indexed/scan
+semantics are proven equal on *attacked* documents for every dataset
+profile.  This suite runs both strategies over every attack class in
+:mod:`repro.attacks` on the bibliography, jobs and library profiles and
+asserts vote-for-vote equality — the proof ``auto``'s promotion to
+always-indexed rests on.
 """
 
 import pytest
@@ -13,26 +14,67 @@ import pytest
 import repro.attacks as attacks_module
 from repro import api
 from repro.attacks import Attack
-from repro.datasets import bibliography
+from repro.datasets import bibliography, jobs, library
 
-E9_CONFIG = bibliography.BibliographyConfig(books=200, editors=15, seed=42)
 KEY = "strategy-equivalence-key"
 MESSAGE = "(c) WmXML"
 
 
-@pytest.fixture(scope="module")
-def embedded():
-    scheme = bibliography.default_scheme(2)
-    pipeline = api.Pipeline(scheme, KEY)
-    document = bibliography.generate_document(E9_CONFIG)
-    result = pipeline.embed(document, MESSAGE)
-    return pipeline, result
+class ProfileCase:
+    """One dataset profile: generator, scheme, shapes, and its FD."""
+
+    def __init__(self, name, generate, default_scheme, source_shape,
+                 reorganized_shape, fd):
+        self.name = name
+        self.generate = generate
+        self.default_scheme = default_scheme
+        self.source_shape = source_shape
+        self.reorganized_shape = reorganized_shape
+        self.fd = fd
 
 
-def _collusion_copies():
+PROFILE_CASES = {
+    "bibliography": ProfileCase(
+        "bibliography",
+        lambda: bibliography.generate_document(
+            bibliography.BibliographyConfig(books=200, editors=15, seed=42)),
+        lambda: bibliography.default_scheme(2),
+        bibliography.book_shape,
+        bibliography.publisher_shape,
+        bibliography.semantic_fd,
+    ),
+    "jobs": ProfileCase(
+        "jobs",
+        lambda: jobs.generate_document(jobs.JobsConfig(jobs=150, seed=42)),
+        lambda: jobs.default_scheme(2),
+        jobs.listing_shape,
+        jobs.by_company_shape,
+        lambda: jobs.semantic_fds()[0],
+    ),
+    "library": ProfileCase(
+        "library",
+        lambda: library.generate_document(
+            library.LibraryConfig(items=120, seed=42)),
+        lambda: library.default_scheme(2),
+        library.catalogue_shape,
+        library.by_category_shape,
+        library.semantic_fd,
+    ),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(PROFILE_CASES))
+def embedded(request):
+    case = PROFILE_CASES[request.param]
+    pipeline = api.Pipeline(case.default_scheme(), KEY)
+    result = pipeline.embed(case.generate(), MESSAGE)
+    return case, pipeline, result
+
+
+def _collusion_copies(case):
     """Two fingerprinted copies of the same document (aligned trees)."""
-    document = bibliography.generate_document(E9_CONFIG)
-    scheme = bibliography.default_scheme(2)
+    document = case.generate()
+    scheme = case.default_scheme()
     return [
         api.Pipeline(scheme, f"colluder-{tag}").embed(document, MESSAGE)
         .document
@@ -40,33 +82,34 @@ def _collusion_copies():
     ]
 
 
-#: attack-name -> (build attack, shape the attacked document has).
-#: Shapes: every structural attack here leaves the book-centric
-#: organisation intact except "reorganize", which detection must answer
-#: through the publisher-centric shape (query rewriting).
+#: attack-name -> build(case) -> (attack, shape the attacked document
+#: has).  Every structural attack leaves the source organisation intact
+#: except "reorganize", which detection must answer through the
+#: profile's alternative shape (query rewriting).
 ATTACK_CASES = {
     "ValueAlterationAttack":
-        (lambda: attacks_module.ValueAlterationAttack(0.2, seed=7), None),
+        lambda case: (attacks_module.ValueAlterationAttack(0.2, seed=7),
+                      None),
     "NodeDeletionAttack":
-        (lambda: attacks_module.NodeDeletionAttack(0.3, seed=7), None),
+        lambda case: (attacks_module.NodeDeletionAttack(0.3, seed=7), None),
     "NodeInsertionAttack":
-        (lambda: attacks_module.NodeInsertionAttack(0.3, seed=7), None),
+        lambda case: (attacks_module.NodeInsertionAttack(0.3, seed=7), None),
     "ReductionAttack":
-        (lambda: attacks_module.ReductionAttack(0.5, seed=7), None),
+        lambda case: (attacks_module.ReductionAttack(0.5, seed=7), None),
     "SiblingShuffleAttack":
-        (lambda: attacks_module.SiblingShuffleAttack(seed=7), None),
+        lambda case: (attacks_module.SiblingShuffleAttack(seed=7), None),
     "ReorganizationAttack":
-        (lambda: attacks_module.ReorganizationAttack(
-            bibliography.book_shape(), bibliography.publisher_shape()),
-         bibliography.publisher_shape),
+        lambda case: (attacks_module.ReorganizationAttack(
+            case.source_shape(), case.reorganized_shape()),
+            case.reorganized_shape),
     "RedundancyUnificationAttack":
-        (lambda: attacks_module.RedundancyUnificationAttack(
-            bibliography.semantic_fd(), strategy="majority", seed=7), None),
+        lambda case: (attacks_module.RedundancyUnificationAttack(
+            case.fd(), strategy="majority", seed=7), None),
     "CollusionAttack":
-        (lambda: attacks_module.CollusionAttack(
-            _collusion_copies(), strategy="random", seed=7), None),
+        lambda case: (attacks_module.CollusionAttack(
+            _collusion_copies(case), strategy="random", seed=7), None),
     "CompositeAttack":
-        (lambda: attacks_module.CompositeAttack([
+        lambda case: (attacks_module.CompositeAttack([
             attacks_module.ValueAlterationAttack(0.1, seed=7),
             attacks_module.SiblingShuffleAttack(seed=7),
             attacks_module.ReductionAttack(0.7, seed=7),
@@ -85,12 +128,17 @@ def test_every_exported_attack_class_is_covered():
     assert exported == set(ATTACK_CASES)
 
 
+def _attacked(embedded, attack_name):
+    case, pipeline, result = embedded
+    attack, shape_factory = ATTACK_CASES[attack_name](case)
+    attacked = attack.apply(result.document).document
+    shape = shape_factory() if shape_factory else None
+    return pipeline, result, attacked, shape
+
+
 @pytest.mark.parametrize("attack_name", sorted(ATTACK_CASES))
 def test_scan_and_indexed_agree_vote_for_vote(embedded, attack_name):
-    pipeline, result = embedded
-    build_attack, shape_factory = ATTACK_CASES[attack_name]
-    attacked = build_attack().apply(result.document).document
-    shape = shape_factory() if shape_factory else None
+    pipeline, result, attacked, shape = _attacked(embedded, attack_name)
 
     scan = pipeline.detect(attacked, result.record, expected=MESSAGE,
                            shape=shape, strategy="scan")
@@ -108,13 +156,22 @@ def test_scan_and_indexed_agree_vote_for_vote(embedded, attack_name):
 
 @pytest.mark.parametrize("attack_name", sorted(ATTACK_CASES))
 def test_auto_strategy_matches_both(embedded, attack_name):
-    pipeline, result = embedded
-    build_attack, shape_factory = ATTACK_CASES[attack_name]
-    attacked = build_attack().apply(result.document).document
-    shape = shape_factory() if shape_factory else None
+    pipeline, result, attacked, shape = _attacked(embedded, attack_name)
 
     auto = pipeline.detect(attacked, result.record, expected=MESSAGE,
                            shape=shape, strategy="auto")
     scan = pipeline.detect(attacked, result.record, expected=MESSAGE,
                            shape=shape, strategy="scan")
     assert auto.to_dict() == scan.to_dict()
+
+
+def test_auto_always_runs_indexed():
+    """The query-count heuristic is gone: auto == indexed, always."""
+    from repro.api.pipeline import _resolve_strategy
+
+    assert _resolve_strategy("auto") is True
+    assert _resolve_strategy("indexed") is True
+    assert _resolve_strategy("scan") is False
+    assert not hasattr(
+        __import__("repro.api.pipeline", fromlist=["pipeline"]),
+        "AUTO_INDEXED_MIN_QUERIES")

@@ -182,7 +182,7 @@ class TestBenchRun:
         assert run["elements"] > 0 and run["queries"] > 0
         for stage in ("parse_ms", "shred_ms", "embed_ms",
                       "detect_scan_ms", "detect_indexed_ms",
-                      "api_embed_many_ms"):
+                      "api_embed_many_ms", "parse_many_ms"):
             assert run["stages"][stage] > 0
 
     def test_bench_records_api_batch_throughput(self):
@@ -193,6 +193,9 @@ class TestBenchRun:
         docs_per_s = run["throughput"]["api_embed_many_docs_per_s"]
         assert docs_per_s == pytest.approx(
             BATCH_DOCS / (run["stages"]["api_embed_many_ms"] / 1000.0))
+        parse_docs_per_s = run["throughput"]["parse_many_docs_per_s"]
+        assert parse_docs_per_s == pytest.approx(
+            BATCH_DOCS / (run["stages"]["parse_many_ms"] / 1000.0))
 
     def test_smoke_mode_measures_without_archiving(self, tmp_path, capsys):
         from repro.perf import bench

@@ -1,14 +1,18 @@
 """Unit tests for the from-scratch XML parser (repro.xmlmodel.parser)."""
 
+import pickle
+
 import pytest
 
 from repro.xmlmodel import (
     Comment,
+    Element,
     ProcessingInstruction,
     Text,
     XMLSyntaxError,
     parse,
     parse_file,
+    parse_many,
     serialize,
 )
 
@@ -261,3 +265,131 @@ class TestParseFile:
         path.write_text("<db><x>1</x></db>", encoding="utf-8")
         doc = parse_file(str(path))
         assert doc.root.find_text("x") == "1"
+
+
+class TestEndOfLineNormalization:
+    """XML 1.0 §2.11: \\r\\n and bare \\r become \\n before parsing."""
+
+    def test_crlf_in_text(self):
+        assert parse("<a>x\r\ny</a>").root.text == "x\ny"
+
+    def test_bare_cr_in_text(self):
+        assert parse("<a>x\ry</a>").root.text == "x\ny"
+
+    def test_cr_in_cdata(self):
+        assert parse("<a><![CDATA[x\r\ny\rz]]></a>").root.text == "x\ny\nz"
+
+    def test_cr_in_attribute(self):
+        assert parse('<a v="x\ry"/>').root.get_attribute("v") == "x\ny"
+
+    def test_character_reference_cr_survives(self):
+        assert parse("<a>&#13;&#xD;</a>").root.text == "\r\r"
+
+    def test_cr_as_markup_whitespace(self):
+        doc = parse('<a\r\nx="1"\r/>')
+        assert doc.root.get_attribute("x") == "1"
+
+    def test_error_lines_count_normalized_newlines(self):
+        with pytest.raises(XMLSyntaxError) as excinfo:
+            parse("<a>\r\n<b>\r\n</c>\r\n</a>")
+        assert excinfo.value.line == 2
+
+
+class TestScannerDepth:
+    def test_deep_nesting_needs_no_recursion(self):
+        depth = 3000
+        text = "<d>" * depth + "x" + "</d>" * depth
+        doc = parse(text)
+        node, levels = doc.root, 1
+        while node.children and isinstance(node.children[0], Element):
+            node = node.children[0]
+            levels += 1
+        assert levels == depth
+        assert node.text == "x"
+
+
+class TestParseBuiltIndexes:
+    """The scanner populates the tree's indexes during the parse."""
+
+    TEXT = ('<db><book publisher="mkp"><title>A</title></book>'
+            "<book><title>B</title></book><note/></db>")
+
+    def test_child_index_matches_children(self):
+        root = parse(self.TEXT).root
+        books = root.children_by_tag("book")
+        assert books == [c for c in root.children
+                         if isinstance(c, Element) and c.tag == "book"]
+        assert root.children_by_tag("missing") == []
+
+    def test_descendant_index_matches_walk(self):
+        root = parse(self.TEXT).root
+        assert (root.descendants_by_tag("title")
+                == list(root.iter_elements("title")))
+
+    def test_order_index_matches_lazy_rebuild(self):
+        eager = parse(self.TEXT).root
+        lazy = parse(self.TEXT).root
+        lazy._order_cache = None
+
+        def ranks(root, order):
+            out = []
+            for node in root.iter():
+                out.append(order[id(node)])
+                if isinstance(node, Element):
+                    out.extend(order[(id(node), name)]
+                               for name in node.attributes)
+            return out
+
+        assert (ranks(eager, eager.order_index())
+                == ranks(lazy, lazy.order_index()))
+
+    def test_mutation_invalidates_parse_built_indexes(self):
+        root = parse(self.TEXT).root
+        first = root.children_by_tag("book")[0]
+        first.detach()
+        assert len(root.children_by_tag("book")) == 1
+        assert id(first) not in root.order_index()
+        assert first not in root.descendants_by_tag("book")
+
+    def test_pickle_drops_order_cache_and_rebuilds(self):
+        doc = parse(self.TEXT)
+        clone = pickle.loads(pickle.dumps(doc))
+        assert clone.root._order_cache is None
+        assert serialize(clone) == self.TEXT
+        assert clone.root.order_index()[id(clone.root)] == 0
+
+
+class TestParseMany:
+    TEXTS = ["<a><b>1</b></a>", "<c/>", '<d x="1">t</d>']
+
+    def test_serial_preserves_order(self):
+        docs = parse_many(self.TEXTS)
+        assert [serialize(d) for d in docs] == self.TEXTS
+
+    def test_empty_batch(self):
+        assert parse_many([]) == []
+
+    def test_strip_whitespace_mode(self):
+        docs = parse_many(["<db>\n  <x>1</x>\n</db>"], strip_whitespace=True)
+        assert all(not isinstance(c, Text) for c in docs[0].root.children)
+
+    def test_process_pool_matches_serial(self):
+        pooled = parse_many(self.TEXTS * 3, processes=2)
+        assert [serialize(d) for d in pooled] == self.TEXTS * 3
+
+    def test_process_pool_documents_fully_usable(self):
+        doc = parse_many(self.TEXTS, processes=2)[0]
+        assert doc.root.children_by_tag("b")[0].text == "1"
+        assert doc.root.order_index()[id(doc.root)] == 0
+
+    def test_syntax_error_propagates_from_pool(self):
+        with pytest.raises(XMLSyntaxError) as excinfo:
+            parse_many(["<a/>", "<a><b></a>"], processes=2)
+        assert excinfo.value.line >= 1
+
+    def test_pool_falls_back_to_serial_for_unpicklably_deep_trees(self):
+        depth = 4000
+        text = "<d>" * depth + "x" + "</d>" * depth
+        docs = parse_many([text, "<a/>"], processes=2)
+        assert serialize(docs[1]) == "<a/>"
+        assert docs[0].root.tag == "d"

@@ -48,6 +48,16 @@ class TestSerialize:
         doc = Document(Element("db"), prolog=[Comment("hdr")])
         assert serialize(doc) == "<!--hdr--><db/>"
 
+    def test_cr_in_text_escaped(self):
+        doc = parse(serialize(Element("a", text="x\ry")))
+        assert doc.root.text == "x\ry"
+        assert serialize(Element("a", text="x\ry")) == "<a>x&#13;y</a>"
+
+    def test_cr_in_attribute_escaped(self):
+        el = Element("a", attributes={"v": "x\ry"})
+        assert serialize(el) == '<a v="x&#13;y"/>'
+        assert parse(serialize(el)).root.get_attribute("v") == "x\ry"
+
 
 class TestPretty:
     def test_indents_children(self):
@@ -75,6 +85,15 @@ class TestPretty:
         el = Element("a", children=[Comment("c"), ProcessingInstruction("p", "d")])
         out = pretty(el)
         assert "<!--c-->" in out
+        assert "<?p d?>" in out
+
+    def test_epilog_emitted(self):
+        """Regression: trailing comments/PIs used to vanish on pretty()."""
+        doc = Document(Element("db"),
+                       epilog=[Comment("tail"),
+                               ProcessingInstruction("p", "d")])
+        out = pretty(doc)
+        assert out.index("<db/>") < out.index("<!--tail-->")
         assert "<?p d?>" in out
 
 
