@@ -47,7 +47,11 @@ keep working; they are the engine room this facade drives.
 """
 
 from repro.api.builder import SchemeBuilder
-from repro.api.pipeline import DETECTION_STRATEGIES, Pipeline
+from repro.api.pipeline import (
+    DETECTION_STRATEGIES,
+    EMBED_OUTPUTS,
+    Pipeline,
+)
 from repro.api.system import WmXMLSystem
 from repro.attacks import (
     Attack,
@@ -105,6 +109,7 @@ __all__ = [
     "Pipeline",
     "SchemeBuilder",
     "DETECTION_STRATEGIES",
+    "EMBED_OUTPUTS",
     # scheme / data model
     "CarrierSpec",
     "DocumentShape",

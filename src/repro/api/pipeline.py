@@ -30,18 +30,56 @@ Detection strategies (the ``strategy`` argument):
   ``auto`` simply names the fast engine, keeping ``scan`` reachable as
   the explicit reference path.
 
-Batch inputs (``embed_many`` / ``detect_many``) accept either parsed
-:class:`~repro.xmlmodel.tree.Document` objects or raw XML strings;
-strings are parsed through :func:`repro.xmlmodel.parse_many`, and
-``processes=N`` shards that parse over a process pool — the
-per-document parse is the batch bottleneck and the one stage that
-parallelises cleanly beyond the GIL.
+The parallel batch engine (``processes=N``)
+-------------------------------------------
+
+``embed_many``/``detect_many`` accept parsed
+:class:`~repro.xmlmodel.tree.Document` objects or raw XML strings.
+With ``processes=N`` the *whole* per-document pipeline — parse, embed
+or detect, and (with ``output="xml"``) serialise — runs as one fused
+task inside a process-pool worker:
+
+* The batch is cut into contiguous, evenly sized chunks
+  (:func:`repro.parallel.chunk_evenly`; ~4 chunks per worker) and
+  dispatched over a *persistent* pool shared with
+  :func:`repro.xmlmodel.parse_many`, so fork cost is paid once per
+  process count, not once per batch.
+* Each chunk task carries the pickled pipeline plus its content
+  fingerprint; a worker unpickles it **once** into a
+  fingerprint-keyed cache and reuses the compiled pipeline (warm PRF
+  pads/memos, plug-in instances) for every later chunk of any batch of
+  the same deployment.  Unpicklable hot-path state (the HMAC key
+  schedule, digest memos, plug-in caches) is dropped on pickling and
+  lazily rebuilt in the worker — see ``KeyedPRF.__getstate__``.
+* Raw-XML inputs are parsed *in the worker*, so a text batch never
+  pays the old two-hop cost (parse results pickled back to the parent
+  only to be re-pickled out for embedding); with ``output="xml"`` the
+  marked tree is serialised in the worker too and only markup text
+  returns.
+* Results come back in input order, and a failure (syntax error, dead
+  worker) either propagates exactly as the serial path would raise it
+  or — for pool-level failures such as ``BrokenProcessPool`` or
+  pickling a pathologically deep tree — falls back to the serial path:
+  parallelism is a throughput optimisation, never a correctness
+  dependency.  Pooled and serial outputs are bit-identical (locked by
+  ``tests/test_parallel_engine.py``).
+
+``processes=N`` pays off once the batch has enough total work to
+amortise chunk dispatch — as a rule of thumb, ``batch size x
+per-document cost >= ~20 ms`` on an otherwise idle machine; below
+that, or on a single-core host, leave it unset.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Union
+import hashlib
+import itertools
+import json
+import pickle
+from functools import cached_property
+from typing import Iterable, Optional, Sequence, Union
 
+from repro import parallel
 from repro.core.decoder import DetectionResult, WmXMLDecoder
 from repro.core.encoder import EmbeddingResult, WmXMLEncoder
 from repro.core.record import WatermarkRecord
@@ -50,16 +88,25 @@ from repro.core.watermark import Watermark
 from repro.errors import WmXMLError
 from repro.perf.profiler import profiled
 from repro.semantics.shape import DocumentShape
-from repro.xmlmodel.parser import parse_many
+from repro.xmlmodel.parser import parse, parse_many
+from repro.xmlmodel.serializer import serialize
 from repro.xmlmodel.tree import Document
 
 #: Accepted values of the ``strategy`` argument to :meth:`Pipeline.detect`.
 DETECTION_STRATEGIES = ("auto", "indexed", "scan")
 
+#: Accepted values of the ``output`` argument to :meth:`Pipeline.embed_many`.
+EMBED_OUTPUTS = ("document", "xml")
+
 MessageLike = Union[str, Watermark]
 
 #: Batch APIs take parsed documents or raw XML text interchangeably.
 DocumentLike = Union[Document, str]
+
+#: Distinguishes pipelines whose scheme cannot serialise (see
+#: :attr:`Pipeline.fingerprint`); a monotonic counter, unlike
+#: ``id()``, is never reused after garbage collection.
+_INSTANCE_COUNTER = itertools.count()
 
 
 def _as_watermark(message: MessageLike) -> Watermark:
@@ -75,6 +122,13 @@ def _resolve_strategy(strategy: str) -> bool:
             f"unknown detection strategy {strategy!r}; "
             f"choices: {DETECTION_STRATEGIES}")
     return strategy != "scan"
+
+
+def _resolve_output(output: str) -> str:
+    if output not in EMBED_OUTPUTS:
+        raise WmXMLError(
+            f"unknown embed output {output!r}; choices: {EMBED_OUTPUTS}")
+    return output
 
 
 def _as_documents(items: Iterable[DocumentLike],
@@ -98,6 +152,66 @@ def _as_documents(items: Iterable[DocumentLike],
     return resolved
 
 
+# -- worker side of the parallel engine ------------------------------------------------------------
+
+#: Per-worker compiled pipelines, keyed by content fingerprint; each
+#: worker unpickles a deployment once and keeps its caches warm across
+#: every chunk and batch that names the same fingerprint.
+_WORKER_PIPELINES: dict[str, "Pipeline"] = {}
+
+#: Bound on distinct deployments a worker keeps compiled.
+_WORKER_PIPELINE_LIMIT = 8
+
+
+def _worker_pipeline(fingerprint: str, payload: bytes) -> "Pipeline":
+    pipeline = _WORKER_PIPELINES.get(fingerprint)
+    if pipeline is None:
+        pipeline = pickle.loads(payload)
+        if len(_WORKER_PIPELINES) >= _WORKER_PIPELINE_LIMIT:
+            del _WORKER_PIPELINES[next(iter(_WORKER_PIPELINES))]
+        _WORKER_PIPELINES[fingerprint] = pipeline
+    return pipeline
+
+
+def _embed_chunk(task: tuple) -> list[EmbeddingResult]:
+    """Fused embed task: parse -> embed -> (optionally) serialise.
+
+    Runs inside a pool worker.  Embedding is in-place: the tree here is
+    either freshly parsed or the pickled private copy of the caller's
+    document, so no further defensive copy is needed — the output is
+    bit-identical to the parent-side ``embed()`` either way.
+    """
+    fingerprint, payload, items, watermark, output = task
+    pipeline = _worker_pipeline(fingerprint, payload)
+    encoder = pipeline._encoder
+    results = []
+    for item in items:
+        document = (parse(item, strip_whitespace=True)
+                    if isinstance(item, str) else item)
+        result = encoder.embed(document, watermark, in_place=True)
+        if output == "xml":
+            result = EmbeddingResult(
+                document=None, record=result.record, stats=result.stats,
+                xml=serialize(result.document))
+        results.append(result)
+    return results
+
+
+def _detect_chunk(task: tuple) -> list[DetectionResult]:
+    """Fused detect task: parse -> detect, one worker-local decoder."""
+    fingerprint, payload, items, expected, shape, indexed = task
+    pipeline = _worker_pipeline(fingerprint, payload)
+    decoder = pipeline._decoder
+    shape = shape or pipeline.scheme.shape
+    results = []
+    for document, record in items:
+        if isinstance(document, str):
+            document = parse(document, strip_whitespace=True)
+        results.append(decoder.detect(document, record, shape,
+                                      expected=expected, indexed=indexed))
+    return results
+
+
 class Pipeline:
     """A reusable, thread-safe embed/detect engine for one deployment."""
 
@@ -119,6 +233,25 @@ class Pipeline:
         """Public fingerprint of the owning key (safe to log)."""
         return self._encoder.prf.fingerprint()
 
+    @cached_property
+    def fingerprint(self) -> str:
+        """Content fingerprint of (scheme, key, alpha) — no secrets.
+
+        Keys the per-worker pipeline cache of the parallel engine: two
+        pipelines compiled from equal deployments share one worker-side
+        compilation.  Derived from the declarative scheme form, the
+        *public* key fingerprint and alpha; a scheme that cannot
+        serialise (exotic plug-in params) falls back to identity
+        keying, which merely forfeits cross-instance sharing.
+        """
+        try:
+            content = json.dumps(self.scheme.to_dict(), sort_keys=True)
+        except TypeError:
+            content = f"instance:{next(_INSTANCE_COUNTER)}"
+        material = "\x1f".join([content, self.key_fingerprint,
+                                repr(self.alpha)])
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:32]
+
     # -- embedding ------------------------------------------------------------
 
     def embed(self, document: Document, message: MessageLike,
@@ -131,23 +264,50 @@ class Pipeline:
     def embed_many(self, documents: Iterable[DocumentLike],
                    message: MessageLike,
                    in_place: bool = False,
-                   processes: Optional[int] = None) -> list[EmbeddingResult]:
+                   processes: Optional[int] = None,
+                   output: str = "document") -> list[EmbeddingResult]:
         """Embed the same message into many documents.
 
-        One encoder serves the whole batch, so the PRF digest memo and
-        plug-in instances warmed by the first document are reused by the
-        rest — the per-document cost drops measurably versus constructing
-        a fresh encoder per document (tracked by the E9 bench's
+        One compiled pipeline serves the whole batch, so the PRF digest
+        memo and plug-in instances warmed by the first document are
+        reused by the rest (tracked by the E9 bench's
         ``api_embed_many_ms`` stage).
 
-        Entries may be raw XML strings; they are parsed up front (the
-        batch bottleneck), and ``processes=N`` shards that parsing over
-        a process pool.  ``processes`` has no effect on entries that
-        are already :class:`Document` objects.
+        Entries may be raw XML strings.  With ``processes=N`` the full
+        per-document pipeline (parse -> embed -> serialise) is sharded
+        over the persistent worker pool as fused chunk tasks — see the
+        module docstring; without it the batch runs serially in this
+        process.  ``output="xml"`` returns results whose ``xml`` field
+        carries the serialised marked document (``document`` is None),
+        which is both what a service ships and the cheap way to get
+        results back from workers.
+
+        ``in_place=True`` mutates caller-supplied ``Document`` objects,
+        which only a same-process embed can honour — such batches run
+        serially regardless of ``processes``.
         """
         watermark = _as_watermark(message)
-        return [self._encoder.embed(document, watermark, in_place=in_place)
-                for document in _as_documents(documents, processes)]
+        output = _resolve_output(output)
+        batch = list(documents)
+        if self._poolable(processes, batch,
+                          in_place and any(isinstance(item, Document)
+                                           for item in batch)):
+            try:
+                return self._embed_pooled(batch, watermark, processes,
+                                          output)
+            except (RecursionError, parallel.BrokenProcessPool):
+                pass  # fall back to the serial path below
+        results = [self._encoder.embed(document, watermark,
+                                       in_place=in_place)
+                   for document in _as_documents(batch, processes)]
+        if output == "xml":
+            results = [
+                EmbeddingResult(document=None, record=result.record,
+                                stats=result.stats,
+                                xml=serialize(result.document))
+                for result in results
+            ]
+        return results
 
     # -- detection ------------------------------------------------------------
 
@@ -185,21 +345,74 @@ class Pipeline:
     ) -> list[DetectionResult]:
         """Detect over many (document, record) pairs with one decoder.
 
-        The decoder's PRF and plug-in caches are shared across the
-        batch, amortising key re-derivation the same way
-        :meth:`embed_many` amortises embedding state.  Documents may be
-        raw XML strings, parsed up front with optional process-pool
-        sharding (``processes=N``) exactly as in :meth:`embed_many`.
+        ``expected``, ``shape`` and ``strategy`` are resolved once and
+        applied identically to every pair — pooled or serial, every
+        document is judged by the same engine against the same
+        expectation (vote-for-vote equality of pooled and serial runs,
+        for every strategy, is locked by the test suite).  Documents
+        may be raw XML strings; with ``processes=N`` parse + detect run
+        as fused chunk tasks on the worker pool, exactly as in
+        :meth:`embed_many`.
         """
         expected_wm = (None if expected is None
                        else _as_watermark(expected))
         indexed = _resolve_strategy(strategy)
-        items = list(items)  # consumed twice; accept iterators safely
-        documents = _as_documents([document for document, _ in items],
+        batch = list(items)  # accept iterators safely
+        if self._poolable(processes, batch, False):
+            try:
+                return self._detect_pooled(batch, expected_wm, shape,
+                                           indexed, processes)
+            except (RecursionError, parallel.BrokenProcessPool):
+                pass  # fall back to the serial path below
+        documents = _as_documents([document for document, _ in batch],
                                   processes)
         return [
             self._decoder.detect(
                 document, record, shape or self.scheme.shape,
                 expected=expected_wm, indexed=indexed)
-            for document, (_, record) in zip(documents, items)
+            for document, (_, record) in zip(documents, batch)
         ]
+
+    # -- parallel dispatch ------------------------------------------------------------
+
+    @staticmethod
+    def _poolable(processes: Optional[int], batch: Sequence,
+                  needs_caller_state: bool) -> bool:
+        """Whether a batch should go to the worker pool at all."""
+        return (processes is not None and processes > 1
+                and len(batch) > 1 and not needs_caller_state)
+
+    def _payload(self) -> tuple[str, bytes]:
+        """(fingerprint, pickled self) shipped with every chunk task.
+
+        The pickle is lean by construction: the PRF drops its HMAC
+        schedule and memos, encoder/decoder drop their plug-in caches
+        (all rebuilt lazily worker-side).  Note the secret key itself
+        travels inside the payload — over the pool's process pipe on
+        this machine, never into any stored artefact.
+        """
+        return self.fingerprint, pickle.dumps(self)
+
+    def _embed_pooled(self, batch: list[DocumentLike],
+                      watermark: Watermark, processes: int,
+                      output: str) -> list[EmbeddingResult]:
+        fingerprint, payload = self._payload()
+        tasks = [
+            (fingerprint, payload, chunk, watermark, output)
+            for chunk in parallel.chunk_evenly(
+                batch, processes * parallel.CHUNKS_PER_WORKER)
+        ]
+        chunks = parallel.map_sharded(processes, _embed_chunk, tasks)
+        return [result for chunk in chunks for result in chunk]
+
+    def _detect_pooled(self, batch: list, expected: Optional[Watermark],
+                       shape: Optional[DocumentShape], indexed: bool,
+                       processes: int) -> list[DetectionResult]:
+        fingerprint, payload = self._payload()
+        tasks = [
+            (fingerprint, payload, chunk, expected, shape, indexed)
+            for chunk in parallel.chunk_evenly(
+                batch, processes * parallel.CHUNKS_PER_WORKER)
+        ]
+        chunks = parallel.map_sharded(processes, _detect_chunk, tasks)
+        return [result for chunk in chunks for result in chunk]

@@ -145,10 +145,12 @@ class WmXMLSystem:
                    documents: Iterable[DocumentLike],
                    message: MessageLike,
                    in_place: bool = False,
-                   processes: Optional[int] = None) -> list[EmbeddingResult]:
+                   processes: Optional[int] = None,
+                   output: str = "document") -> list[EmbeddingResult]:
         return self.pipeline(scheme).embed_many(documents, message,
                                                 in_place=in_place,
-                                                processes=processes)
+                                                processes=processes,
+                                                output=output)
 
     def detect(
         self,
@@ -167,7 +169,7 @@ class WmXMLSystem:
     def detect_many(
         self,
         scheme: SchemeLike,
-        items: list[tuple[DocumentLike, WatermarkRecord]],
+        items: Iterable[tuple[DocumentLike, WatermarkRecord]],
         *,
         expected: Optional[MessageLike] = None,
         shape: Optional[DocumentShape] = None,

@@ -27,6 +27,8 @@ of its own.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from dataclasses import replace
 from typing import Optional
@@ -146,14 +148,25 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _batch_target(path: str, kind: str, count: int) -> None:
+    """Ensure ``path`` is a directory when a batch writes into it."""
+    if os.path.exists(path) and not os.path.isdir(path):
+        raise SystemExit(
+            f"--{kind} must name a directory when embedding {count} "
+            f"inputs (got existing file {path!r})")
+    os.makedirs(path, exist_ok=True)
+
+
 def cmd_embed(args: argparse.Namespace) -> int:
     profile = _profile(args.profile)
     scheme = _scheme_for(args, profile, gamma=args.gamma)
     system = WmXMLSystem(args.key)
+    if len(args.input) > 1:
+        return _embed_batch(args, scheme, system)
     timer = StageTimer()
     with use_timer(timer):
         with timer.stage("parse"):
-            document = parse_file(args.input, strip_whitespace=True)
+            document = parse_file(args.input[0], strip_whitespace=True)
         result = system.embed(scheme, document, args.message)
         with timer.stage("write"):
             write_file(args.output, result.document)
@@ -167,6 +180,47 @@ def cmd_embed(args: argparse.Namespace) -> int:
           f"{stats.nodes_modified} nodes perturbed")
     print(f"marked document: {args.output}")
     print(f"query set Q:     {args.record}  (keep with your secret key)")
+    return 0
+
+
+def _embed_batch(args: argparse.Namespace, scheme: WatermarkingScheme,
+                 system: WmXMLSystem) -> int:
+    """Embed a fleet of documents; ``--output``/``--record`` are dirs.
+
+    The batch runs through the facade's fused engine (raw XML in,
+    marked XML out), sharded over ``--processes`` workers when asked —
+    each input gets its own marked file and query-set record, named
+    after the input's basename.
+    """
+    _batch_target(args.output, "output", len(args.input))
+    _batch_target(args.record, "record", len(args.input))
+    stems = [os.path.splitext(os.path.basename(path))[0]
+             for path in args.input]
+    clashes = sorted({stem for stem in stems if stems.count(stem) > 1})
+    if clashes:
+        # Outputs are basename-keyed; two inputs sharing a basename
+        # would silently overwrite each other's marked copy and record.
+        raise SystemExit(
+            f"duplicate input basenames {clashes!r}: batch outputs are "
+            "named after input basenames, so these would overwrite each "
+            "other — rename the inputs or embed them in separate runs")
+    texts = []
+    for path in args.input:
+        with open(path, "r", encoding="utf-8") as handle:
+            texts.append(handle.read())
+    results = system.embed_many(scheme, texts, args.message,
+                                processes=args.processes, output="xml")
+    for stem, result in zip(stems, results):
+        marked_path = os.path.join(args.output, f"{stem}.xml")
+        with open(marked_path, "w", encoding="utf-8") as handle:
+            handle.write(result.xml)
+        result.record.save(os.path.join(args.record, f"{stem}.record.json"))
+    workers = (f", {args.processes} workers"
+               if args.processes and args.processes > 1 else "")
+    print(f"embedded {results[0].record.nbits}-bit watermark into "
+          f"{len(results)} documents (gamma={scheme.gamma}{workers})")
+    print(f"marked documents: {args.output}/")
+    print(f"query sets Q:     {args.record}/  (keep with your secret key)")
     return 0
 
 
@@ -185,11 +239,13 @@ def cmd_detect(args: argparse.Namespace) -> int:
         shape = profile.shape(None)
     system = WmXMLSystem(args.key, alpha=args.alpha)
     strategy = "indexed" if args.indexed else args.strategy
+    record = WatermarkRecord.load(args.record)
+    if len(args.input) > 1:
+        return _detect_batch(args, scheme, system, record, shape, strategy)
     timer = StageTimer()
     with use_timer(timer):
         with timer.stage("parse"):
-            document = parse_file(args.input, strip_whitespace=True)
-        record = WatermarkRecord.load(args.record)
+            document = parse_file(args.input[0], strip_whitespace=True)
         outcome = system.detect(scheme, document, record,
                                 expected=args.message or None,
                                 shape=shape, strategy=strategy)
@@ -207,6 +263,45 @@ def cmd_detect(args: argparse.Namespace) -> int:
         outcome.save(args.result)
         print(f"detection result: {args.result}")
     return 0 if outcome.detected else 1
+
+
+def _detect_batch(args: argparse.Namespace, scheme: WatermarkingScheme,
+                  system: WmXMLSystem, record: WatermarkRecord,
+                  shape, strategy: str) -> int:
+    """Check many suspected copies against one query-set record.
+
+    The piracy-hunting batch: every input is judged by the same record,
+    expectation and strategy, sharded over ``--processes`` workers when
+    asked.  ``--result`` saves a JSON object mapping each input path to
+    its versioned detection verdict.  Exit status is 0 only when
+    *every* copy is detected.
+    """
+    texts = []
+    for path in args.input:
+        with open(path, "r", encoding="utf-8") as handle:
+            texts.append(handle.read())
+    timer = StageTimer()
+    with use_timer(timer):
+        with timer.stage("detect batch"):
+            outcomes = system.detect_many(
+                scheme, [(text, record) for text in texts],
+                expected=args.message or None, shape=shape,
+                strategy=strategy, processes=args.processes)
+    if args.profile_stages:
+        print(timer.render("batch detect stages"))
+    detected = 0
+    for path, outcome in zip(args.input, outcomes):
+        print(f"{path}: {outcome}")
+        detected += bool(outcome.detected)
+    print(f"detected in {detected}/{len(outcomes)} documents")
+    if args.result:
+        with open(args.result, "w", encoding="utf-8") as handle:
+            json.dump({path: outcome.to_dict()
+                       for path, outcome in zip(args.input, outcomes)},
+                      handle, indent=2)
+            handle.write("\n")
+        print(f"detection results: {args.result}")
+    return 0 if detected == len(outcomes) else 1
 
 
 def cmd_attack(args: argparse.Namespace) -> int:
@@ -363,7 +458,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     try:
         return perf_bench.run_and_check(
             path=args.output, books=args.books, repeats=args.repeats,
-            check=not args.no_check, smoke=args.smoke)
+            check=not args.no_check, smoke=args.smoke,
+            processes=args.processes)
     except (perf_bench.BenchError, ValueError) as error:
         print(f"error: {error}")
         return 2
@@ -419,13 +515,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="declarative scheme.json deployment artefact "
                        "(overrides the profile's default scheme and "
                        "--gamma)")
-    embed.add_argument("--input", "-i", required=True)
+    embed.add_argument("--input", "-i", required=True, nargs="+",
+                       help="input document(s); with several, --output "
+                       "and --record name directories and the batch "
+                       "runs through the parallel engine")
     embed.add_argument("--output", "-o", required=True)
     embed.add_argument("--record", "-r", required=True,
                        help="where to save the query set Q (JSON)")
     embed.add_argument("--key", "-k", required=True)
     embed.add_argument("--message", "-m", required=True)
     embed.add_argument("--gamma", type=int, default=4)
+    embed.add_argument("--processes", type=int, default=None,
+                       help="shard a multi-document batch over N worker "
+                       "processes (parse + embed + serialise fused "
+                       "per document)")
     embed.add_argument("--profile-stages", dest="profile_stages",
                        action="store_true",
                        help="print per-stage timings after embedding")
@@ -436,7 +539,9 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=sorted(PROFILES))
     detect.add_argument("--scheme", dest="scheme_file",
                         help="declarative scheme.json deployment artefact")
-    detect.add_argument("--input", "-i", required=True)
+    detect.add_argument("--input", "-i", required=True, nargs="+",
+                        help="suspected document(s); with several, every "
+                        "copy is checked against the same record")
     detect.add_argument("--record", "-r", required=True)
     detect.add_argument("--key", "-k", required=True)
     detect.add_argument("--message", "-m",
@@ -453,6 +558,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "reference engine)")
     detect.add_argument("--indexed", action="store_true",
                         help="deprecated alias for --strategy indexed")
+    detect.add_argument("--processes", type=int, default=None,
+                        help="shard a multi-document batch over N worker "
+                        "processes (parse + detect fused per document)")
     detect.add_argument("--result", help="also save the detection result "
                         "as versioned JSON here")
     detect.add_argument("--profile-stages", dest="profile_stages",
@@ -544,6 +652,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--smoke", action="store_true",
                        help="CI smoke mode: single repetition, no "
                        "regression gate, no archive write")
+    bench.add_argument("--processes", type=int, default=4,
+                       help="worker count for the parallel batch-engine "
+                       "stages (0 skips them; default 4)")
     bench.set_defaults(handler=cmd_bench)
 
     experiment = sub.add_parser("experiment",

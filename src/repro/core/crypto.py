@@ -52,6 +52,21 @@ class KeyedPRF:
         """Short public fingerprint of the key (safe to store)."""
         return self.digest("fingerprint").hex()[:16]
 
+    # -- pickling ------------------------------------------------------------
+    #
+    # The HMAC key schedule is a C object pickle cannot serialise, and
+    # the memo caches are pure derived state; only the key itself
+    # travels.  A PRF unpickled in a process-pool worker therefore
+    # arrives lean and rebuilds its pads and memos on first use —
+    # the picklability contract that lets a compiled Pipeline shard
+    # embed/detect work across workers.
+
+    def __getstate__(self) -> bytes:
+        return self._key
+
+    def __setstate__(self, state: bytes) -> None:
+        self.__init__(state)
+
     # -- primitives ------------------------------------------------------------
 
     def digest(self, purpose: str, *parts: str) -> bytes:

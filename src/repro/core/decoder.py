@@ -151,6 +151,17 @@ class WmXMLDecoder:
             self._algorithms[cache_key] = algorithm
         return algorithm
 
+    # Pickling ships only the configuration (PRF + alpha); the plug-in
+    # cache is derived state a pool worker rebuilds lazily.
+
+    def __getstate__(self) -> dict:
+        return {"prf": self.prf, "alpha": self.alpha}
+
+    def __setstate__(self, state: dict) -> None:
+        self.prf = state["prf"]
+        self.alpha = state["alpha"]
+        self._algorithms = {}
+
     # -- public API ------------------------------------------------------------
 
     @profiled("decoder.detect")

@@ -81,11 +81,39 @@ class EmbeddingStats:
 
 @dataclass
 class EmbeddingResult:
-    """Marked document, the query set Q, and statistics."""
+    """Marked document, the query set Q, and statistics.
 
-    document: Document
+    Exactly one of ``document``/``xml`` may be the primary output:
+    batch embedding with ``output="xml"`` serialises the marked tree
+    where it was built (inside a pool worker, avoiding the cost of
+    pickling a whole tree back to the parent) and ships the markup
+    text instead — ``document`` is then ``None`` and ``xml`` holds the
+    serialised form.  :meth:`to_document` converts either way.
+    """
+
+    document: Optional[Document]
     record: WatermarkRecord
     stats: EmbeddingStats
+    xml: Optional[str] = None
+
+    def to_document(self) -> Document:
+        """The marked tree, parsing ``xml`` when that is all we carry."""
+        if self.document is not None:
+            return self.document
+        if self.xml is None:
+            raise ValueError("embedding result carries neither a document "
+                             "nor serialised XML")
+        from repro.xmlmodel.parser import parse
+
+        return parse(self.xml, strip_whitespace=True)
+
+    def to_xml(self) -> str:
+        """The marked document as markup, serialising when needed."""
+        if self.xml is not None:
+            return self.xml
+        from repro.xmlmodel.serializer import serialize
+
+        return serialize(self.to_document())
 
 
 class WmXMLEncoder:
@@ -105,6 +133,18 @@ class WmXMLEncoder:
             algorithm = create_algorithm(name, params)
             self._algorithms[cache_key] = algorithm
         return algorithm
+
+    # Pickling ships only the configuration (scheme + PRF, itself lean —
+    # see KeyedPRF.__getstate__); the plug-in cache is derived state a
+    # pool worker rebuilds lazily on its first document.
+
+    def __getstate__(self) -> dict:
+        return {"scheme": self.scheme, "prf": self.prf}
+
+    def __setstate__(self, state: dict) -> None:
+        self.scheme = state["scheme"]
+        self.prf = state["prf"]
+        self._algorithms = {}
 
     # -- public API ------------------------------------------------------------
 

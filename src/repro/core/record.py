@@ -47,6 +47,17 @@ class WatermarkQuery:
         """Stable key identifying ``(algorithm, params)`` plug-in state."""
         return self.algorithm + repr(sorted(self.params))
 
+    def __getstate__(self) -> dict:
+        # Records ride along with every document a pool worker detects;
+        # keep the pickle lean by dropping memoised derived state (the
+        # cached_property above), which the worker recomputes on use.
+        state = dict(self.__dict__)
+        state.pop("algorithm_cache_key", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     def to_dict(self) -> dict:
         return {
             "identity": self.identity,

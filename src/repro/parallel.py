@@ -1,0 +1,118 @@
+"""Shared process-pool infrastructure for batch sharding.
+
+Every batch API that escapes the GIL — ``parse_many(processes=N)``,
+``Pipeline.embed_many``/``detect_many`` — shards its work over a worker
+pool from this module.  Pools are *persistent*: the first batch with
+``processes=N`` forks the workers, subsequent batches reuse them, so
+the fork/bootstrap cost is paid once per process count instead of once
+per call.  That matters for the service workload the facade targets:
+a 50-document batch embeds in tens of milliseconds, which a
+per-call pool would spend entirely on process startup.
+
+Worker-side state (per-worker compiled pipelines, warm PRF memos) is
+keyed by content fingerprints in the task payloads, so one pool serves
+any number of deployments concurrently — see
+:mod:`repro.api.pipeline`.
+
+Failure handling: a pool whose workers died (``BrokenProcessPool``) is
+discarded so the next request forks a fresh one; callers treat the
+error as "fall back to the serial path" — parallelism is a throughput
+optimisation, never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import atexit
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, Optional, Sequence, TypeVar
+
+__all__ = [
+    "BrokenProcessPool",
+    "CHUNKS_PER_WORKER",
+    "chunk_evenly",
+    "discard_pool",
+    "map_sharded",
+    "shared_pool",
+    "shutdown_pools",
+]
+
+T = TypeVar("T")
+
+#: Chunks dispatched per worker by the sharded batch APIs: enough
+#: slack to balance uneven items without flooding the task queue with
+#: per-chunk payloads.
+CHUNKS_PER_WORKER = 4
+
+#: Live executors, keyed by worker count.
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def shared_pool(processes: int) -> ProcessPoolExecutor:
+    """The persistent executor with ``processes`` workers (lazily forked).
+
+    Workers are started on demand by the executor itself, so asking for
+    a pool is cheap until work is actually submitted.
+    """
+    if processes < 1:
+        raise ValueError("processes must be >= 1")
+    pool = _POOLS.get(processes)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=processes)
+        _POOLS[processes] = pool
+    return pool
+
+
+def discard_pool(processes: int) -> None:
+    """Drop (and shut down) the pool for ``processes`` workers.
+
+    Called after a :class:`BrokenProcessPool` so the next batch forks a
+    healthy pool instead of failing forever on the dead one.
+    """
+    pool = _POOLS.pop(processes, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_pools() -> None:
+    """Shut down every persistent pool (atexit; also handy in tests)."""
+    while _POOLS:
+        _, pool = _POOLS.popitem()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+atexit.register(shutdown_pools)
+
+
+def chunk_evenly(items: Sequence[T], chunks: int) -> list[Sequence[T]]:
+    """Split ``items`` into at most ``chunks`` contiguous, even slices.
+
+    Contiguity preserves input order under ``pool.map`` + flatten; even
+    sizing (the first ``remainder`` chunks get one extra item) keeps the
+    worker load balanced without a scheduler.
+    """
+    count = len(items)
+    chunks = max(1, min(chunks, count))
+    size, remainder = divmod(count, chunks)
+    out: list[Sequence[T]] = []
+    start = 0
+    for index in range(chunks):
+        end = start + size + (1 if index < remainder else 0)
+        out.append(items[start:end])
+        start = end
+    return out
+
+
+def map_sharded(processes: int, func: Callable, tasks: Iterable) -> list:
+    """``pool.map`` over pre-chunked tasks, preserving order.
+
+    Exceptions raised inside a worker propagate to the caller exactly
+    as the serial path would raise them (the task payloads are the
+    chunking unit, so ``chunksize=1`` adds no IPC overhead).
+    """
+    pool = shared_pool(processes)
+    try:
+        return list(pool.map(func, tasks))
+    except BrokenProcessPool:
+        discard_pool(processes)
+        raise

@@ -55,12 +55,20 @@ def _host() -> str:
 
 def run_e9_bench(books: int = 200, repeats: int = 3,
                  secret_key: str = "wmxml-bench-key",
-                 message: str = "(c) WmXML", gamma: int = 2) -> dict:
+                 message: str = "(c) WmXML", gamma: int = 2,
+                 processes: int = 4) -> dict:
     """Measure the E9 pipeline stages; best-of-``repeats`` per stage.
 
     Returns ``{"books", "elements", "queries", "stages": {name: ms}}``.
     Detection outcomes are asserted along the way so a bench run can
     never report a fast time for a broken pipeline.
+
+    ``processes`` sizes the parallel batch-engine stages
+    (``api_embed_many_p{N}_ms`` / ``api_detect_many_p{N}_ms``), which
+    run the fused raw-XML -> parse -> embed/detect -> serialise
+    pipeline over the persistent worker pool and are asserted
+    bit-identical to their serial equivalents; ``processes=0`` skips
+    them (serial-only hosts).
     """
     # Imported here: this module is reachable from ``repro.perf`` docs
     # while the core layer itself uses ``repro.perf.profiler``.
@@ -87,6 +95,7 @@ def run_e9_bench(books: int = 200, repeats: int = 3,
         stages[name] = best_seconds * 1000.0
 
     best("parse_ms", lambda: parse(text))
+    best("serialize_ms", lambda: serialize(document))
     best("shred_ms", lambda: scheme.shape.shred(document))
 
     result_box: dict = {}
@@ -124,13 +133,42 @@ def run_e9_bench(books: int = 200, repeats: int = 3,
         for index in range(BATCH_DOCS)
     ]
     pipeline = Pipeline(scheme, secret_key)
-    best("api_embed_many_ms",
-         lambda: pipeline.embed_many(batch, watermark))
+    embed_box: dict = {}
+
+    def do_embed_many() -> None:
+        embed_box["results"] = pipeline.embed_many(batch, watermark)
+
+    best("api_embed_many_ms", do_embed_many)
+    batch_results = embed_box["results"]
+
+    # API-level batch detection over the marked fleet (one decoder, the
+    # scan/index split is covered above; this is the service-facing
+    # verdict-per-document workload).
+    detect_items = [(item.document, item.record) for item in batch_results]
+
+    # Tiny fleets (--books < 100 shrinks each batch document below the
+    # ~20 books where a verdict reaches significance) still answer all
+    # their queries; only full-size runs assert the strict verdict.
+    def check_batch_outcomes(outcomes, stage: str) -> None:
+        if not all(outcome.queries_answered == outcome.queries_total
+                   for outcome in outcomes):
+            raise BenchError(f"{stage} lost queries over its own marks")
+        if books >= 100 and not all(outcome.detected
+                                    for outcome in outcomes):
+            raise BenchError(f"{stage} failed to detect its own marks "
+                             "across the batch")
+
+    def do_detect_many() -> None:
+        check_batch_outcomes(
+            pipeline.detect_many(detect_items, expected=watermark),
+            "api_detect_many")
+
+    best("api_detect_many_ms", do_detect_many)
 
     # Batch parse throughput: the per-document parse is the batch
     # bottleneck the scanner attacks; one reused parser over the fleet
-    # (serial — process-pool sharding is measured by callers, not here,
-    # to keep CI timings deterministic).
+    # (serial — process-pool sharding is measured by the p{N} stages
+    # below).
     from repro.xmlmodel import parse_many
 
     batch_texts = [serialize(item) for item in batch]
@@ -142,18 +180,97 @@ def run_e9_bench(books: int = 200, repeats: int = 3,
 
     best("parse_many_ms", do_parse_many)
 
+    # Fused end-to-end batch: raw XML in, marked XML out — the full
+    # service round-trip (parse -> embed -> serialise), serially ...
+    xml_box: dict = {}
+
+    def do_embed_many_xml() -> None:
+        xml_box["results"] = pipeline.embed_many(batch_texts, watermark,
+                                                 output="xml")
+
+    best("api_embed_many_xml_ms", do_embed_many_xml)
+    serial_xml = [item.xml for item in xml_box["results"]]
+    serial_records = [item.record for item in xml_box["results"]]
+
+    # The fused detect equivalent: raw marked XML in, verdicts out —
+    # the apples-to-apples serial baseline for the pooled detect stage
+    # (which also pays the per-document parse).
+    marked_items = list(zip(serial_xml, serial_records))
+    detect_xml_box: dict = {}
+
+    def do_detect_many_xml() -> None:
+        detect_xml_box["outcomes"] = pipeline.detect_many(
+            marked_items, expected=watermark)
+
+    best("api_detect_many_xml_ms", do_detect_many_xml)
+    serial_outcomes = detect_xml_box["outcomes"]
+    check_batch_outcomes(serial_outcomes, "api_detect_many_xml")
+
+    # ... and sharded over the persistent worker pool.  Outputs are
+    # asserted bit-identical to the serial run, so the parallel stages
+    # can never trade correctness for speed.
+    if processes and processes > 1:
+        pooled_box: dict = {}
+
+        def do_embed_pooled() -> None:
+            pooled_box["results"] = pipeline.embed_many(
+                batch_texts, watermark, processes=processes, output="xml")
+
+        best(f"api_embed_many_p{processes}_ms", do_embed_pooled)
+        pooled_xml = [item.xml for item in pooled_box["results"]]
+        if pooled_xml != serial_xml:
+            raise BenchError(
+                "pooled embed output diverged from the serial batch")
+
+        pooled_detect_box: dict = {}
+
+        def do_detect_pooled() -> None:
+            pooled_detect_box["outcomes"] = pipeline.detect_many(
+                marked_items, expected=watermark, processes=processes)
+
+        best(f"api_detect_many_p{processes}_ms", do_detect_pooled)
+        pooled_dicts = [outcome.to_dict()
+                        for outcome in pooled_detect_box["outcomes"]]
+        if pooled_dicts != [outcome.to_dict()
+                            for outcome in serial_outcomes]:
+            raise BenchError(
+                "pooled detect outcomes diverged from the serial batch")
+        check_batch_outcomes(pooled_detect_box["outcomes"], "pooled detect")
+
+    def docs_per_s(stage: str) -> float:
+        return len(batch) / (stages[stage] / 1000.0)
+
+    throughput = {
+        "api_embed_many_docs_per_s": docs_per_s("api_embed_many_ms"),
+        "api_detect_many_docs_per_s": docs_per_s("api_detect_many_ms"),
+        "api_embed_many_xml_docs_per_s": docs_per_s("api_embed_many_xml_ms"),
+        "api_detect_many_xml_docs_per_s": docs_per_s(
+            "api_detect_many_xml_ms"),
+        "parse_many_docs_per_s": docs_per_s("parse_many_ms"),
+    }
+    if processes and processes > 1:
+        embed_stage = f"api_embed_many_p{processes}_ms"
+        detect_stage = f"api_detect_many_p{processes}_ms"
+        throughput[f"api_embed_many_p{processes}_docs_per_s"] = (
+            docs_per_s(embed_stage))
+        throughput[f"api_detect_many_p{processes}_docs_per_s"] = (
+            docs_per_s(detect_stage))
+        # Speedup of the pooled fused pipeline over the *same* fused
+        # workload run serially (raw XML in, both paths paying the
+        # per-document parse).
+        throughput["parallel_embed_speedup"] = (
+            stages["api_embed_many_xml_ms"] / stages[embed_stage])
+        throughput["parallel_detect_speedup"] = (
+            stages["api_detect_many_xml_ms"] / stages[detect_stage])
+
     return {
         "books": books,
         "elements": document.count_elements(),
         "queries": len(result.record.queries),
         "batch_docs": len(batch),
+        "processes": processes,
         "stages": stages,
-        "throughput": {
-            "api_embed_many_docs_per_s":
-                len(batch) / (stages["api_embed_many_ms"] / 1000.0),
-            "parse_many_docs_per_s":
-                len(batch_texts) / (stages["parse_many_ms"] / 1000.0),
-        },
+        "throughput": throughput,
     }
 
 
@@ -224,28 +341,41 @@ def save_run(path: str, run: dict) -> dict:
 def run_and_check(path: str = BENCH_FILE, books: int = 200,
                   repeats: int = 3, check: bool = True,
                   archive: bool = True, smoke: bool = False,
-                  printer=print) -> int:
+                  processes: int = 4, printer=print) -> int:
     """Full bench workflow: measure, compare against best, archive.
 
     Returns a process exit code (1 on regression).  The comparison runs
     against the best times *before* this run, then the run is archived
     either way.  ``smoke=True`` — what CI runs on every push — is the
     one definition of smoke mode: a single repetition, no regression
-    gate, and no archive write.
+    gate, and no archive write.  ``processes`` sizes the parallel
+    batch-engine stages (0 skips them).
     """
     if smoke:
         repeats, check, archive = 1, False, False
-    run = run_e9_bench(books=books, repeats=repeats)
+    run = run_e9_bench(books=books, repeats=repeats, processes=processes)
     previous_best = best_for_host(load_history(path))
     printer(f"E9 bench: {run['books']} books, {run['elements']} elements, "
             f"{run['queries']} queries  [host {_host()}]")
     for name, value in run["stages"].items():
         recorded = previous_best.get(name)
         baseline = f"  (best {recorded:.3f} ms)" if recorded else ""
-        printer(f"  {name:>18}: {value:>9.3f} ms{baseline}")
-    docs_per_s = run["throughput"]["api_embed_many_docs_per_s"]
+        printer(f"  {name:>22}: {value:>9.3f} ms{baseline}")
+    throughput = run["throughput"]
+    docs_per_s = throughput["api_embed_many_docs_per_s"]
     printer(f"  api.embed_many throughput: {docs_per_s:.1f} docs/s "
             f"({run['batch_docs']} documents per batch)")
+    printer(f"  api.detect_many throughput: "
+            f"{throughput['api_detect_many_docs_per_s']:.1f} docs/s")
+    if processes and processes > 1:
+        pooled = throughput[f"api_embed_many_p{processes}_docs_per_s"]
+        speedup = throughput["parallel_embed_speedup"]
+        printer(f"  parallel engine (processes={processes}): "
+                f"embed {pooled:.1f} docs/s "
+                f"({speedup:.2f}x vs serial fused), detect "
+                f"{throughput[f'api_detect_many_p{processes}_docs_per_s']:.1f}"
+                f" docs/s "
+                f"({throughput['parallel_detect_speedup']:.2f}x)")
     failures = check_regression(run["stages"], previous_best) if check else []
     if archive:
         save_run(path, run)
@@ -274,11 +404,14 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="single repetition, no gate, no archive "
                         "write (CI smoke mode)")
+    parser.add_argument("--processes", type=int, default=4,
+                        help="worker count for the parallel batch-engine "
+                        "stages (0 skips them; default 4)")
     args = parser.parse_args(argv)
     try:
         return run_and_check(path=args.output, books=args.books,
                              repeats=args.repeats, check=not args.no_check,
-                             smoke=args.smoke)
+                             smoke=args.smoke, processes=args.processes)
     except (BenchError, ValueError) as error:
         print(f"error: {error}")
         return 2

@@ -615,10 +615,11 @@ def parse(text: str, strip_whitespace: bool = False) -> Document:
     return XMLParser(strip_whitespace=strip_whitespace).parse(text)
 
 
-def _parse_for_pool(payload: tuple[str, bool]) -> Document:
-    """Top-level worker for :func:`parse_many`'s process pool."""
-    text, strip_whitespace = payload
-    return XMLParser(strip_whitespace=strip_whitespace).parse(text)
+def _parse_chunk(payload: tuple[tuple[str, ...], bool]) -> list[Document]:
+    """Top-level chunk worker for :func:`parse_many`'s process pool."""
+    texts, strip_whitespace = payload
+    parser = XMLParser(strip_whitespace=strip_whitespace)
+    return [parser.parse(text) for text in texts]
 
 
 def parse_many(texts: Iterable[str], strip_whitespace: bool = False,
@@ -626,33 +627,36 @@ def parse_many(texts: Iterable[str], strip_whitespace: bool = False,
     """Parse many XML strings, optionally sharded over a process pool.
 
     With ``processes`` unset (or < 2) the batch is parsed serially by a
-    single reused parser.  With ``processes=N`` the batch is sharded
-    over ``N`` worker processes — parsing is pure CPU work, so this is
-    the one stage of the batch pipeline that scales past the GIL; the
-    parsed :class:`Document` trees are pickled back to the caller.
-    Results are returned in input order either way, and a syntax error
-    in any document propagates as the same :class:`XMLSyntaxError` the
-    serial path would raise.
+    single reused parser.  With ``processes=N`` the batch is cut into
+    contiguous chunks and sharded over the *persistent* worker pool
+    (:mod:`repro.parallel`, shared with the facade's batch engine) —
+    parsing is pure CPU work, so it scales past the GIL; the parsed
+    :class:`Document` trees are pickled back to the caller.  Results
+    are returned in input order either way, and a syntax error in any
+    document propagates as the same :class:`XMLSyntaxError` the serial
+    path would raise.
 
     One sharding caveat: pickle walks the parent/child links
     recursively, so a pathologically deep tree (thousands of nested
     elements) can exceed the interpreter's recursion limit on the trip
     back from a worker even though the scanner itself parses it fine.
-    That surfaces as a ``RecursionError`` in the parent, and the batch
-    transparently falls back to the serial path — correctness is
-    preserved; only the parallelism is lost.
+    That surfaces as a ``RecursionError`` in the parent (a dead worker
+    as ``BrokenProcessPool``), and the batch transparently falls back
+    to the serial path — correctness is preserved; only the
+    parallelism is lost.
     """
     batch = list(texts)
     if processes is not None and processes > 1 and len(batch) > 1:
-        from concurrent.futures import ProcessPoolExecutor
+        from repro import parallel
 
-        chunksize = max(1, len(batch) // (processes * 4))
-        payloads = [(text, strip_whitespace) for text in batch]
+        payloads = [
+            (tuple(chunk), strip_whitespace)
+            for chunk in parallel.chunk_evenly(
+                batch, processes * parallel.CHUNKS_PER_WORKER)]
         try:
-            with ProcessPoolExecutor(max_workers=processes) as pool:
-                return list(pool.map(_parse_for_pool, payloads,
-                                     chunksize=chunksize))
-        except RecursionError:
+            chunks = parallel.map_sharded(processes, _parse_chunk, payloads)
+            return [document for chunk in chunks for document in chunk]
+        except (RecursionError, parallel.BrokenProcessPool):
             pass  # tree too deep to pickle — parse serially below
     parser = XMLParser(strip_whitespace=strip_whitespace)
     return [parser.parse(text) for text in batch]

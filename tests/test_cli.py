@@ -247,3 +247,126 @@ class TestOtherCommands:
             run("attack", "--profile", "jobs", "-i", str(data),
                 "-o", str(workspace / "x.xml"), "--kind", "reorganize",
                 "--shape", "nope", "--to-shape", "jobs-by-company")
+
+
+class TestBatchEmbedDetect:
+    """Multi-input embed/detect: the CLI face of the parallel engine."""
+
+    def _generate_fleet(self, workspace, count=3):
+        paths = []
+        for index in range(count):
+            path = workspace / f"doc{index}.xml"
+            run("generate", "--profile", "bibliography", "--size", "30",
+                "--seed", str(index), "-o", str(path))
+            paths.append(path)
+        return paths
+
+    def test_batch_embed_writes_per_input_artefacts(self, workspace,
+                                                    capsys):
+        fleet = self._generate_fleet(workspace)
+        marked_dir = workspace / "marked"
+        record_dir = workspace / "records"
+        code = run("embed", "--profile", "bibliography",
+                   "-i", *map(str, fleet),
+                   "-o", str(marked_dir), "-r", str(record_dir),
+                   "-k", "cli-secret", "-m", "(c) CLI", "--gamma", "2",
+                   "--processes", "2")
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 documents" in out
+        for path in fleet:
+            assert (marked_dir / path.name).exists()
+            payload = json.loads(
+                (record_dir / f"{path.stem}.record.json").read_text())
+            assert payload["format"] == "wmxml-record-v1"
+
+    def test_batch_embed_matches_single_embeds(self, workspace, capsys):
+        fleet = self._generate_fleet(workspace, count=2)
+        marked_dir = workspace / "marked"
+        record_dir = workspace / "records"
+        run("embed", "--profile", "bibliography", "-i", *map(str, fleet),
+            "-o", str(marked_dir), "-r", str(record_dir),
+            "-k", "cli-secret", "-m", "(c) CLI", "--gamma", "2",
+            "--processes", "2")
+        # The pooled batch and a serial single-document embed must
+        # produce the same query-set record for the same input.
+        single_record = workspace / "single.json"
+        run("embed", "--profile", "bibliography", "-i", str(fleet[0]),
+            "-o", str(workspace / "single.xml"), "-r", str(single_record),
+            "-k", "cli-secret", "-m", "(c) CLI", "--gamma", "2")
+        capsys.readouterr()
+        batch_payload = json.loads(
+            (record_dir / f"{fleet[0].stem}.record.json").read_text())
+        assert batch_payload == json.loads(single_record.read_text())
+
+    def test_batch_embed_refuses_file_target(self, workspace):
+        fleet = self._generate_fleet(workspace, count=2)
+        existing = workspace / "not-a-dir.xml"
+        existing.write_text("<x/>")
+        with pytest.raises(SystemExit):
+            run("embed", "--profile", "bibliography",
+                "-i", *map(str, fleet), "-o", str(existing),
+                "-r", str(workspace / "records"),
+                "-k", "k", "-m", "m")
+
+    def test_batch_detect_checks_every_copy_against_one_record(
+            self, workspace, capsys):
+        fleet = self._generate_fleet(workspace, count=2)
+        marked = workspace / "marked.xml"
+        record = workspace / "record.json"
+        run("embed", "--profile", "bibliography", "-i", str(fleet[0]),
+            "-o", str(marked), "-r", str(record),
+            "-k", "cli-secret", "-m", "(c) CLI", "--gamma", "2")
+        capsys.readouterr()
+        # One marked copy, one unmarked document: the batch reports a
+        # per-file verdict and exits non-zero because not all detected.
+        code = run("detect", "--profile", "bibliography",
+                   "-i", str(marked), str(fleet[1]),
+                   "-r", str(record), "-k", "cli-secret",
+                   "-m", "(c) CLI", "--processes", "2")
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "detected in 1/2 documents" in out
+        # Two marked copies: all detected, exit zero.
+        code = run("detect", "--profile", "bibliography",
+                   "-i", str(marked), str(marked),
+                   "-r", str(record), "-k", "cli-secret",
+                   "-m", "(c) CLI", "--processes", "2")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "detected in 2/2 documents" in out
+
+    def test_batch_embed_rejects_duplicate_basenames(self, workspace):
+        sub_a = workspace / "a"
+        sub_b = workspace / "b"
+        sub_a.mkdir()
+        sub_b.mkdir()
+        for sub in (sub_a, sub_b):
+            run("generate", "--profile", "bibliography", "--size", "10",
+                "-o", str(sub / "doc.xml"))
+        with pytest.raises(SystemExit, match="duplicate input basenames"):
+            run("embed", "--profile", "bibliography",
+                "-i", str(sub_a / "doc.xml"), str(sub_b / "doc.xml"),
+                "-o", str(workspace / "marked"),
+                "-r", str(workspace / "records"),
+                "-k", "k", "-m", "m")
+
+    def test_batch_detect_saves_per_file_results(self, workspace, capsys):
+        fleet = self._generate_fleet(workspace, count=2)
+        marked = workspace / "marked.xml"
+        record = workspace / "record.json"
+        run("embed", "--profile", "bibliography", "-i", str(fleet[0]),
+            "-o", str(marked), "-r", str(record),
+            "-k", "cli-secret", "-m", "(c) CLI", "--gamma", "2")
+        results_path = workspace / "verdicts.json"
+        code = run("detect", "--profile", "bibliography",
+                   "-i", str(marked), str(fleet[1]),
+                   "-r", str(record), "-k", "cli-secret",
+                   "-m", "(c) CLI", "--result", str(results_path))
+        capsys.readouterr()
+        assert code == 1
+        verdicts = json.loads(results_path.read_text())
+        assert set(verdicts) == {str(marked), str(fleet[1])}
+        assert verdicts[str(marked)]["format"] == "wmxml-detection-v1"
+        assert verdicts[str(marked)]["detected"] is True
+        assert verdicts[str(fleet[1])]["detected"] is False

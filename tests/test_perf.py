@@ -177,32 +177,57 @@ class TestRegressionGate:
 
 class TestBenchRun:
     def test_small_bench_produces_all_stages(self):
-        run = run_e9_bench(books=10, repeats=1)
+        run = run_e9_bench(books=10, repeats=1, processes=0)
         assert run["books"] == 10
         assert run["elements"] > 0 and run["queries"] > 0
-        for stage in ("parse_ms", "shred_ms", "embed_ms",
+        for stage in ("parse_ms", "serialize_ms", "shred_ms", "embed_ms",
                       "detect_scan_ms", "detect_indexed_ms",
-                      "api_embed_many_ms", "parse_many_ms"):
+                      "api_embed_many_ms", "api_detect_many_ms",
+                      "api_embed_many_xml_ms", "api_detect_many_xml_ms",
+                      "parse_many_ms"):
             assert run["stages"][stage] > 0
+        # processes=0 skips the pooled stages entirely.
+        assert not any(name.startswith("api_embed_many_p")
+                       for name in run["stages"])
 
     def test_bench_records_api_batch_throughput(self):
         from repro.perf.bench import BATCH_DOCS
 
-        run = run_e9_bench(books=10, repeats=1)
+        run = run_e9_bench(books=10, repeats=1, processes=0)
         assert run["batch_docs"] == BATCH_DOCS
         docs_per_s = run["throughput"]["api_embed_many_docs_per_s"]
         assert docs_per_s == pytest.approx(
             BATCH_DOCS / (run["stages"]["api_embed_many_ms"] / 1000.0))
+        detect_docs_per_s = run["throughput"]["api_detect_many_docs_per_s"]
+        assert detect_docs_per_s == pytest.approx(
+            BATCH_DOCS / (run["stages"]["api_detect_many_ms"] / 1000.0))
         parse_docs_per_s = run["throughput"]["parse_many_docs_per_s"]
         assert parse_docs_per_s == pytest.approx(
             BATCH_DOCS / (run["stages"]["parse_many_ms"] / 1000.0))
+
+    def test_bench_parallel_stages_record_speedup(self):
+        # The pooled stages are asserted bit-identical against the
+        # serial batch inside run_e9_bench itself; here we check the
+        # bookkeeping (stage names keyed by worker count + speedup
+        # ratios derived from the recorded stages).
+        run = run_e9_bench(books=10, repeats=1, processes=2)
+        assert run["processes"] == 2
+        assert run["stages"]["api_embed_many_p2_ms"] > 0
+        assert run["stages"]["api_detect_many_p2_ms"] > 0
+        throughput = run["throughput"]
+        assert throughput["parallel_embed_speedup"] == pytest.approx(
+            run["stages"]["api_embed_many_xml_ms"]
+            / run["stages"]["api_embed_many_p2_ms"])
+        assert throughput["parallel_detect_speedup"] == pytest.approx(
+            run["stages"]["api_detect_many_xml_ms"]
+            / run["stages"]["api_detect_many_p2_ms"])
 
     def test_smoke_mode_measures_without_archiving(self, tmp_path, capsys):
         from repro.perf import bench
 
         path = str(tmp_path / "BENCH_e9.json")
         assert bench.main(["--books", "10", "--smoke",
-                           "--output", path]) == 0
+                           "--output", path, "--processes", "0"]) == 0
         out = capsys.readouterr().out
         assert "smoke mode: archive not written" in out
         assert "api.embed_many throughput" in out
@@ -213,7 +238,7 @@ class TestBenchRun:
 
         path = str(tmp_path / "BENCH_e9.json")
         assert bench.main(["--books", "10", "--repeats", "1",
-                           "--output", path]) == 0
+                           "--output", path, "--processes", "0"]) == 0
         out = capsys.readouterr().out
         assert "archived to" in out
         # Second run gates against the first; a same-machine rerun of a
@@ -221,6 +246,7 @@ class TestBenchRun:
         # but we only assert the workflow (exit code semantics) with
         # check disabled to keep the test timing-independent.
         assert bench.main(["--books", "10", "--repeats", "1",
-                           "--output", path, "--no-check"]) == 0
+                           "--output", path, "--no-check",
+                           "--processes", "0"]) == 0
         history = load_history(path)
         assert len(history["runs"]) == 2
