@@ -9,6 +9,8 @@ Package map (bottom-up):
 
 * :mod:`repro.api`        — **the public facade**: system, pipelines,
   scheme builder, consolidated error hierarchy
+* :mod:`repro.service`    — the HTTP daemon (``wmxml serve``) and the
+  ``WmXMLClient`` SDK, speaking ``wmxml-request-v1``
 * :mod:`repro.xmlmodel`   — XML tree model, parser, serialisers
 * :mod:`repro.xpath`      — XPath 1.0-subset query engine
 * :mod:`repro.semantics`  — schemas, keys, FDs, records, shapes

@@ -83,12 +83,16 @@ from repro.core import (
 )
 from repro.core.algorithms import AlgorithmError, algorithm_names
 from repro.errors import (
+    HTTP_STATUS_BY_CODE,
     RecordFormatError,
     SchemeFormatError,
     SerializationError,
     UnknownSchemeError,
     WatermarkDecodeError,
     WmXMLError,
+    error_code,
+    error_payload,
+    http_status_for,
 )
 from repro.semantics import DocumentShape, level, shape
 from repro.semantics.errors import RecordError, SemanticsError
@@ -152,6 +156,10 @@ __all__ = [
     "write_file",
     # errors
     "WmXMLError",
+    "HTTP_STATUS_BY_CODE",
+    "error_code",
+    "error_payload",
+    "http_status_for",
     "AlgorithmError",
     "RecordError",
     "RecordFormatError",

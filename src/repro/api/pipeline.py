@@ -82,7 +82,7 @@ from typing import Iterable, Optional, Sequence, Union
 from repro import parallel
 from repro.core.decoder import DetectionResult, WmXMLDecoder
 from repro.core.encoder import EmbeddingResult, WmXMLEncoder
-from repro.core.record import WatermarkRecord
+from repro.core.record import WatermarkRecord, all_same_record
 from repro.core.scheme import WatermarkingScheme
 from repro.core.watermark import Watermark
 from repro.errors import WmXMLError
@@ -107,6 +107,38 @@ DocumentLike = Union[Document, str]
 #: :attr:`Pipeline.fingerprint`); a monotonic counter, unlike
 #: ``id()``, is never reused after garbage collection.
 _INSTANCE_COUNTER = itertools.count()
+
+
+def content_fingerprint(scheme_content: str, key_fingerprint: str,
+                        alpha: float) -> str:
+    """The (scheme JSON, public key fingerprint, alpha) content hash.
+
+    The one definition behind :attr:`Pipeline.fingerprint` and
+    :meth:`WmXMLSystem.scheme_fingerprint`, so the registry can
+    fingerprint a deployment without compiling its pipeline.
+    """
+    material = "\x1f".join([scheme_content, key_fingerprint,
+                            repr(alpha)])
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:32]
+
+
+def scheme_content_key(scheme: WatermarkingScheme) -> str:
+    """Deterministic content string for a scheme, JSON or not.
+
+    Non-JSON-serialisable schemes (exotic plug-in params) hash their
+    pickled form — stable within a process, which is what fingerprint
+    contracts (worker cache keys, service ``ETag``s) need.  A scheme
+    that can't even pickle falls back to identity keying, forfeiting
+    sharing.
+    """
+    try:
+        return json.dumps(scheme.to_dict(), sort_keys=True)
+    except TypeError:
+        try:
+            blob = pickle.dumps(scheme)
+        except Exception:
+            return f"instance:{next(_INSTANCE_COUNTER)}"
+        return "pickle:" + hashlib.sha256(blob).hexdigest()
 
 
 def _as_watermark(message: MessageLike) -> Watermark:
@@ -198,13 +230,23 @@ def _embed_chunk(task: tuple) -> list[EmbeddingResult]:
 
 
 def _detect_chunk(task: tuple) -> list[DetectionResult]:
-    """Fused detect task: parse -> detect, one worker-local decoder."""
-    fingerprint, payload, items, expected, shape, indexed = task
+    """Fused detect task: parse -> detect, one worker-local decoder.
+
+    ``records`` is either ``("shared", record)`` — the one-record-
+    many-copies batch, where the record is pickled once per chunk
+    instead of once per item (per-item record payloads dominated
+    pooled detect dispatch) — or ``("each", [record, ...])`` aligned
+    with ``documents``.
+    """
+    fingerprint, payload, documents, records, expected, shape, indexed = task
     pipeline = _worker_pipeline(fingerprint, payload)
     decoder = pipeline._decoder
     shape = shape or pipeline.scheme.shape
+    mode, payload_records = records
+    record_for = (itertools.repeat(payload_records) if mode == "shared"
+                  else payload_records)
     results = []
-    for document, record in items:
+    for document, record in zip(documents, record_for):
         if isinstance(document, str):
             document = parse(document, strip_whitespace=True)
         results.append(decoder.detect(document, record, shape,
@@ -241,16 +283,11 @@ class Pipeline:
         pipelines compiled from equal deployments share one worker-side
         compilation.  Derived from the declarative scheme form, the
         *public* key fingerprint and alpha; a scheme that cannot
-        serialise (exotic plug-in params) falls back to identity
-        keying, which merely forfeits cross-instance sharing.
+        serialise to JSON hashes its pickled form instead (see
+        :func:`scheme_content_key`).
         """
-        try:
-            content = json.dumps(self.scheme.to_dict(), sort_keys=True)
-        except TypeError:
-            content = f"instance:{next(_INSTANCE_COUNTER)}"
-        material = "\x1f".join([content, self.key_fingerprint,
-                                repr(self.alpha)])
-        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:32]
+        return content_fingerprint(scheme_content_key(self.scheme),
+                                   self.key_fingerprint, self.alpha)
 
     # -- embedding ------------------------------------------------------------
 
@@ -409,10 +446,30 @@ class Pipeline:
                        shape: Optional[DocumentShape], indexed: bool,
                        processes: int) -> list[DetectionResult]:
         fingerprint, payload = self._payload()
-        tasks = [
-            (fingerprint, payload, chunk, expected, shape, indexed)
-            for chunk in parallel.chunk_evenly(
-                batch, processes * parallel.CHUNKS_PER_WORKER)
-        ]
+        documents = [document for document, _ in batch]
+        records = [record for _, record in batch]
+        chunk_count = processes * parallel.CHUNKS_PER_WORKER
+        document_chunks = parallel.chunk_evenly(documents, chunk_count)
+        # The piracy-hunting batch checks many copies against one
+        # record; each chunk then ships the record once instead of
+        # once per item (per-item payloads dominate pooled detect
+        # dispatch) — see all_same_record for why equality matters.
+        if all_same_record(records):
+            tasks = [
+                (fingerprint, payload, chunk, ("shared", records[0]),
+                 expected, shape, indexed)
+                for chunk in document_chunks
+            ]
+        else:
+            # chunk_evenly is deterministic for a given (length, count),
+            # so the record chunks align index-for-index with the
+            # document chunks.
+            record_chunks = parallel.chunk_evenly(records, chunk_count)
+            tasks = [
+                (fingerprint, payload, chunk, ("each", record_chunk),
+                 expected, shape, indexed)
+                for chunk, record_chunk in zip(document_chunks,
+                                               record_chunks)
+            ]
         chunks = parallel.map_sharded(processes, _detect_chunk, tasks)
         return [result for chunk in chunks for result in chunk]

@@ -17,7 +17,13 @@ import json
 import threading
 from typing import Iterable, Optional, Union
 
-from repro.api.pipeline import DocumentLike, MessageLike, Pipeline
+from repro.api.pipeline import (
+    DocumentLike,
+    MessageLike,
+    Pipeline,
+    content_fingerprint,
+    scheme_content_key,
+)
 from repro.core.crypto import KeyedPRF
 from repro.core.decoder import DetectionResult
 from repro.core.encoder import EmbeddingResult
@@ -28,6 +34,12 @@ from repro.semantics.shape import DocumentShape
 from repro.xmlmodel.tree import Document
 
 SchemeLike = Union[str, WatermarkingScheme, dict]
+
+#: Ceiling on the content-keyed pipeline cache.  Registered names are
+#: unbounded by design (the operator controls them); ad-hoc inline
+#: schemes can arrive from the wire on every request, so they evict
+#: least-recently-used beyond this many distinct deployments.
+CONTENT_CACHE_MAX = 64
 
 
 class WmXMLSystem:
@@ -45,6 +57,7 @@ class WmXMLSystem:
         # one pipeline no matter how often it is re-sent.
         self._named_pipelines: dict[tuple[str, float], Pipeline] = {}
         self._content_pipelines: dict[tuple[str, float], Pipeline] = {}
+        self._name_fingerprints: dict[str, str] = {}
         self._lock = threading.Lock()
 
     @property
@@ -66,6 +79,7 @@ class WmXMLSystem:
             scheme = WatermarkingScheme.from_dict(scheme)
         with self._lock:
             self._schemes[name] = scheme
+            self._name_fingerprints.pop(name, None)
             self._named_pipelines = {
                 key: pipeline
                 for key, pipeline in self._named_pipelines.items()
@@ -77,6 +91,10 @@ class WmXMLSystem:
         """Register a deployment from a ``scheme.json`` artefact."""
         return self.register(name, WatermarkingScheme.load(path))
 
+    # ``add_scheme`` is the service-facing spelling of ``register``:
+    # the daemon's ``PUT /v1/schemes/{name}`` maps straight onto it.
+    add_scheme = register
+
     def scheme(self, name: str) -> WatermarkingScheme:
         with self._lock:
             try:
@@ -87,6 +105,64 @@ class WmXMLSystem:
     def scheme_names(self) -> list[str]:
         with self._lock:
             return sorted(self._schemes)
+
+    def list_schemes(self) -> dict[str, str]:
+        """Registry listing: ``{name: pipeline fingerprint}``.
+
+        The fingerprint is the content hash of (scheme, public key
+        fingerprint, alpha) that keys the parallel engine's worker
+        caches — the value a service exposes in cache-validation
+        headers (``ETag``), so clients can tell whether a named
+        deployment changed without downloading it.
+        """
+        return {name: self.scheme_fingerprint(name)
+                for name in self.scheme_names()}
+
+    def scheme_fingerprint(self, scheme: SchemeLike) -> str:
+        """Content fingerprint of the pipeline for ``scheme``.
+
+        Computed straight from the declarative scheme form — equal to
+        ``self.pipeline(scheme).fingerprint`` by construction, without
+        compiling (or pinning) a pipeline just to list the registry.
+        """
+        if isinstance(scheme, str):
+            return self.scheme_with_fingerprint(scheme)[1]
+        return self._object_fingerprint(self._resolve(scheme))
+
+    def scheme_with_fingerprint(
+            self, name: str) -> tuple[WatermarkingScheme, str]:
+        """Atomic ``(scheme, fingerprint)`` snapshot for a name.
+
+        The pair is guaranteed consistent under concurrent
+        re-registration — the daemon's ``GET /v1/schemes/{name}`` must
+        never pair an old body with a new ``ETag`` — and repeat reads
+        hit the name-keyed fingerprint cache (invalidated by
+        :meth:`register` under the same lock).
+        """
+        with self._lock:
+            try:
+                scheme = self._schemes[name]
+            except KeyError:
+                raise UnknownSchemeError(name, self._schemes) from None
+            cached = self._name_fingerprints.get(name)
+        if cached is not None:
+            return scheme, cached
+        fingerprint = self._object_fingerprint(scheme)
+        with self._lock:
+            # Guard against a register() replacing the name while we
+            # hashed: only cache if it still maps to what we
+            # fingerprinted.
+            if self._schemes.get(name) is scheme:
+                self._name_fingerprints[name] = fingerprint
+        return scheme, fingerprint
+
+    def _object_fingerprint(self, resolved: WatermarkingScheme) -> str:
+        # scheme_content_key handles non-JSON schemes (pickle hash),
+        # so this equals Pipeline(resolved, ...).fingerprint by
+        # construction without re-resolving any name (the (scheme,
+        # fingerprint) pairing stays atomic) or compiling anything.
+        return content_fingerprint(scheme_content_key(resolved),
+                                   self._fingerprint, self.alpha)
 
     # -- compilation ------------------------------------------------------------
 
@@ -105,8 +181,10 @@ class WmXMLSystem:
         serialization.  Scheme objects and declarative dicts are keyed
         by their *content*, so re-sending an equal deployment on every
         request (the service case) still shares one pipeline — and one
-        set of warm PRF/plug-in caches.  Cache size is bounded by the
-        number of distinct deployments, not the number of calls.
+        set of warm PRF/plug-in caches.  The content cache evicts LRU
+        beyond :data:`CONTENT_CACHE_MAX` distinct deployments, so a
+        wire client cycling through unique inline schemes cannot grow
+        the daemon's memory without bound.
         """
         effective_alpha = self.alpha if alpha is None else alpha
         if isinstance(scheme, str):
@@ -115,10 +193,16 @@ class WmXMLSystem:
                 pipeline = self._named_pipelines.get(key)
             if pipeline is not None:
                 return pipeline
-            pipeline = Pipeline(self.scheme(scheme), self._secret_key,
+            resolved = self.scheme(scheme)
+            pipeline = Pipeline(resolved, self._secret_key,
                                 alpha=effective_alpha)
             with self._lock:
-                return self._named_pipelines.setdefault(key, pipeline)
+                if self._schemes.get(scheme) is resolved:
+                    return self._named_pipelines.setdefault(key, pipeline)
+            # The name was re-registered while we compiled: caching the
+            # stale pipeline would silently serve the replaced scheme
+            # forever.  Compile from the current registration instead.
+            return self.pipeline(scheme, alpha)
         resolved = self._resolve(scheme)
         try:
             content = json.dumps(resolved.to_dict(), sort_keys=True)
@@ -127,11 +211,23 @@ class WmXMLSystem:
                 f"scheme is not JSON-serialisable: {error}") from error
         key = (content, effective_alpha)
         with self._lock:
-            pipeline = self._content_pipelines.get(key)
-            if pipeline is None:
-                pipeline = Pipeline(resolved, self._secret_key,
-                                    alpha=effective_alpha)
+            pipeline = self._content_pipelines.pop(key, None)
+            if pipeline is not None:
+                # Re-insertion keeps dict order = recency order.
                 self._content_pipelines[key] = pipeline
+                return pipeline
+        # Compile outside the lock: a slow inline-scheme compile must
+        # not head-of-line-block every cached lookup in the daemon.
+        pipeline = Pipeline(resolved, self._secret_key,
+                            alpha=effective_alpha)
+        with self._lock:
+            existing = self._content_pipelines.pop(key, None)
+            if existing is not None:
+                pipeline = existing  # a concurrent compile won; share it
+            self._content_pipelines[key] = pipeline
+            while len(self._content_pipelines) > CONTENT_CACHE_MAX:
+                self._content_pipelines.pop(
+                    next(iter(self._content_pipelines)))
         return pipeline
 
     # -- conveniences ------------------------------------------------------------

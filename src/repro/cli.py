@@ -29,7 +29,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
+import threading
 from dataclasses import replace
 from typing import Optional
 
@@ -48,6 +50,7 @@ from repro.api import (
     WmXMLSystem,
 )
 from repro.datasets import bibliography, jobs, library
+from repro.errors import error_payload
 from repro.harness import EXPERIMENTS, ExperimentConfig
 from repro.perf import StageTimer, ThroughputReporter, use_timer
 from repro.perf import bench as perf_bench
@@ -225,6 +228,28 @@ def _embed_batch(args: argparse.Namespace, scheme: WatermarkingScheme,
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
+    """Detect, mapping any WmXML error to its stable code.
+
+    A failure (malformed record, bad XML, unknown algorithm...) prints
+    the machine-readable code and — when ``--result`` was given —
+    writes the same error payload the service would put in its
+    envelope, so scripted callers branch on ``error.code`` instead of
+    parsing prose.
+    """
+    try:
+        return _run_detect(args)
+    except WmXMLError as error:
+        payload = error_payload(error)
+        print(f"error [{payload['code']}]: {error}", file=sys.stderr)
+        if args.result:
+            with open(args.result, "w", encoding="utf-8") as handle:
+                json.dump({"error": payload}, handle, indent=2)
+                handle.write("\n")
+            print(f"error result: {args.result}", file=sys.stderr)
+        return 2
+
+
+def _run_detect(args: argparse.Namespace) -> int:
     profile = _profile(args.profile)
     # Detection itself consumes only the record, the key, and the
     # document's current shape; the scheme here just anchors the
@@ -415,6 +440,91 @@ def cmd_scheme(args: argparse.Namespace) -> int:
         print(f"wrote scheme artefact: {args.output}")
     else:
         print(scheme.describe())
+    return 0
+
+
+def _scheme_spec(spec: str) -> tuple[str, str]:
+    """``NAME=path`` or bare ``path`` (name = file stem) -> (name, path).
+
+    A bare path whose *directories* contain ``=`` (``/data/run=3/x.json``)
+    is not a NAME=path spec: an existing file always wins, and a
+    registry name never contains a path separator.
+    """
+    if "=" in spec and not os.path.exists(spec):
+        name, _, path = spec.partition("=")
+        if name and path and os.sep not in name:
+            return name, path
+    stem = os.path.splitext(os.path.basename(spec))[0]
+    return stem, spec
+
+
+def build_service(args: argparse.Namespace):
+    """The configured service for ``wmxml serve`` (separate for tests)."""
+    from repro.service import WmXMLService
+
+    system = WmXMLSystem(args.key, alpha=args.alpha)
+    for spec in args.scheme_files:
+        name, path = _scheme_spec(spec)
+        if name in system.scheme_names():
+            # register() has replace semantics; silently serving only
+            # the last of two same-named deployments would make every
+            # detect run against the wrong query set.
+            raise SystemExit(
+                f"duplicate scheme name {name!r} (from {spec!r}); "
+                "disambiguate with NAME=path")
+        try:
+            system.register_file(name, path)
+        except OSError as error:
+            raise SystemExit(f"cannot read scheme {path!r}: {error}")
+        except WmXMLError as error:
+            raise SystemExit(f"bad scheme {path!r}: {error}")
+    # None means "use the WmXMLService default" — the protocol
+    # constants stay the one source of truth for both ceilings.
+    limits = {
+        key: value
+        for key, value in (("max_body_bytes",
+                            getattr(args, "max_body_bytes", None)),
+                           ("max_schemes",
+                            getattr(args, "max_schemes", None)))
+        if value is not None
+    }
+    return WmXMLService(system, processes=args.processes, **limits)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the watermarking daemon until SIGINT/SIGTERM."""
+    from repro.service import running_server
+
+    service = build_service(args)
+    # The daemon serves on a worker thread (running_server) so the
+    # main thread can wait on a signal: ``server.shutdown()`` blocks
+    # until the serve loop exits and would deadlock if called from the
+    # serving thread.
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+    bound = False
+    try:
+        with running_server(service, host=args.host, port=args.port,
+                            quiet=not args.access_log) as server:
+            bound = True
+            host, port = server.server_address[:2]
+            names = ", ".join(service.system.scheme_names()) or "(none)"
+            # flush: supervisors (and the CI smoke script) parse the
+            # banner for the bound port through a block-buffered pipe.
+            print(f"wmxml serve: listening on http://{host}:{port} "
+                  f"(schemes: {names}, "
+                  f"processes={args.processes or 1})", flush=True)
+            print("endpoints: POST /v1/embed[/batch]  "
+                  "POST /v1/detect[/batch]  GET|PUT /v1/schemes[/{name}]"
+                  "  GET /v1/healthz  GET /v1/stats", flush=True)
+            stop.wait()
+    except OSError as error:
+        if bound:
+            raise
+        raise SystemExit(
+            f"cannot bind {args.host}:{args.port}: {error}")
+    print("wmxml serve: shut down cleanly")
     return 0
 
 
@@ -629,6 +739,38 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the declarative artefact here "
                         "(omit to print a description)")
     scheme.set_defaults(handler=cmd_scheme)
+
+    serve = sub.add_parser(
+        "serve", help="run the HTTP watermarking service daemon")
+    serve.add_argument("--scheme", dest="scheme_files", action="append",
+                       required=True, metavar="[NAME=]PATH",
+                       help="scheme.json to register (repeatable); the "
+                       "registry name defaults to the file stem")
+    serve.add_argument("--key", "-k", required=True,
+                       help="the owner's secret key (never leaves the "
+                       "daemon)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address; the daemon has NO built-in "
+                       "auth — anyone who can reach the port gets an "
+                       "embed/detect oracle under your key, so keep it "
+                       "on loopback or behind an authenticating proxy")
+    serve.add_argument("--port", type=int, default=8420,
+                       help="listen port (0 binds an ephemeral port)")
+    serve.add_argument("--processes", type=int, default=None,
+                       help="worker processes for the batch endpoints "
+                       "(rides the parallel engine; unset = serial)")
+    serve.add_argument("--alpha", type=float, default=1e-3)
+    serve.add_argument("--max-body-bytes", type=int, default=None,
+                       help="reject request bodies larger than this "
+                       "(HTTP 413; default: the protocol ceiling, "
+                       "64 MiB)")
+    serve.add_argument("--max-schemes", type=int, default=None,
+                       help="ceiling on wire-registered (PUT) schemes, "
+                       "on top of the --scheme files loaded at boot "
+                       "(HTTP 507 beyond; default 256)")
+    serve.add_argument("--access-log", action="store_true",
+                       help="log each request to stderr")
+    serve.set_defaults(handler=cmd_serve)
 
     perf = sub.add_parser("perf", help="stage-timed pipeline profile")
     perf.add_argument("--profile", default="bibliography",

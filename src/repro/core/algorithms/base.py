@@ -33,6 +33,8 @@ from repro.errors import WmXMLError
 class AlgorithmError(WmXMLError):
     """Unknown algorithm name or invalid algorithm parameters."""
 
+    code = "algorithm-error"
+
 
 class WatermarkAlgorithm(ABC):
     """Base class for the per-type embedding plug-ins."""

@@ -14,7 +14,7 @@ identical — the property that defeats the redundancy-removal attack.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Optional, Union
 
 from repro.core.algorithms import WatermarkAlgorithm, create_algorithm
@@ -77,6 +77,24 @@ class EmbeddingStats:
     def mean_distortion(self) -> float:
         touched = self.nodes_modified + self.nodes_unchanged
         return self.total_distortion / touched if touched else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-safe form; what the service ships next to the record.
+
+        ``asdict`` so a future field cannot be silently dropped from
+        the wire form.
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EmbeddingStats":
+        try:
+            return cls(**data)
+        except TypeError as error:
+            from repro.errors import RecordFormatError
+
+            raise RecordFormatError(
+                f"malformed embedding stats: {error}") from error
 
 
 @dataclass

@@ -106,13 +106,40 @@ class WatermarkRecord(VersionedDocument):
     @classmethod
     def from_dict(cls, data: dict) -> "WatermarkRecord":
         cls._check_format(data)
-        return cls(
-            gamma=data["gamma"],
-            nbits=data["nbits"],
-            shape_name=data["shape_name"],
-            key_fingerprint=data["key_fingerprint"],
-            queries=[WatermarkQuery.from_dict(q) for q in data["queries"]],
-        )
+        try:
+            return cls(
+                gamma=data["gamma"],
+                nbits=data["nbits"],
+                shape_name=data["shape_name"],
+                key_fingerprint=data["key_fingerprint"],
+                queries=[WatermarkQuery.from_dict(q)
+                         for q in data["queries"]],
+            )
+        except RecordFormatError:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as error:
+            # A record with the right format tag but missing/mangled
+            # fields is malformed client input (wire-reachable via
+            # POST /v1/detect), not an internal fault.
+            raise RecordFormatError(
+                f"malformed record document: {error}") from error
 
     def __len__(self) -> int:
         return len(self.queries)
+
+
+def all_same_record(records) -> bool:
+    """True when every entry is the same record — the one-record-
+    many-copies batch shape.
+
+    Identity alone is not enough: pickle's memo already collapses one
+    object repeated within a payload, so the real saving is equal-but-
+    *distinct* records (the same ``record.json`` loaded per suspected
+    copy) — hence identity-then-equality.  Shared by the pooled
+    engine's chunk tasks and the client SDK's wire form, so both
+    always agree on what "shared" means.
+    """
+    if not records:
+        return False
+    first = records[0]
+    return all(record is first or record == first for record in records)

@@ -23,6 +23,7 @@ optimisation, never a correctness dependency.
 from __future__ import annotations
 
 import atexit
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
@@ -44,8 +45,12 @@ T = TypeVar("T")
 #: per-chunk payloads.
 CHUNKS_PER_WORKER = 4
 
-#: Live executors, keyed by worker count.
+#: Live executors, keyed by worker count.  Guarded by a lock: the
+#: service daemon's request threads call the batch APIs concurrently,
+#: and a check-then-create race would orphan a whole executor's worker
+#: processes.
 _POOLS: dict[int, ProcessPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
 
 
 def shared_pool(processes: int) -> ProcessPoolExecutor:
@@ -56,11 +61,12 @@ def shared_pool(processes: int) -> ProcessPoolExecutor:
     """
     if processes < 1:
         raise ValueError("processes must be >= 1")
-    pool = _POOLS.get(processes)
-    if pool is None:
-        pool = ProcessPoolExecutor(max_workers=processes)
-        _POOLS[processes] = pool
-    return pool
+    with _POOLS_LOCK:
+        pool = _POOLS.get(processes)
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=processes)
+            _POOLS[processes] = pool
+        return pool
 
 
 def discard_pool(processes: int) -> None:
@@ -69,15 +75,19 @@ def discard_pool(processes: int) -> None:
     Called after a :class:`BrokenProcessPool` so the next batch forks a
     healthy pool instead of failing forever on the dead one.
     """
-    pool = _POOLS.pop(processes, None)
+    with _POOLS_LOCK:
+        pool = _POOLS.pop(processes, None)
     if pool is not None:
         pool.shutdown(wait=False, cancel_futures=True)
 
 
 def shutdown_pools() -> None:
     """Shut down every persistent pool (atexit; also handy in tests)."""
-    while _POOLS:
-        _, pool = _POOLS.popitem()
+    while True:
+        with _POOLS_LOCK:
+            if not _POOLS:
+                return
+            _, pool = _POOLS.popitem()
         pool.shutdown(wait=False, cancel_futures=True)
 
 

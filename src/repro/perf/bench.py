@@ -41,6 +41,8 @@ BATCH_DOCS = 50
 class BenchError(WmXMLError, RuntimeError):
     """A bench run that cannot produce meaningful timings."""
 
+    code = "bench-error"
+
 
 def _host() -> str:
     """Stable identifier for the measuring machine.
@@ -236,6 +238,31 @@ def run_e9_bench(books: int = 200, repeats: int = 3,
             raise BenchError(
                 "pooled detect outcomes diverged from the serial batch")
         check_batch_outcomes(pooled_detect_box["outcomes"], "pooled detect")
+
+    # Service round-trip latency: one embed request over loopback HTTP
+    # (JSON envelope in, marked XML + record out) against an in-process
+    # daemon — the protocol + transport overhead the wire adds on top
+    # of the fused pipeline, gated like every other stage.  The
+    # response is asserted bit-identical to the serial batch's first
+    # document, so the service path can never drift from the library.
+    from repro.api import WmXMLSystem
+    from repro.service import WmXMLClient, WmXMLService, running_server
+
+    system = WmXMLSystem(secret_key)
+    system.register("bench", scheme)
+    with running_server(WmXMLService(system)) as server:
+        client = WmXMLClient(
+            f"http://127.0.0.1:{server.server_address[1]}",
+            scheme="bench")
+        service_box: dict = {}
+
+        def do_service_embed() -> None:
+            service_box["result"] = client.embed(batch_texts[0], message)
+
+        best("service_embed_ms", do_service_embed)
+        if service_box["result"].xml != serial_xml[0]:
+            raise BenchError(
+                "service embed response diverged from the local pipeline")
 
     def docs_per_s(stage: str) -> float:
         return len(batch) / (stages[stage] / 1000.0)

@@ -8,13 +8,19 @@ from repro.errors import WmXMLError
 class SemanticsError(WmXMLError):
     """Base class for semantics-layer errors."""
 
+    code = "semantics-error"
+
 
 class SchemaError(SemanticsError):
     """A schema definition is internally inconsistent."""
 
+    code = "schema-error"
+
 
 class SchemaValidationError(SemanticsError):
     """A document failed schema validation (raised by assert_valid)."""
+
+    code = "schema-validation"
 
     def __init__(self, violations) -> None:
         lines = "\n".join(f"  - {v}" for v in violations[:20])
@@ -26,6 +32,10 @@ class SchemaValidationError(SemanticsError):
 class ConstraintError(SemanticsError):
     """A key or functional-dependency definition is malformed."""
 
+    code = "constraint-error"
+
 
 class RecordError(SemanticsError):
     """Shredding or re-nesting failed (bad field spec, lossy nesting...)."""
+
+    code = "record-mismatch"

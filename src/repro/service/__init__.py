@@ -1,0 +1,61 @@
+"""``repro.service`` — WmXML as a network service.
+
+The versioned HTTP/JSON boundary around :class:`repro.api.WmXMLSystem`:
+
+* :mod:`repro.service.protocol` — the ``wmxml-request-v1`` /
+  ``wmxml-response-v1`` wire formats and request-level errors;
+* :mod:`repro.service.app` — :class:`WmXMLService` (pure dispatch) and
+  :func:`make_server` (a ``ThreadingHTTPServer``), run via
+  ``wmxml serve``;
+* :mod:`repro.service.client` — :class:`WmXMLClient`, the remote twin
+  of :class:`repro.api.Pipeline`.
+
+Keys stay server-side; documents, records and verdicts cross the wire
+as the same versioned JSON artefacts the library already persists.
+"""
+
+from repro.service.app import WmXMLService, make_server, running_server
+from repro.service.client import (
+    RemoteServiceError,
+    ServiceUnavailableError,
+    WmXMLClient,
+)
+from repro.service.protocol import (
+    FINGERPRINT_HEADER,
+    MAX_BODY_BYTES,
+    MAX_SCHEMES,
+    PROTOCOL_HEADER,
+    REQUEST_FORMAT,
+    RESPONSE_FORMAT,
+    MalformedRequestError,
+    MethodNotAllowedError,
+    NotFoundError,
+    OversizeBodyError,
+    RegistryFullError,
+    ServiceError,
+    UnsupportedProtocolError,
+)
+
+__all__ = [
+    "WmXMLService",
+    "WmXMLClient",
+    "make_server",
+    "running_server",
+    # protocol
+    "REQUEST_FORMAT",
+    "RESPONSE_FORMAT",
+    "PROTOCOL_HEADER",
+    "FINGERPRINT_HEADER",
+    "MAX_BODY_BYTES",
+    "MAX_SCHEMES",
+    # errors
+    "ServiceError",
+    "MalformedRequestError",
+    "UnsupportedProtocolError",
+    "NotFoundError",
+    "MethodNotAllowedError",
+    "OversizeBodyError",
+    "RegistryFullError",
+    "RemoteServiceError",
+    "ServiceUnavailableError",
+]

@@ -1,0 +1,539 @@
+"""The WmXML watermarking daemon: one ``WmXMLSystem`` behind HTTP.
+
+The paper presents WmXML as a system that *sits beside* an XML
+database and watermarks/verifies documents on demand (§1, Figure 4);
+this module is that deployment shape.  A :class:`WmXMLService` wraps
+one :class:`~repro.api.WmXMLSystem` — the secret key never crosses the
+wire; documents, records and verdicts do — and exposes the versioned
+JSON protocol of :mod:`repro.service.protocol` over a dependency-free
+``http.server`` stack:
+
+====================  ======================================================
+endpoint              behaviour
+====================  ======================================================
+POST /v1/embed        watermark one document (raw XML in, marked XML out)
+POST /v1/embed/batch  watermark a fleet; rides the PR 4 process pool
+POST /v1/detect       verify one suspected copy against a record
+POST /v1/detect/batch many copies, one (or per-item) record(s); pooled
+GET  /v1/schemes      registry listing (name -> pipeline fingerprint)
+GET  /v1/schemes/{n}  the ``wmxml-scheme-v1`` artefact; ``ETag`` = fingerprint
+PUT  /v1/schemes/{n}  register/replace a deployment
+GET  /v1/healthz      liveness + registry summary
+GET  /v1/stats        request counts and per-endpoint latency
+====================  ======================================================
+
+Requests are served by :class:`http.server.ThreadingHTTPServer` — one
+thread per request over the compiled, thread-safe pipelines — while
+batch endpoints escape the GIL through ``embed_many``/``detect_many``
+with the daemon's configured worker-process count.
+
+:meth:`WmXMLService.dispatch` is a pure ``(method, path, body) ->
+(status, payload, headers)`` function with no socket I/O, so the whole
+routing/error-mapping surface is unit-testable without a server.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+import time
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.api.system import SchemeLike, WmXMLSystem
+from repro.core.record import WatermarkRecord
+from repro.core.scheme import WatermarkingScheme
+from repro.semantics.shape import DocumentShape
+from repro.errors import WmXMLError, error_code, http_status_for
+from repro.perf.timers import StageTimer
+from repro.service import protocol
+from repro.service.protocol import (
+    MalformedRequestError,
+    MethodNotAllowedError,
+    NotFoundError,
+    OversizeBodyError,
+    RegistryFullError,
+)
+
+#: Accepted strategy values mirror the pipeline's.
+from repro.api.pipeline import DETECTION_STRATEGIES
+
+
+class WmXMLService:
+    """Routing, error mapping and stats for one ``WmXMLSystem``."""
+
+    def __init__(self, system: WmXMLSystem, *,
+                 processes: Optional[int] = None,
+                 max_body_bytes: int = protocol.MAX_BODY_BYTES,
+                 max_schemes: int = protocol.MAX_SCHEMES) -> None:
+        self.system = system
+        self.processes = processes
+        self.max_body_bytes = max_body_bytes
+        self.max_schemes = max_schemes
+        # ``max_schemes`` bounds *wire-registered* additions: schemes
+        # the operator loaded at boot never count against it.
+        self._scheme_ceiling = len(system.scheme_names()) + max_schemes
+        # Serialises the ceiling check + insert of PUT /v1/schemes so
+        # concurrent PUTs cannot race past the ceiling.
+        self._registry_lock = threading.Lock()
+        self._timer = StageTimer()
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._errors = 0
+        self._started = time.monotonic()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def dispatch(self, method: str, path: str, body: bytes = b"",
+                 headers: Optional[dict] = None
+                 ) -> tuple[int, Optional[dict], dict]:
+        """One request -> ``(status, payload | None, response headers)``.
+
+        Every library or protocol error becomes an error envelope with
+        the status from :data:`repro.errors.HTTP_STATUS_BY_CODE`; the
+        daemon never leaks a traceback onto the wire.
+        """
+        label = f"{method} {_endpoint_label(path)}"
+        start = time.perf_counter()
+        failed = False
+        try:
+            if len(body) > self.max_body_bytes:
+                raise OversizeBodyError(
+                    f"request body of {len(body)} bytes exceeds the "
+                    f"{self.max_body_bytes}-byte ceiling")
+            status, payload, extra = self._route(method, path, body,
+                                                 headers or {})
+        except WmXMLError as error:
+            failed = True
+            status = http_status_for(error_code(error))
+            payload = protocol.error_response(error)
+            extra = {}
+        except Exception as error:  # noqa: BLE001
+            # Anything a wire-reachable path raises that is not a
+            # WmXMLError (e.g. a KeyError from a half-valid artefact)
+            # still becomes an envelope, never a dropped connection.
+            failed = True
+            status = http_status_for(WmXMLError.code)
+            payload = protocol.error_response(
+                WmXMLError(f"unhandled {type(error).__name__}: {error}"))
+            extra = {}
+        response_headers = {protocol.PROTOCOL_HEADER:
+                            protocol.RESPONSE_FORMAT}
+        response_headers.update(extra)
+        with self._stats_lock:
+            self._requests += 1
+            self._errors += failed
+            self._timer.record(label, time.perf_counter() - start)
+        return status, payload, response_headers
+
+    def note_refusal(self, method: str, path: str) -> None:
+        """Count a handler-level refusal (oversize/invalid framing).
+
+        Those never reach :meth:`dispatch`, but operators polling
+        ``/v1/stats`` must still see them in the request/error counts.
+        """
+        # A distinct label: refusals never execute, so mixing their
+        # zero-duration samples into the endpoint's bucket would
+        # poison its mean latency.
+        label = f"{method} {_endpoint_label(path)} (refused)"
+        with self._stats_lock:
+            self._requests += 1
+            self._errors += 1
+            self._timer.record(label, 0.0)
+
+    def _route(self, method: str, path: str, body: bytes,
+               headers: dict) -> tuple[int, Optional[dict], dict]:
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/v1/healthz":
+            _require_method(method, "GET")
+            return 200, protocol.ok_response(self._healthz()), {}
+        if path == "/v1/stats":
+            _require_method(method, "GET")
+            return 200, protocol.ok_response(self._stats()), {}
+        if path == "/v1/embed":
+            _require_method(method, "POST")
+            return self._embed(protocol.parse_request(body), batch=False)
+        if path == "/v1/embed/batch":
+            _require_method(method, "POST")
+            return self._embed(protocol.parse_request(body), batch=True)
+        if path == "/v1/detect":
+            _require_method(method, "POST")
+            return self._detect(protocol.parse_request(body), batch=False)
+        if path == "/v1/detect/batch":
+            _require_method(method, "POST")
+            return self._detect(protocol.parse_request(body), batch=True)
+        if path == "/v1/schemes":
+            _require_method(method, "GET")
+            return 200, protocol.ok_response(
+                {"schemes": self.system.list_schemes()}), {}
+        if path.startswith("/v1/schemes/"):
+            name = urllib.parse.unquote(path[len("/v1/schemes/"):])
+            if method == "GET":
+                return self._get_scheme(name, headers)
+            if method == "PUT":
+                return self._put_scheme(name, body)
+            raise MethodNotAllowedError(
+                f"{method} not allowed on /v1/schemes/{{name}} "
+                "(use GET or PUT)")
+        raise NotFoundError(f"no such endpoint: {method} {path}")
+
+    # -- endpoints ------------------------------------------------------------
+
+    def _healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "schemes": self.system.scheme_names(),
+            "key_fingerprint": self.system.key_fingerprint,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "processes": self.processes,
+        }
+
+    def _stats(self) -> dict:
+        with self._stats_lock:
+            endpoints = {
+                name: {"calls": stats.calls,
+                       "total_ms": stats.total_ms,
+                       "mean_ms": stats.mean_ms}
+                for name, stats in self._timer.stages.items()
+            }
+            return {"requests": self._requests, "errors": self._errors,
+                    "uptime_s": round(time.monotonic() - self._started, 3),
+                    "endpoints": endpoints}
+
+    def _scheme_argument(self, request: dict) -> SchemeLike:
+        scheme = request.get("scheme")
+        if isinstance(scheme, (str, dict)):
+            return scheme
+        if scheme is None:
+            raise MalformedRequestError(
+                "request is missing required field 'scheme' "
+                "(a registered name or an inline wmxml-scheme-v1 object)")
+        raise MalformedRequestError(
+            f"request field 'scheme' must be a name or an object, got "
+            f"{type(scheme).__name__}")
+
+    def _embed(self, request: dict,
+               batch: bool) -> tuple[int, dict, dict]:
+        pipeline = self.system.pipeline(self._scheme_argument(request))
+        message = protocol.required_field(request, "message", str)
+        if batch:
+            documents = _document_list(request)
+            results = pipeline.embed_many(documents, message,
+                                          processes=self.processes,
+                                          output="xml")
+            payload = {"results": [_embed_payload(item)
+                                   for item in results]}
+        else:
+            document = protocol.required_field(request, "document", str)
+            payload = _embed_payload(
+                pipeline.embed_many([document], message, output="xml")[0])
+        return 200, protocol.ok_response(payload), {
+            protocol.FINGERPRINT_HEADER: pipeline.fingerprint}
+
+    def _detect(self, request: dict,
+                batch: bool) -> tuple[int, dict, dict]:
+        pipeline = self.system.pipeline(self._scheme_argument(request))
+        expected = request.get("expected")
+        if expected is not None and not isinstance(expected, str):
+            raise MalformedRequestError(
+                "request field 'expected' must be a string")
+        strategy = request.get("strategy", "auto")
+        if strategy not in DETECTION_STRATEGIES:
+            raise MalformedRequestError(
+                f"unknown detection strategy {strategy!r}; choices: "
+                f"{DETECTION_STRATEGIES}")
+        shape = _request_shape(request)
+        if batch:
+            documents = _document_list(request)
+            records = _record_list(request, len(documents))
+            outcomes = pipeline.detect_many(
+                list(zip(documents, records)), expected=expected,
+                shape=shape, strategy=strategy,
+                processes=self.processes)
+            payload = {"results": [outcome.to_dict()
+                                   for outcome in outcomes]}
+        else:
+            document = protocol.required_field(request, "document", str)
+            record = WatermarkRecord.from_dict(
+                protocol.required_field(request, "record", dict))
+            outcome = pipeline.detect_many(
+                [(document, record)], expected=expected, shape=shape,
+                strategy=strategy)[0]
+            payload = {"result": outcome.to_dict()}
+        return 200, protocol.ok_response(payload), {
+            protocol.FINGERPRINT_HEADER: pipeline.fingerprint}
+
+    def _get_scheme(self, name: str,
+                    headers: dict) -> tuple[int, Optional[dict], dict]:
+        # Atomic pair: a concurrent PUT must not pair the old body
+        # with the new ETag (which would pin conditional GETs to the
+        # stale scheme) — and repeat polls hit the fingerprint cache.
+        scheme, fingerprint = self.system.scheme_with_fingerprint(name)
+        etag = f'"{fingerprint}"'
+        response_headers = {"ETag": etag,
+                            protocol.FINGERPRINT_HEADER: fingerprint}
+        if _etag_matches(_if_none_match(headers), etag):
+            return 304, None, response_headers
+        return 200, protocol.ok_response(
+            {"name": name, "scheme": scheme.to_dict(),
+             "fingerprint": fingerprint}), response_headers
+
+    def _put_scheme(self, name: str,
+                    body: bytes) -> tuple[int, dict, dict]:
+        # The body is the wmxml-scheme-v1 artefact itself (it carries
+        # its own format tag), not a request envelope.
+        scheme = WatermarkingScheme.from_dict(protocol.parse_json(body))
+        with self._registry_lock:
+            registered = self.system.scheme_names()
+            if (name not in registered
+                    and len(registered) >= self._scheme_ceiling):
+                raise RegistryFullError(
+                    f"registry holds {len(registered)} schemes "
+                    f"({self.max_schemes} wire-registered allowed); "
+                    "replace an existing name or raise --max-schemes")
+            self.system.add_scheme(name, scheme)
+        # Fingerprint the object we registered, not the name: a
+        # concurrent PUT to the same name must not leak its fingerprint
+        # into our response/ETag.
+        fingerprint = self.system.scheme_fingerprint(scheme)
+        return 200, protocol.ok_response(
+            {"registered": name, "fingerprint": fingerprint}), {
+                "ETag": f'"{fingerprint}"',
+                protocol.FINGERPRINT_HEADER: fingerprint}
+
+
+def _require_method(method: str, allowed: str) -> None:
+    if method != allowed:
+        raise MethodNotAllowedError(
+            f"{method} not allowed here (use {allowed})")
+
+
+#: Routed paths get their own stats bucket; everything else collapses
+#: to one, so a scanner probing random URLs cannot grow the StageTimer
+#: (and every /v1/stats payload) without bound.
+_KNOWN_ENDPOINTS = frozenset({
+    "/v1/healthz", "/v1/stats", "/v1/embed", "/v1/embed/batch",
+    "/v1/detect", "/v1/detect/batch", "/v1/schemes",
+})
+
+
+def _endpoint_label(path: str) -> str:
+    """Stable stats label: named-scheme paths collapse to one bucket."""
+    path = path.split("?", 1)[0].rstrip("/") or "/"
+    if path.startswith("/v1/schemes/"):
+        return "/v1/schemes/{name}"
+    if path in _KNOWN_ENDPOINTS:
+        return path
+    return "(unknown)"
+
+
+def _if_none_match(headers: dict) -> Optional[str]:
+    for key, value in headers.items():
+        if key.lower() == "if-none-match":
+            return value
+    return None
+
+
+def _etag_matches(header_value: Optional[str], etag: str) -> bool:
+    """RFC 7232 If-None-Match: lists, weak validators and ``*``.
+
+    Fingerprint ETags are content hashes, so a weak match is as good
+    as a strong one here.
+    """
+    if header_value is None:
+        return False
+    if header_value.strip() == "*":
+        return True
+    for candidate in header_value.split(","):
+        candidate = candidate.strip()
+        if candidate.startswith("W/"):
+            candidate = candidate[2:]
+        if candidate == etag:
+            return True
+    return False
+
+
+def _request_shape(request: dict) -> Optional[DocumentShape]:
+    """The suspected copy's *current* organisation, if reorganized.
+
+    Figure 2 of the paper: detecting a reorganized copy needs the
+    document's current shape so every stored query can be rewritten
+    for it — without a wire field for it, remote detection of
+    reorganized copies would be impossible.
+    """
+    shape = request.get("shape")
+    if shape is None:
+        return None
+    if not isinstance(shape, dict):
+        raise MalformedRequestError(
+            "request field 'shape' must be a shape object")
+    try:
+        return DocumentShape.from_dict(shape)
+    except WmXMLError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as error:
+        raise MalformedRequestError(
+            f"malformed 'shape' object: {error}") from error
+
+
+def _document_list(request: dict) -> list[str]:
+    documents = protocol.required_field(request, "documents", list)
+    if not documents or not all(isinstance(item, str)
+                                for item in documents):
+        raise MalformedRequestError(
+            "request field 'documents' must be a non-empty list of "
+            "XML strings")
+    return documents
+
+
+def _record_list(request: dict, count: int) -> list[WatermarkRecord]:
+    """One shared record or per-item ``records``, aligned with documents.
+
+    The shared form re-uses one ``WatermarkRecord`` *object* for every
+    item, which downstream lets the pooled engine ship it once per
+    chunk instead of once per document.
+    """
+    if "records" in request:
+        entries = protocol.required_field(request, "records", list)
+        if len(entries) != count:
+            raise MalformedRequestError(
+                f"'records' has {len(entries)} entries for {count} "
+                "documents")
+        return [WatermarkRecord.from_dict(entry) for entry in entries]
+    record = WatermarkRecord.from_dict(
+        protocol.required_field(request, "record", dict))
+    return [record] * count
+
+
+def _embed_payload(result) -> dict:
+    return {"xml": result.xml, "record": result.record.to_dict(),
+            "stats": result.stats.to_dict()}
+
+
+# -- the HTTP layer ------------------------------------------------------------
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin socket adapter around :meth:`WmXMLService.dispatch`."""
+
+    service: WmXMLService  # set on the subclass built by make_server
+    protocol_version = "HTTP/1.1"
+    quiet = True
+    # Socket timeout: a client that claims a Content-Length but never
+    # sends the body (or idles a keep-alive connection) must not pin a
+    # server thread forever.  BaseHTTPRequestHandler turns the timeout
+    # into close_connection.
+    timeout = 60
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.quiet:  # pragma: no cover - operator convenience
+            super().log_message(format, *args)
+
+    def _refuse(self, error: WmXMLError) -> None:
+        """Answer an error envelope and close: the body stays unread,
+        which would desync the next keep-alive request."""
+        self.close_connection = True
+        self.service.note_refusal(self.command, self.path)
+        self._respond(http_status_for(error_code(error)),
+                      protocol.error_response(error),
+                      {protocol.PROTOCOL_HEADER:
+                       protocol.RESPONSE_FORMAT},
+                      head_only=self.command == "HEAD")
+
+    def _handle(self) -> None:
+        if self.headers.get("Transfer-Encoding"):
+            # Chunked bodies are unsupported: reading Content-Length
+            # bytes would leave the chunks unread on the stream.
+            self._refuse(MalformedRequestError(
+                "Transfer-Encoding is not supported; send a "
+                "Content-Length body"))
+            return
+        raw_length = self.headers.get("Content-Length") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            length = -1
+        if length < 0:
+            # A negative value would turn rfile.read into read-to-EOF
+            # (blocking the thread, ignoring the body ceiling).
+            self._refuse(MalformedRequestError(
+                f"invalid Content-Length: {raw_length!r}"))
+            return
+        if length > self.service.max_body_bytes:
+            # Refuse without reading the oversize body.
+            self._refuse(OversizeBodyError(
+                f"request body of {length} bytes exceeds the "
+                f"{self.service.max_body_bytes}-byte ceiling"))
+            return
+        body = self.rfile.read(length) if length else b""
+        # HEAD is GET with the body suppressed (health probes use it).
+        method = "GET" if self.command == "HEAD" else self.command
+        status, payload, headers = self.service.dispatch(
+            method, self.path, body, dict(self.headers))
+        self._respond(status, payload, headers,
+                      head_only=self.command == "HEAD")
+
+    def _respond(self, status: int, payload: Optional[dict],
+                 headers: dict, head_only: bool = False) -> None:
+        data = (b"" if payload is None
+                else json.dumps(payload).encode("utf-8"))
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        if data and not head_only:
+            self.wfile.write(data)
+
+    # Every verb routes through dispatch so even a DELETE/PATCH gets
+    # the method-not-allowed *envelope*, not http.server's HTML 501;
+    # HEAD answers like GET minus the body.
+    do_GET = _handle
+    do_HEAD = _handle
+    do_POST = _handle
+    do_PUT = _handle
+    do_DELETE = _handle
+    do_PATCH = _handle
+    do_OPTIONS = _handle
+
+
+def make_server(service: WmXMLService, host: str = "127.0.0.1",
+                port: int = 0, quiet: bool = True) -> ThreadingHTTPServer:
+    """A ready-to-run threading HTTP server bound to ``host:port``.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.server_address[1]``) — what tests and the loopback bench
+    stage use.  Call ``server.serve_forever()`` to run and
+    ``server.shutdown()`` (from another thread) to stop.
+    """
+    handler = type("WmXMLHandler", (_Handler,),
+                   {"service": service, "quiet": quiet})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+@contextlib.contextmanager
+def running_server(service: WmXMLService, host: str = "127.0.0.1",
+                   port: int = 0, quiet: bool = True):
+    """A served daemon for the scope of a ``with`` block.
+
+    The one start/stop choreography (serve on a thread, then
+    ``shutdown()`` *before* ``server_close()``, then join) shared by
+    the CLI, the bench's loopback stage and the tests — yields the
+    bound server so callers read ``server.server_address``.
+    """
+    server = make_server(service, host=host, port=port, quiet=quiet)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)

@@ -13,6 +13,8 @@ from repro.errors import WmXMLError
 class XMLError(WmXMLError):
     """Base class for every error raised by :mod:`repro.xmlmodel`."""
 
+    code = "xml-error"
+
 
 class XMLSyntaxError(XMLError):
     """A document failed to parse.
@@ -20,6 +22,8 @@ class XMLSyntaxError(XMLError):
     Carries the 1-based ``line`` and ``column`` of the offending input
     position so tooling (and tests) can point at the exact character.
     """
+
+    code = "xml-syntax"
 
     def __init__(self, message: str, line: int, column: int) -> None:
         super().__init__(f"{message} (line {line}, column {column})")
@@ -38,6 +42,10 @@ class XMLSyntaxError(XMLError):
 class XMLTreeError(XMLError):
     """An illegal tree manipulation, e.g. attaching a node to two parents."""
 
+    code = "xml-tree"
+
 
 class XMLNameError(XMLError):
     """A tag or attribute name violates XML naming rules."""
+
+    code = "xml-name"

@@ -8,6 +8,8 @@ from repro.errors import WmXMLError
 class XPathError(WmXMLError):
     """Base class for all XPath engine errors."""
 
+    code = "xpath-error"
+
 
 class XPathSyntaxError(XPathError):
     """An XPath expression failed to parse.
@@ -15,6 +17,8 @@ class XPathSyntaxError(XPathError):
     ``position`` is the 0-based character offset of the offending token
     within the expression text.
     """
+
+    code = "xpath-syntax"
 
     def __init__(self, message: str, expression: str, position: int) -> None:
         pointer = " " * position + "^"
@@ -27,6 +31,10 @@ class XPathSyntaxError(XPathError):
 class XPathTypeError(XPathError):
     """An operation was applied to a value of the wrong XPath type."""
 
+    code = "xpath-type"
+
 
 class XPathFunctionError(XPathError):
     """Unknown function, or a function called with bad arguments."""
+
+    code = "xpath-function"

@@ -113,6 +113,128 @@ class TestLegacyCatchStylesStillWork:
         assert issubclass(api.WatermarkDecodeError, ValueError)
 
 
+def _all_error_classes() -> list[type]:
+    """Every WmXMLError subclass defined anywhere in the system.
+
+    Importing ``repro.api``, ``repro.service`` and ``repro.perf.bench``
+    (done at module top) loads every layer that declares errors; the
+    recursive subclass walk then finds the complete hierarchy.
+    """
+    import repro.service  # noqa: F401 - registers the service errors
+
+    found: list[type] = []
+    queue = [WmXMLError]
+    while queue:
+        cls = queue.pop()
+        for sub in cls.__subclasses__():
+            if sub not in found:
+                found.append(sub)
+                queue.append(sub)
+    return found
+
+
+class TestErrorCodes:
+    """The service-boundary contract: stable codes, one status table.
+
+    Regression gate for the code <-> HTTP-status table: *every* error
+    class in the system must declare its own slug, and the slug must
+    have a status in :data:`repro.errors.HTTP_STATUS_BY_CODE` — so an
+    error class added without service wiring fails here, not in
+    production.
+    """
+
+    def test_every_error_class_declares_its_own_code(self):
+        missing = [cls.__name__ for cls in _all_error_classes()
+                   if "code" not in cls.__dict__]
+        assert missing == [], (
+            f"error classes inheriting a parent's code instead of "
+            f"declaring their own: {missing}")
+
+    def test_table_covers_every_error_class(self):
+        uncovered = [
+            f"{cls.__name__} ({cls.code})" for cls in _all_error_classes()
+            if cls.code not in api.HTTP_STATUS_BY_CODE
+        ]
+        assert uncovered == [], (
+            f"codes missing from HTTP_STATUS_BY_CODE: {uncovered}")
+        assert WmXMLError.code in api.HTTP_STATUS_BY_CODE
+
+    def test_codes_are_unique_across_classes(self):
+        classes = _all_error_classes()
+        codes = [cls.code for cls in classes]
+        assert len(set(codes)) == len(codes), (
+            "two error classes share a code slug — clients could not "
+            "tell them apart")
+
+    def test_codes_are_wire_safe_slugs(self):
+        for cls in _all_error_classes():
+            assert cls.code == cls.code.lower()
+            assert all(ch.isalnum() or ch == "-" for ch in cls.code), (
+                f"{cls.__name__}.code={cls.code!r} is not a slug")
+
+    def test_statuses_are_plausible_http(self):
+        for code, status in api.HTTP_STATUS_BY_CODE.items():
+            assert 400 <= status < 600, (code, status)
+
+    def test_error_code_reads_instance_override(self):
+        from repro.service import RemoteServiceError
+
+        error = RemoteServiceError("unknown-scheme", "nope", 404)
+        assert api.error_code(error) == "unknown-scheme"
+        assert api.error_payload(error)["http_status"] == 404
+
+    def test_error_payload_shape(self):
+        payload = api.error_payload(api.UnknownSchemeError("ghost"))
+        assert payload == {
+            "code": "unknown-scheme",
+            "message": "unknown scheme 'ghost'",
+            "http_status": 404,
+        }
+
+    def test_foreign_exceptions_map_to_internal_error(self):
+        assert api.error_code(ValueError("x")) == "internal-error"
+        assert api.http_status_for("no-such-code") == 500
+
+    def test_foreign_code_attributes_are_not_trusted(self):
+        # HTTPError.code is an int HTTP status, SystemExit.code an exit
+        # status — neither is a WmXML slug and neither may leak into an
+        # error envelope.
+        import io
+        import urllib.error
+
+        foreign = urllib.error.HTTPError("http://x", 404, "nf", {},
+                                         io.BytesIO(b""))
+        assert api.error_code(foreign) == "internal-error"
+        assert api.error_code(SystemExit(2)) == "internal-error"
+        assert api.error_payload(foreign)["code"] == "internal-error"
+
+
+class TestCliErrorResults:
+    """``wmxml detect --result`` surfaces codes on failure (exit 2)."""
+
+    def test_bad_record_writes_error_payload(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+        from repro.xmlmodel import write_file
+
+        document = bibliography.generate_document(
+            bibliography.BibliographyConfig(books=10, seed=1))
+        doc_path = tmp_path / "doc.xml"
+        write_file(str(doc_path), document)
+        record_path = tmp_path / "record.json"
+        record_path.write_text('{"format": "not-a-record"}')
+        result_path = tmp_path / "verdict.json"
+
+        code = main(["detect", "-i", str(doc_path), "-r", str(record_path),
+                     "-k", "secret", "--result", str(result_path)])
+        assert code == 2
+        payload = json.loads(result_path.read_text())
+        assert payload["error"]["code"] == "bad-record"
+        assert payload["error"]["http_status"] == 400
+        assert "[bad-record]" in capsys.readouterr().err
+
+
 class TestStrictToMessage:
     def test_default_returns_none_on_bad_length(self):
         assert Watermark([1, 0, 1]).to_message() is None

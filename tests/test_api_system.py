@@ -120,6 +120,85 @@ class TestWmXMLSystem:
         assert system.pipeline(
             bibliography.default_scheme(4).to_dict()) is not first
 
+    def test_content_cache_evicts_lru_beyond_its_ceiling(self):
+        # Inline schemes can arrive from the wire on every request; a
+        # client cycling unique deployments must not grow the daemon's
+        # memory without bound.
+        from repro.api.system import CONTENT_CACHE_MAX
+
+        system = api.WmXMLSystem("secret")
+        kept = system.pipeline(bibliography.default_scheme(2).to_dict())
+        for gamma in range(3, CONTENT_CACHE_MAX + 8):
+            # Re-touching the first scheme keeps it most-recent.
+            system.pipeline(bibliography.default_scheme(2).to_dict())
+            system.pipeline(bibliography.default_scheme(gamma).to_dict())
+        assert len(system._content_pipelines) <= CONTENT_CACHE_MAX
+        assert system.pipeline(
+            bibliography.default_scheme(2).to_dict()) is kept
+
+    def test_scheme_fingerprint_matches_pipeline_without_compiling(self):
+        # GET /v1/schemes lists fingerprints for every deployment; the
+        # listing must not compile (and pin) pipelines to do so.
+        system = api.WmXMLSystem("secret")
+        system.register("bib", bibliography.default_scheme(2))
+        fingerprint = system.scheme_fingerprint("bib")
+        assert not system._named_pipelines
+        assert fingerprint == system.pipeline("bib").fingerprint
+
+    def test_scheme_with_fingerprint_is_cached_and_consistent(self):
+        # The daemon's conditional-GET endpoint polls this; repeat
+        # reads must hit the cache and the pair must track replaces.
+        system = api.WmXMLSystem("secret")
+        system.register("bib", bibliography.default_scheme(2))
+        scheme, fingerprint = system.scheme_with_fingerprint("bib")
+        assert scheme is system.scheme("bib")
+        assert fingerprint == system.scheme_fingerprint("bib")
+        assert system._name_fingerprints["bib"] == fingerprint
+        system.register("bib", bibliography.default_scheme(4))
+        scheme2, fingerprint2 = system.scheme_with_fingerprint("bib")
+        assert scheme2.gamma == 4
+        assert fingerprint2 != fingerprint
+
+    def test_scheme_fingerprint_cache_invalidates_on_replace(self):
+        # Named fingerprints are cached (the registry listing is a
+        # polling endpoint) but must track re-registration.
+        system = api.WmXMLSystem("secret")
+        system.register("bib", bibliography.default_scheme(2))
+        old = system.scheme_fingerprint("bib")
+        assert system.scheme_fingerprint("bib") == old  # cache hit
+        system.register("bib", bibliography.default_scheme(4))
+        new = system.scheme_fingerprint("bib")
+        assert new != old
+        assert new == system.pipeline("bib").fingerprint
+
+    def test_reregistering_mid_compile_does_not_pin_the_stale_pipeline(
+            self, monkeypatch):
+        # A PUT replacing 'bib' while another thread compiles the old
+        # scheme must not let the stale pipeline land in the cache —
+        # that would silently serve the replaced deployment forever
+        # while the registry advertises the new fingerprint.
+        import repro.api.system as system_module
+
+        system = api.WmXMLSystem("secret")
+        system.register("bib", bibliography.default_scheme(2))
+        real_pipeline = system_module.Pipeline
+        raced = []
+
+        def racing_pipeline(scheme, key, alpha):
+            if not raced:  # replace the name mid-first-compile
+                raced.append(True)
+                system.register("bib", bibliography.default_scheme(4))
+            return real_pipeline(scheme, key, alpha=alpha)
+
+        monkeypatch.setattr(system_module, "Pipeline",
+                            lambda scheme, key, alpha: racing_pipeline(
+                                scheme, key, alpha))
+        pipeline = system.pipeline("bib")
+        assert pipeline.scheme.gamma == 4
+        assert system.pipeline("bib") is pipeline
+        assert (system.scheme_fingerprint("bib")
+                == pipeline.fingerprint)
+
     def test_non_json_scheme_params_raise_a_wmxml_error(self):
         # A frozenset domain builds a working in-memory scheme but has
         # no JSON form; the facade must say so, not leak a TypeError.

@@ -229,6 +229,77 @@ class TestPooledDetect:
         with pytest.raises(WmXMLError):
             pipeline.detect_many(items, strategy="quantum", processes=2)
 
+    def test_shared_record_batch_matches_serial(self, pipeline, marked):
+        # The piracy-hunting shape: many suspected copies of ONE marked
+        # document, judged by one record object.  Pooled votes must
+        # match serial exactly even though the chunk tasks ship the
+        # record once per chunk instead of once per item.
+        reference = marked[0]
+        copies = [(serialize(reference.document), reference.record)
+                  for _ in range(6)]
+        serial = pipeline.detect_many(copies, expected=MESSAGE)
+        pooled = pipeline.detect_many(copies, expected=MESSAGE, processes=2)
+        assert ([outcome.to_dict() for outcome in pooled]
+                == [outcome.to_dict() for outcome in serial])
+        assert all(outcome.detected for outcome in pooled)
+
+    def test_shared_record_ships_once_per_chunk(self, pipeline, marked,
+                                                monkeypatch):
+        # Inspect the actual chunk tasks: one record object across the
+        # batch must dispatch as ("shared", record), per-item records
+        # as ("each", [...]) — run in-process so payloads are visible.
+        from repro import parallel
+
+        captured = []
+
+        def capture_and_run(processes, func, tasks):
+            tasks = list(tasks)
+            captured.extend(tasks)
+            return [func(task) for task in tasks]
+
+        monkeypatch.setattr(parallel, "map_sharded", capture_and_run)
+
+        reference = marked[0]
+        copies = [(serialize(reference.document), reference.record)
+                  for _ in range(6)]
+        serial = pipeline.detect_many(copies, expected=MESSAGE)
+        pooled = pipeline.detect_many(copies, expected=MESSAGE, processes=2)
+        assert captured, "batch did not go through the pooled path"
+        modes = {task[3][0] for task in captured}
+        assert modes == {"shared"}
+        assert all(task[3][1] is reference.record for task in captured)
+        assert ([outcome.to_dict() for outcome in pooled]
+                == [outcome.to_dict() for outcome in serial])
+
+        captured.clear()
+        # Equal-but-*distinct* records (the same record.json loaded per
+        # suspected copy) must also collapse to shared: pickle's memo
+        # already dedupes one identical object, so equality is where
+        # the payload saving actually lives.
+        from repro.core.record import WatermarkRecord
+
+        reloaded = [(serialize(reference.document),
+                     WatermarkRecord.from_dict(reference.record.to_dict()))
+                    for _ in range(6)]
+        pooled = pipeline.detect_many(reloaded, expected=MESSAGE,
+                                      processes=2)
+        serial = pipeline.detect_many(reloaded, expected=MESSAGE)
+        assert {task[3][0] for task in captured} == {"shared"}
+        assert ([outcome.to_dict() for outcome in pooled]
+                == [outcome.to_dict() for outcome in serial])
+
+        captured.clear()
+        items = [(serialize(result.document), result.record)
+                 for result in marked]
+        pooled = pipeline.detect_many(items, expected=MESSAGE, processes=2)
+        serial = pipeline.detect_many(items, expected=MESSAGE)
+        assert {task[3][0] for task in captured} == {"each"}
+        # Record chunks stay aligned with their document chunks.
+        flattened = [record for task in captured for record in task[3][1]]
+        assert flattened == [record for _, record in items]
+        assert ([outcome.to_dict() for outcome in pooled]
+                == [outcome.to_dict() for outcome in serial])
+
     def test_rewriting_shape_ships_to_workers(self, pipeline, marked):
         # Reorganise the marked documents into another shape; pooled
         # detection must rewrite the stored queries for it, exactly as
