@@ -94,6 +94,22 @@ from repro.errors import (
     error_payload,
     http_status_for,
 )
+from repro.core.fingerprint import IssuedCopy, TraceResult
+from repro.registry import (
+    ChainBrokenError,
+    ChainVerification,
+    LedgerBlock,
+    MemoryBackend,
+    RegistryBackend,
+    RegistryError,
+    RegistryFormatError,
+    RegistryNotConfiguredError,
+    RegistryRecord,
+    RegistrySchemaError,
+    SQLiteBackend,
+    UnknownRecipientError,
+    WatermarkRegistry,
+)
 from repro.semantics import DocumentShape, level, shape
 from repro.semantics.errors import RecordError, SemanticsError
 from repro.xmlmodel import (
@@ -135,6 +151,22 @@ __all__ = [
     "UsabilityReport",
     # fingerprinting
     "Fingerprinter",
+    "IssuedCopy",
+    "TraceResult",
+    # registry / provenance
+    "WatermarkRegistry",
+    "RegistryBackend",
+    "MemoryBackend",
+    "SQLiteBackend",
+    "RegistryRecord",
+    "LedgerBlock",
+    "ChainVerification",
+    "RegistryError",
+    "RegistryFormatError",
+    "RegistrySchemaError",
+    "RegistryNotConfiguredError",
+    "ChainBrokenError",
+    "UnknownRecipientError",
     # attacks
     "Attack",
     "AttackReport",

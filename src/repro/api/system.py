@@ -27,9 +27,14 @@ from repro.api.pipeline import (
 from repro.core.crypto import KeyedPRF
 from repro.core.decoder import DetectionResult
 from repro.core.encoder import EmbeddingResult
+from repro.core.fingerprint import TraceResult
 from repro.core.record import WatermarkRecord
 from repro.core.scheme import WatermarkingScheme
+from repro.core.watermark import Watermark
 from repro.errors import SchemeFormatError, UnknownSchemeError
+from repro.registry import (RegistryNotConfiguredError, UnknownRecipientError,
+                            WatermarkRegistry)
+from repro.registry.records import RegistryRecord
 from repro.semantics.shape import DocumentShape
 from repro.xmlmodel.tree import Document
 
@@ -46,10 +51,20 @@ class WmXMLSystem:
     """The owner's watermarking service: key + schemes + pipelines."""
 
     def __init__(self, secret_key: Union[str, bytes],
-                 alpha: float = 1e-3) -> None:
+                 alpha: float = 1e-3,
+                 registry: Optional[WatermarkRegistry] = None,
+                 issuer: str = "wmxml") -> None:
         self._secret_key = secret_key
-        self._fingerprint = KeyedPRF(secret_key).fingerprint()
+        self._prf = KeyedPRF(secret_key)
+        self._fingerprint = self._prf.fingerprint()
         self.alpha = alpha
+        self.issuer = issuer
+        self.registry = registry
+        if registry is not None:
+            # Ledger seals derive from the system key under their own
+            # purpose string, so the registry never holds a second
+            # secret.
+            registry.attach_sealer(self._prf)
         self._schemes: dict[str, WatermarkingScheme] = {}
         # Registered deployments hit the O(1) name-keyed cache (evicted
         # when the name is re-registered); ad-hoc scheme objects/dicts
@@ -57,6 +72,10 @@ class WmXMLSystem:
         # one pipeline no matter how often it is re-sent.
         self._named_pipelines: dict[tuple[str, float], Pipeline] = {}
         self._content_pipelines: dict[tuple[str, float], Pipeline] = {}
+        # Derived-key pipelines for fingerprinted issuance, keyed by
+        # (scheme content, recipient, alpha); LRU like the content cache.
+        self._recipient_pipelines: dict[tuple[str, str, float],
+                                        Pipeline] = {}
         self._name_fingerprints: dict[str, str] = {}
         self._lock = threading.Lock()
 
@@ -230,23 +249,215 @@ class WmXMLSystem:
                     next(iter(self._content_pipelines)))
         return pipeline
 
+    # -- fingerprinted issuance ------------------------------------------------------------
+
+    def recipient_key(self, recipient: str) -> bytes:
+        """The derived per-recipient secret key.
+
+        The exact :class:`~repro.core.fingerprint.Fingerprinter`
+        derivation — ``HMAC(master, "fingerprint-key", recipient)`` —
+        so copies issued here and traces run here interoperate with
+        the core fingerprinting machinery.  Derived keys select
+        *different* element subsets per recipient, which is what makes
+        collusion tracing work.
+        """
+        if not recipient:
+            raise ValueError("recipient id must not be empty")
+        return self._prf.digest("fingerprint-key", recipient)
+
+    def recipient_pipeline(self, scheme: SchemeLike, recipient: str,
+                           alpha: Optional[float] = None) -> Pipeline:
+        """The compiled pipeline under ``recipient``'s derived key."""
+        effective_alpha = self.alpha if alpha is None else alpha
+        resolved = self._resolve(scheme)
+        content = scheme_content_key(resolved)
+        key = (content, recipient, effective_alpha)
+        with self._lock:
+            pipeline = self._recipient_pipelines.pop(key, None)
+            if pipeline is not None:
+                self._recipient_pipelines[key] = pipeline
+                return pipeline
+        pipeline = Pipeline(resolved, self.recipient_key(recipient),
+                            alpha=effective_alpha)
+        with self._lock:
+            existing = self._recipient_pipelines.pop(key, None)
+            if existing is not None:
+                pipeline = existing
+            self._recipient_pipelines[key] = pipeline
+            while len(self._recipient_pipelines) > CONTENT_CACHE_MAX:
+                self._recipient_pipelines.pop(
+                    next(iter(self._recipient_pipelines)))
+        return pipeline
+
+    # -- registry ------------------------------------------------------------
+
+    def _require_registry(self) -> WatermarkRegistry:
+        if self.registry is None:
+            raise RegistryNotConfiguredError(
+                "this system has no registry attached; construct "
+                "WmXMLSystem(registry=...) or run with --registry")
+        return self.registry
+
+    @staticmethod
+    def _message_identity(message: MessageLike) -> str:
+        """The recipient identity a plain embed is recorded under."""
+        if isinstance(message, Watermark):
+            text = message.to_message(strict=False)
+            if text is not None:
+                return text
+            return "bits:" + "".join(str(bit) for bit in message.bits)
+        return message
+
+    def _record_embed(self, recipient: str, keying: str,
+                      scheme_fingerprint: str, pipeline: Pipeline,
+                      result: EmbeddingResult) -> Optional[RegistryRecord]:
+        """Append one embed to the registry (no-op without one).
+
+        Always runs in the parent process, *after* the pipeline
+        returned — pooled batches hand records back from the workers
+        and the appends happen here, so the pool contract is untouched
+        and ledger order is the order results came back in.
+        """
+        if self.registry is None:
+            return None
+        return self.registry.record_embed(
+            recipient=recipient, record=result.record,
+            document_xml=result.to_xml(),
+            scheme_fingerprint=scheme_fingerprint,
+            key_fingerprint=pipeline.key_fingerprint,
+            keying=keying, issuer=self.issuer)
+
     # -- conveniences ------------------------------------------------------------
 
     def embed(self, scheme: SchemeLike, document: Document,
-              message: MessageLike, in_place: bool = False) -> EmbeddingResult:
-        return self.pipeline(scheme).embed(document, message,
-                                           in_place=in_place)
+              message: MessageLike, in_place: bool = False,
+              recipient: Optional[str] = None) -> EmbeddingResult:
+        """Embed; with ``recipient`` set, issue a fingerprinted copy.
+
+        ``recipient=None`` is the classic owner embed under the system
+        key; a recipient switches to that recipient's derived key and
+        uses the recipient id as the message (self-describing
+        evidence).  Either way, an attached registry records the copy.
+        """
+        if recipient is not None:
+            pipeline = self.recipient_pipeline(scheme, recipient)
+            result = pipeline.embed(document, recipient, in_place=in_place)
+            self._record_embed(recipient, "recipient",
+                               self.scheme_fingerprint(scheme),
+                               pipeline, result)
+            return result
+        pipeline = self.pipeline(scheme)
+        result = pipeline.embed(document, message, in_place=in_place)
+        self._record_embed(self._message_identity(message), "system",
+                           self.scheme_fingerprint(scheme), pipeline,
+                           result)
+        return result
 
     def embed_many(self, scheme: SchemeLike,
                    documents: Iterable[DocumentLike],
                    message: MessageLike,
                    in_place: bool = False,
                    processes: Optional[int] = None,
+                   output: str = "document",
+                   recipient: Optional[str] = None) -> list[EmbeddingResult]:
+        if recipient is not None:
+            pipeline = self.recipient_pipeline(scheme, recipient)
+            identity, keying = recipient, "recipient"
+            message = recipient
+        else:
+            pipeline = self.pipeline(scheme)
+            identity, keying = self._message_identity(message), "system"
+        results = pipeline.embed_many(documents, message,
+                                      in_place=in_place,
+                                      processes=processes,
+                                      output=output)
+        if self.registry is not None:
+            scheme_fingerprint = self.scheme_fingerprint(scheme)
+            for result in results:
+                self._record_embed(identity, keying, scheme_fingerprint,
+                                   pipeline, result)
+        return results
+
+    def issue(self, scheme: SchemeLike, document: Document,
+              recipient: str, in_place: bool = False) -> EmbeddingResult:
+        """Issue one fingerprinted copy to ``recipient`` (and record it)."""
+        return self.embed(scheme, document, recipient, in_place=in_place,
+                          recipient=recipient)
+
+    def issue_many(self, scheme: SchemeLike,
+                   documents: Iterable[DocumentLike], recipient: str,
+                   processes: Optional[int] = None,
                    output: str = "document") -> list[EmbeddingResult]:
-        return self.pipeline(scheme).embed_many(documents, message,
-                                                in_place=in_place,
-                                                processes=processes,
-                                                output=output)
+        """Issue fingerprinted copies of many documents to one recipient."""
+        return self.embed_many(scheme, documents, recipient,
+                               processes=processes, output=output,
+                               recipient=recipient)
+
+    def trace(self, scheme: SchemeLike, document: Document,
+              *,
+              shape: Optional[DocumentShape] = None,
+              strategy: str = "auto",
+              recipients: Optional[Iterable[str]] = None) -> TraceResult:
+        """Trace a suspected leak against every persisted issued copy.
+
+        Requires a registry.  Every record of this deployment is
+        verified against ``document`` under the key it was issued with
+        (system key for plain embeds, derived key for fingerprinted
+        copies); each recipient keeps their strongest verdict (lowest
+        p-value; ties keep the earlier record).  ``recipients``
+        restricts the sweep and must name known identities.
+        """
+        registry = self._require_registry()
+        scheme_fingerprint = self.scheme_fingerprint(scheme)
+        entries = registry.records(scheme_fingerprint=scheme_fingerprint)
+        if recipients is not None:
+            wanted = set(recipients)
+            known = {entry.recipient for entry in entries}
+            missing = wanted - known
+            if missing:
+                raise UnknownRecipientError(
+                    sorted(missing)[0], known=registry.recipients())
+            entries = [entry for entry in entries
+                       if entry.recipient in wanted]
+        best: dict[str, tuple[tuple, DetectionResult]] = {}
+        for entry in entries:
+            if entry.keying == "recipient":
+                pipeline = self.recipient_pipeline(scheme, entry.recipient)
+            else:
+                pipeline = self.pipeline(scheme)
+            verdict = pipeline.detect(
+                document, entry.record, expected=entry.recipient,
+                shape=shape, strategy=strategy)
+            rank = (verdict.p_value,
+                    entry.sequence if entry.sequence is not None else 0)
+            current = best.get(entry.recipient)
+            if current is None or rank < current[0]:
+                best[entry.recipient] = (rank, verdict)
+        return TraceResult(verdicts={name: verdict
+                                     for name, (_, verdict)
+                                     in best.items()})
+
+    def detect_recorded(self, scheme: SchemeLike, document: Document,
+                        recipient: str,
+                        *,
+                        shape: Optional[DocumentShape] = None,
+                        strategy: str = "auto") -> DetectionResult:
+        """Detect using the newest persisted record for one recipient."""
+        registry = self._require_registry()
+        entries = registry.records(
+            recipient=recipient,
+            scheme_fingerprint=self.scheme_fingerprint(scheme))
+        if not entries:
+            raise UnknownRecipientError(recipient,
+                                        known=registry.recipients())
+        entry = entries[-1]
+        if entry.keying == "recipient":
+            pipeline = self.recipient_pipeline(scheme, recipient)
+        else:
+            pipeline = self.pipeline(scheme)
+        return pipeline.detect(document, entry.record,
+                               expected=entry.recipient, shape=shape,
+                               strategy=strategy)
 
     def detect(
         self,

@@ -45,10 +45,12 @@ from repro.api import (
     UsabilityBaseline,
     ValueAlterationAttack,
     WatermarkRecord,
+    WatermarkRegistry,
     WatermarkingScheme,
     WmXMLError,
     WmXMLSystem,
 )
+from repro.core.crypto import KeyedPRF
 from repro.datasets import bibliography, jobs, library
 from repro.errors import error_payload
 from repro.harness import EXPERIMENTS, ExperimentConfig
@@ -139,6 +141,24 @@ def _scheme_for(args: argparse.Namespace, profile: Profile,
     return profile.module.default_scheme()
 
 
+def _registry_for(args: argparse.Namespace) -> Optional[WatermarkRegistry]:
+    """The SQLite registry named by ``--registry``, or None without it."""
+    path = getattr(args, "registry", None)
+    if not path:
+        return None
+    try:
+        return WatermarkRegistry.open(path)
+    except WmXMLError as error:
+        raise SystemExit(f"cannot open registry {path!r}: {error}")
+
+
+def _registry_required(args: argparse.Namespace) -> WatermarkRegistry:
+    registry = _registry_for(args)
+    if registry is None:
+        raise SystemExit("--registry path.db is required")
+    return registry
+
+
 # -- subcommand handlers ------------------------------------------------------------
 
 
@@ -163,26 +183,42 @@ def _batch_target(path: str, kind: str, count: int) -> None:
 def cmd_embed(args: argparse.Namespace) -> int:
     profile = _profile(args.profile)
     scheme = _scheme_for(args, profile, gamma=args.gamma)
-    system = WmXMLSystem(args.key)
+    if not args.message and not args.recipient:
+        raise SystemExit("--message is required (or issue a fingerprinted "
+                         "copy with --recipient)")
+    if not args.record and not args.registry:
+        raise SystemExit("--record is required without --registry "
+                         "(otherwise the query set Q would be lost and "
+                         "the mark undetectable)")
+    system = WmXMLSystem(args.key, registry=_registry_for(args),
+                         issuer=args.issuer)
     if len(args.input) > 1:
         return _embed_batch(args, scheme, system)
     timer = StageTimer()
     with use_timer(timer):
         with timer.stage("parse"):
             document = parse_file(args.input[0], strip_whitespace=True)
-        result = system.embed(scheme, document, args.message)
+        result = system.embed(scheme, document, args.message,
+                              recipient=args.recipient)
         with timer.stage("write"):
             write_file(args.output, result.document)
-            result.record.save(args.record)
+            if args.record:
+                result.record.save(args.record)
     if args.profile_stages:
         print(timer.render("embed pipeline stages"))
     stats = result.stats
-    print(f"embedded {result.record.nbits}-bit watermark: "
+    issued = (f" (issued to {args.recipient!r} under their derived key)"
+              if args.recipient else "")
+    print(f"embedded {result.record.nbits}-bit watermark{issued}: "
           f"{stats.selected_groups}/{stats.capacity_groups} groups "
           f"selected (gamma={scheme.gamma}), "
           f"{stats.nodes_modified} nodes perturbed")
     print(f"marked document: {args.output}")
-    print(f"query set Q:     {args.record}  (keep with your secret key)")
+    if args.record:
+        print(f"query set Q:     {args.record}  (keep with your secret key)")
+    if system.registry is not None:
+        print(f"registry:        {args.registry} "
+              f"({system.registry.count()} records)")
     return 0
 
 
@@ -196,7 +232,8 @@ def _embed_batch(args: argparse.Namespace, scheme: WatermarkingScheme,
     after the input's basename.
     """
     _batch_target(args.output, "output", len(args.input))
-    _batch_target(args.record, "record", len(args.input))
+    if args.record:
+        _batch_target(args.record, "record", len(args.input))
     stems = [os.path.splitext(os.path.basename(path))[0]
              for path in args.input]
     clashes = sorted({stem for stem in stems if stems.count(stem) > 1})
@@ -212,18 +249,26 @@ def _embed_batch(args: argparse.Namespace, scheme: WatermarkingScheme,
         with open(path, "r", encoding="utf-8") as handle:
             texts.append(handle.read())
     results = system.embed_many(scheme, texts, args.message,
-                                processes=args.processes, output="xml")
+                                processes=args.processes, output="xml",
+                                recipient=args.recipient)
     for stem, result in zip(stems, results):
         marked_path = os.path.join(args.output, f"{stem}.xml")
         with open(marked_path, "w", encoding="utf-8") as handle:
             handle.write(result.xml)
-        result.record.save(os.path.join(args.record, f"{stem}.record.json"))
+        if args.record:
+            result.record.save(
+                os.path.join(args.record, f"{stem}.record.json"))
     workers = (f", {args.processes} workers"
                if args.processes and args.processes > 1 else "")
     print(f"embedded {results[0].record.nbits}-bit watermark into "
           f"{len(results)} documents (gamma={scheme.gamma}{workers})")
     print(f"marked documents: {args.output}/")
-    print(f"query sets Q:     {args.record}/  (keep with your secret key)")
+    if args.record:
+        print(f"query sets Q:     {args.record}/  "
+              "(keep with your secret key)")
+    if system.registry is not None:
+        print(f"registry:         {args.registry} "
+              f"({system.registry.count()} records)")
     return 0
 
 
@@ -262,8 +307,14 @@ def _run_detect(args: argparse.Namespace) -> int:
         shape = scheme.shape
     else:
         shape = profile.shape(None)
-    system = WmXMLSystem(args.key, alpha=args.alpha)
+    system = WmXMLSystem(args.key, alpha=args.alpha,
+                         registry=_registry_for(args))
     strategy = "indexed" if args.indexed else args.strategy
+    if args.recipient:
+        return _detect_recorded(args, scheme, system, shape, strategy)
+    if not args.record:
+        raise SystemExit("--record is required (or look one up with "
+                         "--recipient and --registry)")
     record = WatermarkRecord.load(args.record)
     if len(args.input) > 1:
         return _detect_batch(args, scheme, system, record, shape, strategy)
@@ -288,6 +339,40 @@ def _run_detect(args: argparse.Namespace) -> int:
         outcome.save(args.result)
         print(f"detection result: {args.result}")
     return 0 if outcome.detected else 1
+
+
+def _detect_recorded(args: argparse.Namespace, scheme: WatermarkingScheme,
+                     system: WmXMLSystem, shape, strategy: str) -> int:
+    """Detect against the registry's persisted record for a recipient.
+
+    No ``--record`` file needed: the newest ``wmxml-registry-record-v1``
+    for ``--recipient`` under this deployment supplies the query set,
+    and the detection key (system or derived) follows the record's
+    keying mode.
+    """
+    outcomes = []
+    for path in args.input:
+        document = parse_file(path, strip_whitespace=True)
+        outcomes.append(system.detect_recorded(
+            scheme, document, args.recipient, shape=shape,
+            strategy=strategy))
+    detected = 0
+    for path, outcome in zip(args.input, outcomes):
+        print(f"{path}: {outcome}")
+        detected += bool(outcome.detected)
+    if len(outcomes) > 1:
+        print(f"detected in {detected}/{len(outcomes)} documents")
+    if args.result:
+        if len(outcomes) == 1:
+            outcomes[0].save(args.result)
+        else:
+            with open(args.result, "w", encoding="utf-8") as handle:
+                json.dump({path: outcome.to_dict()
+                           for path, outcome in zip(args.input, outcomes)},
+                          handle, indent=2)
+                handle.write("\n")
+        print(f"detection result: {args.result}")
+    return 0 if detected == len(outcomes) else 1
 
 
 def _detect_batch(args: argparse.Namespace, scheme: WatermarkingScheme,
@@ -462,7 +547,9 @@ def build_service(args: argparse.Namespace):
     """The configured service for ``wmxml serve`` (separate for tests)."""
     from repro.service import WmXMLService
 
-    system = WmXMLSystem(args.key, alpha=args.alpha)
+    system = WmXMLSystem(args.key, alpha=args.alpha,
+                         registry=_registry_for(args),
+                         issuer=getattr(args, "issuer", None) or "wmxml")
     for spec in args.scheme_files:
         name, path = _scheme_spec(spec)
         if name in system.scheme_names():
@@ -512,12 +599,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
             names = ", ".join(service.system.scheme_names()) or "(none)"
             # flush: supervisors (and the CI smoke script) parse the
             # banner for the bound port through a block-buffered pipe.
+            registry_note = (f", registry={args.registry}"
+                             if getattr(args, "registry", None) else "")
             print(f"wmxml serve: listening on http://{host}:{port} "
                   f"(schemes: {names}, "
-                  f"processes={args.processes or 1})", flush=True)
+                  f"processes={args.processes or 1}{registry_note})",
+                  flush=True)
             print("endpoints: POST /v1/embed[/batch]  "
                   "POST /v1/detect[/batch]  GET|PUT /v1/schemes[/{name}]"
-                  "  GET /v1/healthz  GET /v1/stats", flush=True)
+                  "  GET /v1/records  GET /v1/ledger/verify  "
+                  "POST /v1/trace  GET /v1/healthz  GET /v1/stats",
+                  flush=True)
             stop.wait()
     except OSError as error:
         if bound:
@@ -526,6 +618,94 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"cannot bind {args.host}:{args.port}: {error}")
     print("wmxml serve: shut down cleanly")
     return 0
+
+
+def cmd_records(args: argparse.Namespace) -> int:
+    """List, export, or restore the persistent watermark registry."""
+    registry = _registry_required(args)
+    if args.import_file:
+        try:
+            with open(args.import_file, "r", encoding="utf-8") as handle:
+                loaded = registry.import_jsonl(handle)
+        except OSError as error:
+            raise SystemExit(
+                f"cannot read {args.import_file!r}: {error}")
+        except WmXMLError as error:
+            print(f"error [{error_payload(error)['code']}]: {error}",
+                  file=sys.stderr)
+            return 2
+        print(f"restored {loaded} rows into {args.registry}")
+        return 0
+    if args.export == "jsonl":
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                lines = registry.export_jsonl(handle)
+            print(f"exported {lines} lines to {args.output}")
+        else:
+            registry.export_jsonl(sys.stdout)
+        return 0
+    entries = registry.records(
+        recipient=args.recipient,
+        scheme_fingerprint=args.scheme_fingerprint,
+        document_hash=args.document_hash,
+        offset=args.offset, limit=args.limit)
+    total = registry.count(
+        recipient=args.recipient,
+        scheme_fingerprint=args.scheme_fingerprint,
+        document_hash=args.document_hash)
+    for entry in entries:
+        print(f"#{entry.sequence}  {entry.recipient}  "
+              f"keying={entry.keying}  scheme={entry.scheme_fingerprint}  "
+              f"doc={entry.document_hash[:16]}...  {entry.created_at}")
+    shown = len(entries)
+    print(f"{shown} of {total} record(s) "
+          f"({len(registry.recipients())} distinct recipients, "
+          f"{registry.backend.block_count()} ledger blocks)")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Trace a suspected leak against every persisted issued copy."""
+    profile = _profile(args.profile)
+    scheme = _scheme_for(args, profile)
+    registry = _registry_required(args)
+    system = WmXMLSystem(args.key, alpha=args.alpha, registry=registry)
+    shape = profile.shape(args.shape) if args.shape else None
+    try:
+        document = parse_file(args.input, strip_whitespace=True)
+        trace = system.trace(scheme, document, shape=shape,
+                             strategy=args.strategy,
+                             recipients=args.recipients or None)
+    except WmXMLError as error:
+        print(f"error [{error_payload(error)['code']}]: {error}",
+              file=sys.stderr)
+        return 2
+    print(trace)
+    if trace.prime_suspect:
+        print(f"prime suspect: {trace.prime_suspect}")
+    if args.result:
+        trace.save(args.result)
+        print(f"trace result: {args.result}")
+    return 0 if trace.accused else 1
+
+
+def cmd_ledger(args: argparse.Namespace) -> int:
+    """Verify the provenance ledger end to end."""
+    registry = _registry_required(args)
+    if args.key:
+        registry.attach_sealer(KeyedPRF(args.key))
+    verification = registry.verify_chain()
+    seal_note = ("HMAC seals verified" if verification.sealed
+                 else "hash links only (pass --key to verify seals)")
+    if verification.intact:
+        print(f"ledger intact: {verification.blocks} blocks over "
+              f"{verification.records} records ({seal_note})")
+        return 0
+    where = ("" if verification.broken_index is None
+             else f" at block {verification.broken_index}")
+    print(f"error [chain-broken]: ledger failed verification{where}: "
+          f"{verification.reason}", file=sys.stderr)
+    return 1
 
 
 def cmd_perf(args: argparse.Namespace) -> int:
@@ -630,10 +810,25 @@ def build_parser() -> argparse.ArgumentParser:
                        "and --record name directories and the batch "
                        "runs through the parallel engine")
     embed.add_argument("--output", "-o", required=True)
-    embed.add_argument("--record", "-r", required=True,
-                       help="where to save the query set Q (JSON)")
+    embed.add_argument("--record", "-r",
+                       help="where to save the query set Q (JSON); "
+                       "optional with --registry, which persists Q "
+                       "itself")
     embed.add_argument("--key", "-k", required=True)
-    embed.add_argument("--message", "-m", required=True)
+    embed.add_argument("--message", "-m",
+                       help="watermark message (required unless "
+                       "--recipient issues a fingerprinted copy)")
+    embed.add_argument("--recipient",
+                       help="issue a fingerprinted copy to this recipient "
+                       "id: the id becomes the message, embedded under "
+                       "the recipient's derived key (traceable via "
+                       "'wmxml trace')")
+    embed.add_argument("--registry", metavar="PATH.DB",
+                       help="record every embed into this SQLite "
+                       "registry + provenance ledger")
+    embed.add_argument("--issuer", default="wmxml",
+                       help="issuer identity stamped into registry "
+                       "records (default: wmxml)")
     embed.add_argument("--gamma", type=int, default=4)
     embed.add_argument("--processes", type=int, default=None,
                        help="shard a multi-document batch over N worker "
@@ -652,7 +847,15 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--input", "-i", required=True, nargs="+",
                         help="suspected document(s); with several, every "
                         "copy is checked against the same record")
-    detect.add_argument("--record", "-r", required=True)
+    detect.add_argument("--record", "-r",
+                        help="the saved query-set record (required "
+                        "unless --recipient looks one up in --registry)")
+    detect.add_argument("--recipient",
+                        help="use the newest registry record for this "
+                        "recipient instead of --record (needs "
+                        "--registry)")
+    detect.add_argument("--registry", metavar="PATH.DB",
+                        help="SQLite registry to look records up in")
     detect.add_argument("--key", "-k", required=True)
     detect.add_argument("--message", "-m",
                         help="expected message (verification mode)")
@@ -768,9 +971,71 @@ def build_parser() -> argparse.ArgumentParser:
                        help="ceiling on wire-registered (PUT) schemes, "
                        "on top of the --scheme files loaded at boot "
                        "(HTTP 507 beyond; default 256)")
+    serve.add_argument("--registry", metavar="PATH.DB",
+                       help="persist every embed into this SQLite "
+                       "registry + provenance ledger and enable "
+                       "/v1/records, /v1/ledger/verify and /v1/trace")
+    serve.add_argument("--issuer", default="wmxml",
+                       help="issuer identity stamped into registry "
+                       "records (default: wmxml)")
     serve.add_argument("--access-log", action="store_true",
                        help="log each request to stderr")
     serve.set_defaults(handler=cmd_serve)
+
+    records = sub.add_parser(
+        "records",
+        help="list/export/restore the persistent watermark registry")
+    records.add_argument("--registry", metavar="PATH.DB", required=True)
+    records.add_argument("--recipient", help="filter by recipient id")
+    records.add_argument("--scheme-fingerprint",
+                         help="filter by pipeline fingerprint")
+    records.add_argument("--document-hash",
+                         help="filter by marked-document content hash")
+    records.add_argument("--offset", type=int, default=0)
+    records.add_argument("--limit", type=int, default=100)
+    records.add_argument("--export", choices=["jsonl"],
+                         help="dump the whole registry (records + ledger) "
+                         "as JSON lines instead of listing")
+    records.add_argument("--output", "-o",
+                         help="write the export here (default: stdout)")
+    records.add_argument("--import", dest="import_file", metavar="FILE",
+                         help="restore a JSONL export into this (empty) "
+                         "registry — the schema-migration path")
+    records.set_defaults(handler=cmd_records)
+
+    trace = sub.add_parser(
+        "trace",
+        help="trace a leaked copy against every registry-issued copy")
+    trace.add_argument("--profile", default="bibliography",
+                       choices=sorted(PROFILES))
+    trace.add_argument("--scheme", dest="scheme_file",
+                       help="declarative scheme.json deployment artefact")
+    trace.add_argument("--input", "-i", required=True,
+                       help="the suspected leaked document")
+    trace.add_argument("--registry", metavar="PATH.DB", required=True)
+    trace.add_argument("--key", "-k", required=True,
+                       help="the owner's master secret key")
+    trace.add_argument("--shape", help="the copy's current organisation")
+    trace.add_argument("--strategy", default="auto",
+                       choices=["auto", "indexed", "scan"])
+    trace.add_argument("--alpha", type=float, default=1e-3)
+    trace.add_argument("--recipients", nargs="+",
+                       help="restrict the sweep to these recipients")
+    trace.add_argument("--result",
+                       help="save the wmxml-trace-v1 verdict here")
+    trace.set_defaults(handler=cmd_trace)
+
+    ledger = sub.add_parser(
+        "ledger", help="provenance-ledger operations")
+    ledger_sub = ledger.add_subparsers(dest="ledger_command",
+                                       required=True)
+    verify = ledger_sub.add_parser(
+        "verify", help="re-verify the whole hash chain")
+    verify.add_argument("--registry", metavar="PATH.DB", required=True)
+    verify.add_argument("--key", "-k",
+                        help="the system key; verifies the HMAC seals "
+                        "too (omit for hash-links-only verification)")
+    verify.set_defaults(handler=cmd_ledger)
 
     perf = sub.add_parser("perf", help="stage-timed pipeline profile")
     perf.add_argument("--profile", default="bibliography",

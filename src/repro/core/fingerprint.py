@@ -31,7 +31,9 @@ from repro.core.encoder import WmXMLEncoder
 from repro.core.record import WatermarkRecord
 from repro.core.scheme import WatermarkingScheme
 from repro.core.watermark import Watermark
+from repro.errors import RecordFormatError
 from repro.semantics.shape import DocumentShape
+from repro.serialize import VersionedDocument
 from repro.xmlmodel.tree import Document
 
 
@@ -45,23 +47,51 @@ class IssuedCopy:
 
 
 @dataclass
-class TraceResult:
+class TraceResult(VersionedDocument):
     """Outcome of tracing a leaked copy against every issued fingerprint."""
+
+    format_tag = "wmxml-trace-v1"
+    format_error = RecordFormatError
 
     verdicts: dict[str, DetectionResult] = field(default_factory=dict)
 
     @property
     def accused(self) -> list[str]:
-        """Recipients whose fingerprint verifies in the leaked copy."""
+        """Recipients whose fingerprint verifies in the leaked copy.
+
+        Strongest evidence first; equal p-values tie-break on the
+        recipient name, so a persisted trace is byte-stable across runs
+        (dict insertion order must never decide who tops the list).
+        """
         return sorted(
             (name for name, outcome in self.verdicts.items()
              if outcome.detected),
-            key=lambda name: self.verdicts[name].p_value)
+            key=lambda name: (self.verdicts[name].p_value, name))
 
     @property
     def prime_suspect(self) -> Optional[str]:
         accused = self.accused
         return accused[0] if accused else None
+
+    def to_dict(self) -> dict:
+        return {
+            "format": self.format_tag,
+            "verdicts": {name: outcome.to_dict()
+                         for name, outcome in sorted(self.verdicts.items())},
+            "accused": self.accused,
+            "prime_suspect": self.prime_suspect,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceResult":
+        cls._check_format(data)
+        try:
+            verdicts = {name: DetectionResult.from_dict(outcome)
+                        for name, outcome in data["verdicts"].items()}
+        except (KeyError, TypeError, AttributeError) as error:
+            raise RecordFormatError(
+                f"malformed trace result: {error}") from error
+        return cls(verdicts=verdicts)
 
     def __str__(self) -> str:
         if not self.accused:

@@ -129,6 +129,16 @@ HTTP_STATUS_BY_CODE: dict[str, int] = {
     "oversize-body": 413,
     # the daemon cannot store another wire-registered scheme
     "registry-full": 507,
+    # repro.registry — persistent watermark registry + provenance ledger
+    "registry-error": 500,
+    "bad-registry-record": 400,
+    "registry-schema": 500,
+    # the feature exists but this deployment runs without a registry
+    "registry-not-configured": 501,
+    # the persisted chain fails verification: stored state conflicts
+    # with what the append path wrote
+    "chain-broken": 409,
+    "unknown-recipient": 404,
     "remote-error": 502,
     # client-side diagnosis of a mid-request close — ambiguous between
     # a dying daemon and the 413-without-reading oversize refusal (the

@@ -264,6 +264,71 @@ def run_e9_bench(books: int = 200, repeats: int = 3,
             raise BenchError(
                 "service embed response diverged from the local pipeline")
 
+    # Registry/provenance stages.  Appending issuance receipts is pure
+    # bookkeeping on the embed path, so its cost must stay flat —
+    # measured against a *fresh* SQLite tmpfile per repeat (every
+    # repeat pays the same cold-file cost; reusing one file would time
+    # ever-larger databases).
+    import tempfile
+
+    from repro.core.crypto import KeyedPRF
+    from repro.registry import WatermarkRegistry
+
+    sealer = KeyedPRF(secret_key)
+    registry_dir = tempfile.mkdtemp(prefix="wmxml-bench-registry-")
+    append_counter = [0]
+
+    def do_registry_append() -> None:
+        append_counter[0] += 1
+        db_path = os.path.join(registry_dir,
+                               f"append-{append_counter[0]}.db")
+        registry = WatermarkRegistry.open(db_path, sealer=sealer)
+        try:
+            for xml, record in zip(serial_xml, serial_records):
+                registry.record_embed(
+                    "bench-recipient", record, xml,
+                    scheme_fingerprint="bench-scheme",
+                    key_fingerprint=sealer.fingerprint(),
+                    keying="recipient", issuer="bench")
+            if registry.count() != len(serial_xml):
+                raise BenchError("registry lost appends during the bench")
+        finally:
+            registry.close()
+            os.remove(db_path)
+
+    try:
+        best("registry_append_ms", do_registry_append)
+
+        # Traitor tracing over a persisted corpus: issue fingerprinted
+        # copies of the full-size document, leak one, sweep every
+        # issued record.  The verdict is asserted on full-size runs so
+        # a fast time can never hide a broken trace.
+        trace_system = WmXMLSystem(
+            secret_key,
+            registry=WatermarkRegistry.open(
+                os.path.join(registry_dir, "trace.db")))
+        trace_system.register("bench", scheme)
+        leaked = None
+        for recipient in ("alice", "bob", "carol"):
+            issued = trace_system.issue("bench", document, recipient)
+            if recipient == "bob":
+                leaked = issued.document
+
+        def do_trace() -> None:
+            trace = trace_system.trace("bench", leaked)
+            if books >= 100 and trace.prime_suspect != "bob":
+                raise BenchError(
+                    "trace failed to accuse the leaked copy's recipient")
+
+        best("trace_ms", do_trace)
+        if not trace_system.registry.verify_chain().intact:
+            raise BenchError("bench registry ledger failed verification")
+        trace_system.registry.close()
+    finally:
+        import shutil
+
+        shutil.rmtree(registry_dir, ignore_errors=True)
+
     def docs_per_s(stage: str) -> float:
         return len(batch) / (stages[stage] / 1000.0)
 

@@ -1,0 +1,45 @@
+"""repro.registry — persistent watermark registry + provenance ledger.
+
+The durable-state subsystem: issued-copy records
+(``wmxml-registry-record-v1``), pluggable storage backends (in-memory
+and SQLite), and the HMAC-sealed hash-chain ledger whose
+``verify_chain()`` detects any retroactive tamper.  See
+``docs/wire-protocol.md`` for the service surface built on top.
+"""
+
+from repro.registry.backend import MemoryBackend, RegistryBackend
+from repro.registry.errors import (ChainBrokenError, RegistryError,
+                                   RegistryFormatError,
+                                   RegistryNotConfiguredError,
+                                   RegistrySchemaError,
+                                   UnknownRecipientError)
+from repro.registry.ledger import (GENESIS_HASH, ChainVerification,
+                                   LedgerBlock, next_block, verify_chain)
+from repro.registry.records import (KEYING_MODES, REGISTRY_RECORD_FORMAT,
+                                    RegistryRecord, hash_document)
+from repro.registry.registry import EXPORT_FORMAT, WatermarkRegistry
+from repro.registry.sqlite import SCHEMA_VERSION, SQLiteBackend
+
+__all__ = [
+    "ChainBrokenError",
+    "ChainVerification",
+    "EXPORT_FORMAT",
+    "GENESIS_HASH",
+    "KEYING_MODES",
+    "LedgerBlock",
+    "MemoryBackend",
+    "REGISTRY_RECORD_FORMAT",
+    "RegistryBackend",
+    "RegistryError",
+    "RegistryFormatError",
+    "RegistryNotConfiguredError",
+    "RegistryRecord",
+    "RegistrySchemaError",
+    "SCHEMA_VERSION",
+    "SQLiteBackend",
+    "UnknownRecipientError",
+    "WatermarkRegistry",
+    "hash_document",
+    "next_block",
+    "verify_chain",
+]

@@ -1,0 +1,68 @@
+"""Errors raised by the persistent watermark registry.
+
+Every class declares its stable ``code`` slug (registered in
+:data:`repro.errors.HTTP_STATUS_BY_CODE`), so registry failures map to
+HTTP statuses through the one table like every other layer's — a
+service client branches on ``chain-broken`` or ``unknown-recipient``
+instead of parsing prose.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SerializationError, WmXMLError
+
+
+class RegistryError(WmXMLError, RuntimeError):
+    """Base class for registry storage/provenance failures."""
+
+    code = "registry-error"
+
+
+class RegistryFormatError(SerializationError):
+    """A persisted registry artefact (record, block, export) is malformed."""
+
+    code = "bad-registry-record"
+
+
+class RegistrySchemaError(RegistryError):
+    """The storage schema is unusable — most importantly, *newer* than
+    this code: opening it could silently corrupt artefacts a later
+    version wrote, so the registry refuses instead."""
+
+    code = "registry-schema"
+
+
+class RegistryNotConfiguredError(RegistryError):
+    """A registry operation was requested but no registry is attached
+    (``wmxml serve`` without ``--registry``, ``WmXMLSystem`` without
+    ``registry=...``)."""
+
+    code = "registry-not-configured"
+
+
+class ChainBrokenError(RegistryError):
+    """The provenance ledger failed verification: a block's hash link,
+    HMAC seal, or its binding to the persisted record does not check
+    out — some row was tampered with after it was appended."""
+
+    code = "chain-broken"
+
+
+class UnknownRecipientError(RegistryError, KeyError):
+    """No persisted record names this recipient."""
+
+    code = "unknown-recipient"
+
+    def __init__(self, recipient: str, known=()) -> None:
+        hint = ""
+        if known:
+            sample = sorted(known)[:8]
+            hint = f"; known recipients include: {sample}"
+        super().__init__(f"no registry record for recipient "
+                         f"{recipient!r}{hint}")
+        self.recipient = recipient
+
+    def __str__(self) -> str:
+        # KeyError.__str__ would repr() the message, printing spurious
+        # quotes around it; render it like every other exception.
+        return self.args[0]

@@ -1,0 +1,223 @@
+"""`WatermarkRegistry` — the registry facade the rest of WmXML talks to.
+
+It owns the invariant the backends cannot express alone: **every record
+append also appends its sealed ledger block, atomically with respect to
+other appends** (one lock serialises the pair, so the chain and the
+record corpus can never drift apart inside the append path — drift is
+exactly what ``verify_chain`` exists to catch when storage is tampered
+*outside* it).
+
+The registry never sees plaintext keys beyond the :class:`KeyedPRF`
+sealer handed in by the owning system; records store fingerprints only.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import threading
+from typing import Iterable, Optional, TextIO, Union
+
+from repro.core.crypto import KeyedPRF
+from repro.core.record import WatermarkRecord
+from repro.registry.backend import MemoryBackend, RegistryBackend
+from repro.registry.errors import RegistryFormatError, UnknownRecipientError
+from repro.registry.ledger import (ChainVerification, LedgerBlock,
+                                   next_block, verify_chain)
+from repro.registry.records import (REGISTRY_RECORD_FORMAT, RegistryRecord,
+                                    hash_document)
+from repro.registry.sqlite import SCHEMA_VERSION, SQLiteBackend
+
+#: Header line of a ``wmxml records --export jsonl`` dump.
+EXPORT_FORMAT = "wmxml-registry-export-v1"
+
+
+def _utcnow() -> str:
+    return datetime.datetime.now(datetime.timezone.utc).isoformat()
+
+
+class WatermarkRegistry:
+    """Persistent issuance corpus + provenance ledger over one backend."""
+
+    def __init__(self, backend: Optional[RegistryBackend] = None,
+                 sealer: Optional[KeyedPRF] = None) -> None:
+        self.backend = backend if backend is not None else MemoryBackend()
+        self._sealer = sealer
+        self._append_lock = threading.Lock()
+
+    @classmethod
+    def open(cls, path: str,
+             sealer: Optional[KeyedPRF] = None) -> "WatermarkRegistry":
+        """A registry over the SQLite file at ``path`` (created if new)."""
+        return cls(SQLiteBackend(path), sealer=sealer)
+
+    def attach_sealer(self, sealer: KeyedPRF) -> None:
+        """Late-bind the sealing key (the system attaches itself here)."""
+        self._sealer = sealer
+
+    # -- append ------------------------------------------------------------
+
+    def record_embed(self, recipient: str, record: WatermarkRecord,
+                     document_xml: str, scheme_fingerprint: str,
+                     key_fingerprint: str, keying: str,
+                     issuer: str) -> RegistryRecord:
+        """Persist one embed: registry record + sealed ledger block."""
+        entry = RegistryRecord(
+            recipient=recipient,
+            record=record,
+            document_hash=hash_document(document_xml),
+            scheme_fingerprint=scheme_fingerprint,
+            key_fingerprint=key_fingerprint,
+            keying=keying,
+            issuer=issuer,
+            created_at=_utcnow(),
+        )
+        self.append(entry)
+        return entry
+
+    def append(self, entry: RegistryRecord) -> RegistryRecord:
+        """Append a pre-built record and its ledger block atomically."""
+        if self._sealer is None:
+            raise RegistryFormatError(
+                "registry has no sealing key attached; construct it "
+                "through WmXMLSystem(registry=...) or attach_sealer()")
+        with self._append_lock:
+            previous = self.backend.last_block()
+            self.backend.append_record(entry)
+            self.backend.append_block(
+                next_block(previous, entry, self._sealer))
+        return entry
+
+    # -- queries ------------------------------------------------------------
+
+    def records(self, recipient: Optional[str] = None,
+                scheme_fingerprint: Optional[str] = None,
+                document_hash: Optional[str] = None,
+                offset: int = 0,
+                limit: Optional[int] = None) -> list[RegistryRecord]:
+        """Filtered records in sequence order, with offset/limit paging."""
+        found = self.backend.find_records(
+            recipient=recipient, scheme_fingerprint=scheme_fingerprint,
+            document_hash=document_hash)
+        if offset:
+            found = found[offset:]
+        if limit is not None:
+            found = found[:limit]
+        return found
+
+    def count(self, recipient: Optional[str] = None,
+              scheme_fingerprint: Optional[str] = None,
+              document_hash: Optional[str] = None) -> int:
+        """Total matching records, ignoring paging."""
+        if recipient is None and scheme_fingerprint is None \
+                and document_hash is None:
+            return self.backend.record_count()
+        return len(self.backend.find_records(
+            recipient=recipient, scheme_fingerprint=scheme_fingerprint,
+            document_hash=document_hash))
+
+    def recipients(self) -> list[str]:
+        """Every distinct recipient identity, sorted."""
+        return self.backend.recipients()
+
+    def records_for(self, recipient: str) -> list[RegistryRecord]:
+        """All records for one recipient; raises if there are none."""
+        found = self.backend.find_records(recipient=recipient)
+        if not found:
+            raise UnknownRecipientError(recipient,
+                                        known=self.backend.recipients())
+        return found
+
+    # -- ledger ------------------------------------------------------------
+
+    def blocks(self) -> list[LedgerBlock]:
+        return list(self.backend.iter_blocks())
+
+    def verify_chain(self) -> ChainVerification:
+        """Re-verify the whole chain against the persisted records."""
+        with self._append_lock:
+            blocks = list(self.backend.iter_blocks())
+            records = self.backend.find_records()
+        return verify_chain(blocks, records=records, sealer=self._sealer)
+
+    # -- export / import ----------------------------------------------------
+
+    def export_jsonl(self, stream: TextIO) -> int:
+        """Dump the registry as JSON lines; returns lines written.
+
+        Line 1 is a header naming the export format and the storage
+        schema version; each following line is one record or block,
+        tagged with ``kind``.  The dump restores bit-identically via
+        :meth:`import_jsonl`, which is the schema-migration path.
+        """
+        header = {"format": EXPORT_FORMAT, "schema_version": SCHEMA_VERSION,
+                  "record_format": REGISTRY_RECORD_FORMAT}
+        lines = 1
+        stream.write(json.dumps(header) + "\n")
+        for record in self.backend.find_records():
+            stream.write(json.dumps({"kind": "record",
+                                     **record.to_dict()}) + "\n")
+            lines += 1
+        for block in self.backend.iter_blocks():
+            stream.write(json.dumps({"kind": "block",
+                                     **block.to_dict()}) + "\n")
+            lines += 1
+        return lines
+
+    def import_jsonl(self, stream: Union[TextIO, Iterable[str]]) -> int:
+        """Restore a dump into an **empty** registry; returns rows loaded.
+
+        The persisted blocks are restored verbatim (not re-sealed), so
+        the imported chain carries the original provenance and still
+        verifies under the original system key.
+        """
+        if self.backend.record_count() or self.backend.block_count():
+            raise RegistryFormatError(
+                "refusing to import into a non-empty registry")
+        lines = iter(stream)
+        try:
+            header = json.loads(next(lines))
+        except StopIteration:
+            raise RegistryFormatError("export stream is empty") from None
+        except ValueError as error:
+            raise RegistryFormatError(
+                f"malformed export header: {error}") from error
+        if header.get("format") != EXPORT_FORMAT:
+            raise RegistryFormatError(
+                f"not a {EXPORT_FORMAT} stream: "
+                f"format={header.get('format')!r}")
+        schema = header.get("schema_version")
+        if not isinstance(schema, int) or schema > SCHEMA_VERSION:
+            raise RegistryFormatError(
+                f"export uses schema version {schema!r}, newer than the "
+                f"supported version {SCHEMA_VERSION}")
+        loaded = 0
+        with self._append_lock:
+            for number, line in enumerate(lines, start=2):
+                if not line.strip():
+                    continue
+                try:
+                    data = json.loads(line)
+                except ValueError as error:
+                    raise RegistryFormatError(
+                        f"malformed export line {number}: {error}"
+                    ) from error
+                kind = data.pop("kind", None)
+                if kind == "record":
+                    self.backend.append_record(RegistryRecord.from_dict(data))
+                elif kind == "block":
+                    self.backend.append_block(LedgerBlock.from_dict(data))
+                else:
+                    raise RegistryFormatError(
+                        f"export line {number} has unknown kind {kind!r}")
+                loaded += 1
+        return loaded
+
+    def close(self) -> None:
+        self.backend.close()
+
+    def __enter__(self) -> "WatermarkRegistry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,207 @@
+"""Durable registry storage on SQLite.
+
+Schema v1 — two append-only tables plus a meta table::
+
+    registry_meta(key TEXT PRIMARY KEY, value TEXT)
+    records(sequence INTEGER PRIMARY KEY, recipient, scheme_fingerprint,
+            document_hash, payload TEXT)          -- payload = record JSON
+    ledger(idx INTEGER PRIMARY KEY, payload TEXT) -- payload = block JSON
+
+The filter columns the ISSUE names are first-class indexed columns
+(``idx_records_recipient`` / ``idx_records_scheme`` /
+``idx_records_document``); the full artefact rides along as its
+canonical ``wmxml-registry-record-v1`` JSON so nothing is lossy and the
+export/import tooling round-trips bit-for-bit.
+
+Forward compatibility is strict: a database whose ``schema_version`` is
+*newer* than :data:`SCHEMA_VERSION` is refused with
+:class:`~repro.registry.errors.RegistrySchemaError` — opening it could
+silently corrupt artefacts a later version wrote.
+
+The connection is shared across threads (``check_same_thread=False``)
+behind one lock, matching the service daemon's threading model.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from typing import Iterator, Optional
+
+from repro.registry.backend import RegistryBackend
+from repro.registry.errors import RegistryError, RegistrySchemaError
+from repro.registry.ledger import LedgerBlock
+from repro.registry.records import RegistryRecord
+
+#: Schema version this code reads and writes.
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS registry_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS records (
+    sequence            INTEGER PRIMARY KEY,
+    recipient           TEXT NOT NULL,
+    scheme_fingerprint  TEXT NOT NULL,
+    document_hash       TEXT NOT NULL,
+    payload             TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_records_recipient
+    ON records (recipient);
+CREATE INDEX IF NOT EXISTS idx_records_scheme
+    ON records (scheme_fingerprint);
+CREATE INDEX IF NOT EXISTS idx_records_document
+    ON records (document_hash);
+CREATE TABLE IF NOT EXISTS ledger (
+    idx     INTEGER PRIMARY KEY,
+    payload TEXT NOT NULL
+);
+"""
+
+
+class SQLiteBackend(RegistryBackend):
+    """Registry storage in a single SQLite file (or ``":memory:"``)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        try:
+            self._conn = sqlite3.connect(path, check_same_thread=False)
+        except sqlite3.Error as error:
+            raise RegistryError(
+                f"cannot open registry database {path!r}: {error}"
+            ) from error
+        try:
+            self._init_schema()
+        except sqlite3.Error as error:
+            self._conn.close()
+            raise RegistryError(
+                f"{path!r} is not a wmxml registry database: {error}"
+            ) from error
+        except Exception:
+            self._conn.close()
+            raise
+
+    def _init_schema(self) -> None:
+        with self._lock, self._conn:
+            self._conn.executescript(_SCHEMA)
+            row = self._conn.execute(
+                "SELECT value FROM registry_meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is None:
+                self._conn.execute(
+                    "INSERT INTO registry_meta (key, value) VALUES "
+                    "('schema_version', ?)", (str(SCHEMA_VERSION),))
+                return
+            try:
+                found = int(row[0])
+            except ValueError as error:
+                raise RegistrySchemaError(
+                    f"registry {self.path!r} has a non-numeric "
+                    f"schema_version {row[0]!r}") from error
+            if found > SCHEMA_VERSION:
+                raise RegistrySchemaError(
+                    f"registry {self.path!r} uses schema version {found}, "
+                    f"newer than the supported version {SCHEMA_VERSION}; "
+                    "refusing to open it — upgrade wmxml, or export/import "
+                    "through `wmxml records --export jsonl`")
+
+    # -- records ------------------------------------------------------------
+
+    def append_record(self, record: RegistryRecord) -> int:
+        with self._lock, self._conn:
+            row = self._conn.execute(
+                "SELECT COALESCE(MAX(sequence) + 1, 0) FROM records"
+            ).fetchone()
+            sequence = int(row[0])
+            record.sequence = sequence
+            self._conn.execute(
+                "INSERT INTO records (sequence, recipient, "
+                "scheme_fingerprint, document_hash, payload) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (sequence, record.recipient, record.scheme_fingerprint,
+                 record.document_hash, json.dumps(record.to_dict())))
+            return sequence
+
+    def record_count(self) -> int:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM records").fetchone()
+            return int(row[0])
+
+    def get_record(self, sequence: int) -> Optional[RegistryRecord]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM records WHERE sequence = ?",
+                (sequence,)).fetchone()
+        if row is None:
+            return None
+        return RegistryRecord.from_dict(json.loads(row[0]))
+
+    def find_records(self, recipient: Optional[str] = None,
+                     scheme_fingerprint: Optional[str] = None,
+                     document_hash: Optional[str] = None
+                     ) -> list[RegistryRecord]:
+        clauses, params = [], []
+        for column, value in (("recipient", recipient),
+                              ("scheme_fingerprint", scheme_fingerprint),
+                              ("document_hash", document_hash)):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT payload FROM records" + where + " ORDER BY sequence",
+                params).fetchall()
+        return [RegistryRecord.from_dict(json.loads(row[0])) for row in rows]
+
+    def recipients(self) -> list[str]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT DISTINCT recipient FROM records "
+                "ORDER BY recipient").fetchall()
+        return [row[0] for row in rows]
+
+    # -- ledger ------------------------------------------------------------
+
+    def append_block(self, block: LedgerBlock) -> None:
+        with self._lock, self._conn:
+            row = self._conn.execute(
+                "SELECT COALESCE(MAX(idx) + 1, 0) FROM ledger").fetchone()
+            if block.index != int(row[0]):
+                raise RegistryError(
+                    f"ledger append out of order: block {block.index} "
+                    f"onto a {int(row[0])}-block chain")
+            self._conn.execute(
+                "INSERT INTO ledger (idx, payload) VALUES (?, ?)",
+                (block.index, json.dumps(block.to_dict())))
+
+    def block_count(self) -> int:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM ledger").fetchone()
+            return int(row[0])
+
+    def last_block(self) -> Optional[LedgerBlock]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM ledger ORDER BY idx DESC LIMIT 1"
+            ).fetchone()
+        if row is None:
+            return None
+        return LedgerBlock.from_dict(json.loads(row[0]))
+
+    def iter_blocks(self) -> Iterator[LedgerBlock]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT payload FROM ledger ORDER BY idx").fetchall()
+        return iter([LedgerBlock.from_dict(json.loads(row[0]))
+                     for row in rows])
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()

@@ -15,6 +15,9 @@ POST /v1/embed        watermark one document (raw XML in, marked XML out)
 POST /v1/embed/batch  watermark a fleet; rides the PR 4 process pool
 POST /v1/detect       verify one suspected copy against a record
 POST /v1/detect/batch many copies, one (or per-item) record(s); pooled
+GET  /v1/records      persisted registry records (filter + paginate)
+GET  /v1/ledger/verify  re-verify the provenance chain end to end
+POST /v1/trace        trace a leaked copy against all issued copies
 GET  /v1/schemes      registry listing (name -> pipeline fingerprint)
 GET  /v1/schemes/{n}  the ``wmxml-scheme-v1`` artefact; ``ETag`` = fingerprint
 PUT  /v1/schemes/{n}  register/replace a deployment
@@ -45,10 +48,12 @@ from typing import Optional
 from repro.api.system import SchemeLike, WmXMLSystem
 from repro.core.record import WatermarkRecord
 from repro.core.scheme import WatermarkingScheme
+from repro.registry import RegistryNotConfiguredError, WatermarkRegistry
 from repro.semantics.shape import DocumentShape
 from repro.errors import WmXMLError, error_code, http_status_for
 from repro.perf.timers import StageTimer
 from repro.service import protocol
+from repro.xmlmodel.parser import parse
 from repro.service.protocol import (
     MalformedRequestError,
     MethodNotAllowedError,
@@ -145,7 +150,9 @@ class WmXMLService:
 
     def _route(self, method: str, path: str, body: bytes,
                headers: dict) -> tuple[int, Optional[dict], dict]:
-        path = path.split("?", 1)[0].rstrip("/") or "/"
+        path, _, query_string = path.partition("?")
+        query = urllib.parse.parse_qs(query_string)
+        path = path.rstrip("/") or "/"
         if path == "/v1/healthz":
             _require_method(method, "GET")
             return 200, protocol.ok_response(self._healthz()), {}
@@ -164,6 +171,15 @@ class WmXMLService:
         if path == "/v1/detect/batch":
             _require_method(method, "POST")
             return self._detect(protocol.parse_request(body), batch=True)
+        if path == "/v1/records":
+            _require_method(method, "GET")
+            return self._records(query)
+        if path == "/v1/ledger/verify":
+            _require_method(method, "GET")
+            return self._ledger_verify()
+        if path == "/v1/trace":
+            _require_method(method, "POST")
+            return self._trace(protocol.parse_request(body))
         if path == "/v1/schemes":
             _require_method(method, "GET")
             return 200, protocol.ok_response(
@@ -182,12 +198,16 @@ class WmXMLService:
     # -- endpoints ------------------------------------------------------------
 
     def _healthz(self) -> dict:
+        registry = self.system.registry
         return {
             "status": "ok",
             "schemes": self.system.scheme_names(),
             "key_fingerprint": self.system.key_fingerprint,
             "uptime_s": round(time.monotonic() - self._started, 3),
             "processes": self.processes,
+            "registry": (None if registry is None else
+                         {"records": registry.count(),
+                          "blocks": registry.backend.block_count()}),
         }
 
     def _stats(self) -> dict:
@@ -216,19 +236,32 @@ class WmXMLService:
 
     def _embed(self, request: dict,
                batch: bool) -> tuple[int, dict, dict]:
-        pipeline = self.system.pipeline(self._scheme_argument(request))
-        message = protocol.required_field(request, "message", str)
+        scheme = self._scheme_argument(request)
+        recipient = _request_recipient(request)
+        if recipient is not None:
+            # Fingerprinted issuance: the recipient id is the message
+            # (self-describing evidence) under the derived key.
+            pipeline = self.system.recipient_pipeline(scheme, recipient)
+            message = recipient
+        else:
+            pipeline = self.system.pipeline(scheme)
+            message = protocol.required_field(request, "message", str)
+        # Routed through the system (not the pipeline) so an attached
+        # registry records every copy that leaves over the wire.
         if batch:
             documents = _document_list(request)
-            results = pipeline.embed_many(documents, message,
-                                          processes=self.processes,
-                                          output="xml")
+            results = self.system.embed_many(scheme, documents, message,
+                                             processes=self.processes,
+                                             output="xml",
+                                             recipient=recipient)
             payload = {"results": [_embed_payload(item)
                                    for item in results]}
         else:
             document = protocol.required_field(request, "document", str)
             payload = _embed_payload(
-                pipeline.embed_many([document], message, output="xml")[0])
+                self.system.embed_many(scheme, [document], message,
+                                       output="xml",
+                                       recipient=recipient)[0])
         return 200, protocol.ok_response(payload), {
             protocol.FINGERPRINT_HEADER: pipeline.fingerprint}
 
@@ -264,6 +297,79 @@ class WmXMLService:
             payload = {"result": outcome.to_dict()}
         return 200, protocol.ok_response(payload), {
             protocol.FINGERPRINT_HEADER: pipeline.fingerprint}
+
+    # -- registry endpoints ------------------------------------------------------------
+
+    def _registry(self) -> WatermarkRegistry:
+        registry = self.system.registry
+        if registry is None:
+            raise RegistryNotConfiguredError(
+                "this daemon runs without a registry; restart it with "
+                "--registry path.db to persist and query issued copies")
+        return registry
+
+    def _scheme_filter(self, query: dict) -> Optional[str]:
+        """The ``scheme`` query param: a registered name (resolved to
+        its fingerprint) or a raw pipeline fingerprint."""
+        value = _single_param(query, "scheme")
+        if value is None:
+            return None
+        if value in self.system.scheme_names():
+            return self.system.scheme_fingerprint(value)
+        return value
+
+    def _records(self, query: dict) -> tuple[int, dict, dict]:
+        registry = self._registry()
+        recipient = _single_param(query, "recipient")
+        scheme_fingerprint = self._scheme_filter(query)
+        document_hash = _single_param(query, "document_hash")
+        offset = _int_param(query, "offset", 0)
+        limit = _int_param(query, "limit", 100)
+        if offset < 0 or limit < 0:
+            raise MalformedRequestError(
+                "'offset' and 'limit' must be non-negative")
+        entries = registry.records(
+            recipient=recipient, scheme_fingerprint=scheme_fingerprint,
+            document_hash=document_hash, offset=offset, limit=limit)
+        total = registry.count(
+            recipient=recipient, scheme_fingerprint=scheme_fingerprint,
+            document_hash=document_hash)
+        return 200, protocol.ok_response({
+            "records": [entry.to_dict() for entry in entries],
+            "total": total, "offset": offset, "limit": limit,
+        }), {}
+
+    def _ledger_verify(self) -> tuple[int, dict, dict]:
+        verification = self._registry().verify_chain()
+        # A broken chain is a conflict between the stored rows and the
+        # append-only contract -> the chain-broken envelope (409).
+        verification.raise_if_broken()
+        return 200, protocol.ok_response(
+            {"ledger": verification.to_dict()}), {}
+
+    def _trace(self, request: dict) -> tuple[int, dict, dict]:
+        self._registry()
+        scheme = self._scheme_argument(request)
+        document = parse(
+            protocol.required_field(request, "document", str),
+            strip_whitespace=True)
+        recipients = request.get("recipients")
+        if recipients is not None and (
+                not isinstance(recipients, list)
+                or not all(isinstance(item, str) for item in recipients)):
+            raise MalformedRequestError(
+                "request field 'recipients' must be a list of strings")
+        strategy = request.get("strategy", "auto")
+        if strategy not in DETECTION_STRATEGIES:
+            raise MalformedRequestError(
+                f"unknown detection strategy {strategy!r}; choices: "
+                f"{DETECTION_STRATEGIES}")
+        trace = self.system.trace(
+            scheme, document, shape=_request_shape(request),
+            strategy=strategy, recipients=recipients)
+        return 200, protocol.ok_response({"trace": trace.to_dict()}), {
+            protocol.FINGERPRINT_HEADER:
+                self.system.scheme_fingerprint(scheme)}
 
     def _get_scheme(self, name: str,
                     headers: dict) -> tuple[int, Optional[dict], dict]:
@@ -316,7 +422,41 @@ def _require_method(method: str, allowed: str) -> None:
 _KNOWN_ENDPOINTS = frozenset({
     "/v1/healthz", "/v1/stats", "/v1/embed", "/v1/embed/batch",
     "/v1/detect", "/v1/detect/batch", "/v1/schemes",
+    "/v1/records", "/v1/ledger/verify", "/v1/trace",
 })
+
+
+def _single_param(query: dict, name: str) -> Optional[str]:
+    """The single value of a query param, or None when absent."""
+    values = query.get(name)
+    if not values:
+        return None
+    if len(values) > 1:
+        raise MalformedRequestError(
+            f"query parameter {name!r} given {len(values)} times")
+    return values[0]
+
+
+def _int_param(query: dict, name: str, default: int) -> int:
+    value = _single_param(query, name)
+    if value is None:
+        return default
+    try:
+        return int(value)
+    except ValueError:
+        raise MalformedRequestError(
+            f"query parameter {name!r} must be an integer, got "
+            f"{value!r}") from None
+
+
+def _request_recipient(request: dict) -> Optional[str]:
+    recipient = request.get("recipient")
+    if recipient is None:
+        return None
+    if not isinstance(recipient, str) or not recipient:
+        raise MalformedRequestError(
+            "request field 'recipient' must be a non-empty string")
+    return recipient
 
 
 def _endpoint_label(path: str) -> str:

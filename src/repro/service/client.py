@@ -37,6 +37,7 @@ from typing import Iterable, Optional, Union
 
 from repro.core.decoder import DetectionResult
 from repro.core.encoder import EmbeddingResult, EmbeddingStats
+from repro.core.fingerprint import TraceResult
 from repro.core.record import WatermarkRecord, all_same_record
 from repro.core.scheme import WatermarkingScheme
 from repro.core.watermark import Watermark
@@ -178,6 +179,83 @@ class WmXMLClient:
         payload = self._request("POST", "/v1/detect/batch", request)
         return [DetectionResult.from_dict(item)
                 for item in payload["results"]]
+
+    # -- provenance ------------------------------------------------------------
+
+    def issue(self, document: DocumentLike, recipient: str,
+              scheme: Union[str, dict, None] = None) -> EmbeddingResult:
+        """Issue a fingerprinted copy to ``recipient`` on the daemon.
+
+        The recipient id becomes the embedded message under that
+        recipient's derived key; a registry-enabled daemon records the
+        copy, making it traceable by :meth:`trace`.
+        """
+        payload = self._request("POST", "/v1/embed", {
+            "scheme": self._scheme_argument(scheme),
+            "document": _as_xml(document),
+            "recipient": recipient,
+        })
+        return _embedding_result(payload)
+
+    def issue_many(self, documents: Iterable[DocumentLike],
+                   recipient: str,
+                   scheme: Union[str, dict, None] = None
+                   ) -> list[EmbeddingResult]:
+        """Issue fingerprinted copies of a fleet to one recipient."""
+        batch = [_as_xml(item) for item in documents]
+        if not batch:
+            return []
+        payload = self._request("POST", "/v1/embed/batch", {
+            "scheme": self._scheme_argument(scheme),
+            "documents": batch,
+            "recipient": recipient,
+        })
+        return [_embedding_result(item) for item in payload["results"]]
+
+    def records(self, *, recipient: Optional[str] = None,
+                scheme: Optional[str] = None,
+                document_hash: Optional[str] = None,
+                offset: int = 0, limit: int = 100) -> dict:
+        """Query the daemon's persisted registry records.
+
+        Returns ``{"records": [wmxml-registry-record-v1, ...],
+        "total": n, "offset": ..., "limit": ...}``.  ``scheme`` may be
+        a registered name or a pipeline fingerprint.
+        """
+        params = {"offset": str(offset), "limit": str(limit)}
+        if recipient is not None:
+            params["recipient"] = recipient
+        if scheme is not None:
+            params["scheme"] = scheme
+        if document_hash is not None:
+            params["document_hash"] = document_hash
+        path = "/v1/records?" + urllib.parse.urlencode(params)
+        return _payload_of(self._request("GET", path))
+
+    def verify_ledger(self) -> dict:
+        """Re-verify the daemon's provenance chain.
+
+        Returns the intact verification report; a tampered chain
+        raises :class:`RemoteServiceError` with code ``chain-broken``.
+        """
+        return self._request("GET", "/v1/ledger/verify")["ledger"]
+
+    def trace(self, document: DocumentLike, *,
+              recipients: Optional[list[str]] = None,
+              shape: Optional["DocumentShape"] = None,
+              strategy: str = "auto",
+              scheme: Union[str, dict, None] = None) -> "TraceResult":
+        """Trace a suspected leak against every persisted issued copy."""
+        request: dict = {
+            "scheme": self._scheme_argument(scheme),
+            "document": _as_xml(document),
+            "shape": _as_shape_dict(shape),
+            "strategy": strategy,
+        }
+        if recipients is not None:
+            request["recipients"] = list(recipients)
+        payload = self._request("POST", "/v1/trace", request)
+        return TraceResult.from_dict(payload["trace"])
 
     # -- registry / operations ------------------------------------------------------------
 
