@@ -81,6 +81,7 @@ from typing import Iterable, Optional, Sequence, Union
 
 from repro import parallel
 from repro.core.decoder import DetectionResult, WmXMLDecoder
+from repro.faults import fault_point
 from repro.core.encoder import EmbeddingResult, WmXMLEncoder
 from repro.core.record import WatermarkRecord, all_same_record
 from repro.core.scheme import WatermarkingScheme
@@ -214,6 +215,10 @@ def _embed_chunk(task: tuple) -> list[EmbeddingResult]:
     bit-identical to the parent-side ``embed()`` either way.
     """
     fingerprint, payload, items, watermark, output = task
+    # The "pool.chunk" fault point simulates a dying or raising worker
+    # (armed with scope="worker" it fires only in forked children, so
+    # the parent's serial fallback survives the experiment).
+    fault_point("pool.chunk")
     pipeline = _worker_pipeline(fingerprint, payload)
     encoder = pipeline._encoder
     results = []
@@ -239,6 +244,7 @@ def _detect_chunk(task: tuple) -> list[DetectionResult]:
     with ``documents``.
     """
     fingerprint, payload, documents, records, expected, shape, indexed = task
+    fault_point("pool.chunk")
     pipeline = _worker_pipeline(fingerprint, payload)
     decoder = pipeline._decoder
     shape = shape or pipeline.scheme.shape
@@ -439,7 +445,10 @@ class Pipeline:
             for chunk in parallel.chunk_evenly(
                 batch, processes * parallel.CHUNKS_PER_WORKER)
         ]
-        chunks = parallel.map_sharded(processes, _embed_chunk, tasks)
+        # map_recovering localises failure to the chunk: a dead worker
+        # costs one retry on a fresh pool, then a serial run of that
+        # chunk alone — never the whole batch.
+        chunks = parallel.map_recovering(processes, _embed_chunk, tasks)
         return [result for chunk in chunks for result in chunk]
 
     def _detect_pooled(self, batch: list, expected: Optional[Watermark],
@@ -471,5 +480,5 @@ class Pipeline:
                 for chunk, record_chunk in zip(document_chunks,
                                                record_chunks)
             ]
-        chunks = parallel.map_sharded(processes, _detect_chunk, tasks)
+        chunks = parallel.map_recovering(processes, _detect_chunk, tasks)
         return [result for chunk in chunks for result in chunk]

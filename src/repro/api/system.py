@@ -371,11 +371,20 @@ class WmXMLSystem:
                                       in_place=in_place,
                                       processes=processes,
                                       output=output)
-        if self.registry is not None:
+        if self.registry is not None and results:
+            # One batched append: a single SQLite transaction (one
+            # fsync for the whole batch instead of one per record),
+            # and all-or-nothing — a mid-batch failure persists no
+            # records at all, so a client retry cannot double-append
+            # half a batch.
             scheme_fingerprint = self.scheme_fingerprint(scheme)
-            for result in results:
-                self._record_embed(identity, keying, scheme_fingerprint,
-                                   pipeline, result)
+            self.registry.record_embed_many([
+                {"recipient": identity, "record": result.record,
+                 "document_xml": result.to_xml(),
+                 "scheme_fingerprint": scheme_fingerprint,
+                 "key_fingerprint": pipeline.key_fingerprint,
+                 "keying": keying, "issuer": self.issuer}
+                for result in results])
         return results
 
     def issue(self, scheme: SchemeLike, document: Document,

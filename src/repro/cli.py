@@ -56,6 +56,7 @@ from repro.errors import error_payload
 from repro.harness import EXPERIMENTS, ExperimentConfig
 from repro.perf import StageTimer, ThroughputReporter, use_timer
 from repro.perf import bench as perf_bench
+from repro.registry import RegistryUnavailableError
 from repro.semantics import (
     discover_fds,
     discover_keys,
@@ -142,12 +143,18 @@ def _scheme_for(args: argparse.Namespace, profile: Profile,
 
 
 def _registry_for(args: argparse.Namespace) -> Optional[WatermarkRegistry]:
-    """The SQLite registry named by ``--registry``, or None without it."""
+    """The SQLite registry named by ``--registry``, or None without it.
+
+    Opened *without* the automatic crash-recovery pass: CLI inspection
+    commands (``ledger verify``, ``records``) must report a torn
+    database, not silently repair it.  The daemon (``build_service``)
+    and ``wmxml ledger recover`` run recovery explicitly.
+    """
     path = getattr(args, "registry", None)
     if not path:
         return None
     try:
-        return WatermarkRegistry.open(path)
+        return WatermarkRegistry.open(path, recover=False)
     except WmXMLError as error:
         raise SystemExit(f"cannot open registry {path!r}: {error}")
 
@@ -565,6 +572,17 @@ def build_service(args: argparse.Namespace):
             raise SystemExit(f"cannot read scheme {path!r}: {error}")
         except WmXMLError as error:
             raise SystemExit(f"bad scheme {path!r}: {error}")
+    # Reopen-after-crash recovery, run *after* the system attached its
+    # sealing key so a torn trailing pair with a bad seal is caught
+    # too; the report surfaces in the serve banner.  Storage being
+    # dark at boot must not stop the daemon — embed/detect still
+    # serve, so it starts in degraded mode instead of crashing.
+    boot_degraded = False
+    if system.registry is not None:
+        try:
+            system.registry.last_recovery = system.registry.recover()
+        except RegistryUnavailableError:
+            boot_degraded = True
     # None means "use the WmXMLService default" — the protocol
     # constants stay the one source of truth for both ceilings.
     limits = {
@@ -572,10 +590,15 @@ def build_service(args: argparse.Namespace):
         for key, value in (("max_body_bytes",
                             getattr(args, "max_body_bytes", None)),
                            ("max_schemes",
-                            getattr(args, "max_schemes", None)))
+                            getattr(args, "max_schemes", None)),
+                           ("retry_after",
+                            getattr(args, "retry_after", None)))
         if value is not None
     }
-    return WmXMLService(system, processes=args.processes, **limits)
+    service = WmXMLService(system, processes=args.processes, **limits)
+    if boot_degraded:
+        service._degraded = True
+    return service
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -593,7 +616,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     bound = False
     try:
         with running_server(service, host=args.host, port=args.port,
-                            quiet=not args.access_log) as server:
+                            quiet=not args.access_log,
+                            drain_timeout=args.drain_timeout) as server:
             bound = True
             host, port = server.server_address[:2]
             names = ", ".join(service.system.scheme_names()) or "(none)"
@@ -605,6 +629,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
                   f"(schemes: {names}, "
                   f"processes={args.processes or 1}{registry_note})",
                   flush=True)
+            recovery = (service.system.registry.last_recovery
+                        if service.system.registry is not None else None)
+            if recovery is not None and recovery.actions:
+                print(f"wmxml serve: crash recovery quarantined "
+                      f"{len(recovery.actions)} torn trailing "
+                      f"artefact(s); ledger verifiable={recovery.ok}",
+                      flush=True)
+            elif recovery is not None and not recovery.ok:
+                reason = (recovery.verification.reason
+                          if recovery.verification else "unknown")
+                print(f"wmxml serve: WARNING — registry chain is "
+                      f"broken and not crash-recoverable: {reason}",
+                      flush=True)
             print("endpoints: POST /v1/embed[/batch]  "
                   "POST /v1/detect[/batch]  GET|PUT /v1/schemes[/{name}]"
                   "  GET /v1/records  GET /v1/ledger/verify  "
@@ -706,6 +743,47 @@ def cmd_ledger(args: argparse.Namespace) -> int:
     print(f"error [chain-broken]: ledger failed verification{where}: "
           f"{verification.reason}", file=sys.stderr)
     return 1
+
+
+def cmd_ledger_recover(args: argparse.Namespace) -> int:
+    """Run crash recovery: quarantine torn trailing appends."""
+    registry = _registry_required(args)
+    if args.key:
+        registry.attach_sealer(KeyedPRF(args.key))
+    try:
+        report = registry.recover()
+    except WmXMLError as error:
+        print(f"error [{error_payload(error)['code']}]: {error}",
+              file=sys.stderr)
+        return 2
+    for action in report.actions:
+        print(f"quarantined: {action}")
+    quarantined = registry.quarantined()
+    print(f"recovery: {report.records} records, {report.blocks} ledger "
+          f"blocks, {len(report.actions)} artefact(s) quarantined this "
+          f"pass ({len(quarantined)} total in quarantine)")
+    if report.ok:
+        print("ledger verifiable: yes")
+        return 0
+    reason = (report.verification.reason if report.verification
+              else "chain not verifiable")
+    print(f"error [chain-broken]: {reason} — damage is not a torn "
+          f"trailing append; restore from a records export",
+          file=sys.stderr)
+    return 1
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    """List the deterministic fault-injection points."""
+    from repro import faults
+
+    for name, description in faults.fault_points().items():
+        print(f"{name}\n    {description}")
+    print()
+    print("arm via WMXML_FAULTS=\"point=mode[:k=v...][,...]\" "
+          "(modes: raise, delay, corrupt, exit; "
+          "keys: times, after, p, seed, ms, scope)")
+    return 0
 
 
 def cmd_perf(args: argparse.Namespace) -> int:
@@ -980,6 +1058,14 @@ def build_parser() -> argparse.ArgumentParser:
                        "records (default: wmxml)")
     serve.add_argument("--access-log", action="store_true",
                        help="log each request to stderr")
+    serve.add_argument("--retry-after", type=int, default=None,
+                       help="seconds advertised in the Retry-After "
+                       "header on 503 responses while the registry is "
+                       "degraded (default 1)")
+    serve.add_argument("--drain-timeout", type=float, default=5.0,
+                       help="seconds to wait for in-flight requests to "
+                       "finish on SIGTERM/SIGINT before closing the "
+                       "socket (default 5)")
     serve.set_defaults(handler=cmd_serve)
 
     records = sub.add_parser(
@@ -1036,6 +1122,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="the system key; verifies the HMAC seals "
                         "too (omit for hash-links-only verification)")
     verify.set_defaults(handler=cmd_ledger)
+    recover = ledger_sub.add_parser(
+        "recover",
+        help="quarantine torn trailing appends after a crash")
+    recover.add_argument("--registry", metavar="PATH.DB", required=True)
+    recover.add_argument("--key", "-k",
+                         help="the system key; recovered blocks are "
+                         "seal-verified too when given")
+    recover.set_defaults(handler=cmd_ledger_recover)
+
+    faults = sub.add_parser(
+        "faults",
+        help="list the deterministic fault-injection points")
+    faults.set_defaults(handler=cmd_faults)
 
     perf = sub.add_parser("perf", help="stage-timed pipeline profile")
     perf.add_argument("--profile", default="bibliography",

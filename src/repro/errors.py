@@ -139,6 +139,11 @@ HTTP_STATUS_BY_CODE: dict[str, int] = {
     # with what the append path wrote
     "chain-broken": 409,
     "unknown-recipient": 404,
+    # registry storage answered like a failing disk (I/O error, lock
+    # timeout): transient — clients should retry after a pause
+    "registry-unavailable": 503,
+    # repro.faults — a deliberately injected fault fired
+    "fault-injected": 500,
     "remote-error": 502,
     # client-side diagnosis of a mid-request close — ambiguous between
     # a dying daemon and the 413-without-reading oversize refusal (the

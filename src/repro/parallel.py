@@ -33,6 +33,7 @@ __all__ = [
     "CHUNKS_PER_WORKER",
     "chunk_evenly",
     "discard_pool",
+    "map_recovering",
     "map_sharded",
     "shared_pool",
     "shutdown_pools",
@@ -126,3 +127,53 @@ def map_sharded(processes: int, func: Callable, tasks: Iterable) -> list:
     except BrokenProcessPool:
         discard_pool(processes)
         raise
+
+
+def map_recovering(processes: int, func: Callable, tasks: Iterable,
+                   serial: Optional[Callable] = None) -> list:
+    """Like :func:`map_sharded`, but failures cost one *chunk*, not
+    the batch.
+
+    A worker death (``BrokenProcessPool``) fails every in-flight
+    future, but only the chunk that killed the worker is actually
+    poisoned — so each unfinished chunk is retried once on a fresh
+    pool, and a chunk that still fails runs serially in this process
+    via ``serial`` (default: ``func``).  Chunks that completed before
+    the crash keep their results; order is preserved throughout.
+
+    A chunk whose serial run *also* raises propagates normally: the
+    recovery ladder absorbs infrastructure failures, never correctness
+    errors.
+    """
+    tasks = list(tasks)
+    results: list = [None] * len(tasks)
+    pending = set(range(len(tasks)))
+    for _attempt in range(2):
+        if not pending:
+            break
+        pool = shared_pool(processes)
+        try:
+            futures = {index: pool.submit(func, tasks[index])
+                       for index in sorted(pending)}
+        except RuntimeError:
+            # The pool was shut down under us (interpreter teardown,
+            # concurrent discard): skip straight to the serial ladder.
+            discard_pool(processes)
+            break
+        broken = False
+        for index, future in futures.items():
+            try:
+                results[index] = future.result()
+                pending.discard(index)
+            except BrokenProcessPool:
+                broken = True
+            except Exception:
+                # The chunk failed but the pool survived; leave it
+                # pending for the retry / serial ladder.
+                pass
+        if broken:
+            discard_pool(processes)
+    serial_func = func if serial is None else serial
+    for index in sorted(pending):
+        results[index] = serial_func(tasks[index])
+    return results

@@ -12,12 +12,14 @@ from repro.registry.errors import (ChainBrokenError, RegistryError,
                                    RegistryFormatError,
                                    RegistryNotConfiguredError,
                                    RegistrySchemaError,
+                                   RegistryUnavailableError,
                                    UnknownRecipientError)
 from repro.registry.ledger import (GENESIS_HASH, ChainVerification,
                                    LedgerBlock, next_block, verify_chain)
 from repro.registry.records import (KEYING_MODES, REGISTRY_RECORD_FORMAT,
                                     RegistryRecord, hash_document)
-from repro.registry.registry import EXPORT_FORMAT, WatermarkRegistry
+from repro.registry.registry import (EXPORT_FORMAT, RecoveryReport,
+                                     WatermarkRegistry)
 from repro.registry.sqlite import SCHEMA_VERSION, SQLiteBackend
 
 __all__ = [
@@ -30,11 +32,13 @@ __all__ = [
     "MemoryBackend",
     "REGISTRY_RECORD_FORMAT",
     "RegistryBackend",
+    "RecoveryReport",
     "RegistryError",
     "RegistryFormatError",
     "RegistryNotConfiguredError",
     "RegistryRecord",
     "RegistrySchemaError",
+    "RegistryUnavailableError",
     "SCHEMA_VERSION",
     "SQLiteBackend",
     "UnknownRecipientError",

@@ -19,6 +19,7 @@ import abc
 import threading
 from typing import Iterator, Optional
 
+from repro.faults import fault_point
 from repro.registry.errors import RegistryError
 from repro.registry.ledger import LedgerBlock
 from repro.registry.records import RegistryRecord
@@ -52,6 +53,41 @@ class RegistryBackend(abc.ABC):
     def recipients(self) -> list[str]:
         """Distinct recipient identities, sorted."""
 
+    # -- atomic entries ------------------------------------------------------------
+
+    def append_entry(self, record: RegistryRecord,
+                     block: LedgerBlock) -> int:
+        """Persist a record and its ledger block as one unit.
+
+        The base implementation chains the two appends and undoes the
+        record if the block append fails; backends with real
+        transactions (SQLite) override with a single commit so a crash
+        can never tear the pair apart.
+        """
+        sequence = self.append_record(record)
+        try:
+            self.append_block(block)
+        except Exception:
+            self._discard_trailing_record(sequence)
+            raise
+        return sequence
+
+    def append_entries(self, entries) -> list[int]:
+        """Persist many ``(record, block)`` pairs as one unit.
+
+        ``entries`` is a sequence of pairs whose blocks are already
+        chained in order.  Backends with transactions override this
+        with a single commit — the ``embed_many`` batched-append path.
+        """
+        sequences = []
+        for record, block in entries:
+            sequences.append(self.append_entry(record, block))
+        return sequences
+
+    def _discard_trailing_record(self, sequence: int) -> None:
+        """Best-effort undo of a just-appended record (rollback shim
+        for backends without transactions).  Default: no-op."""
+
     # -- ledger ------------------------------------------------------------
 
     @abc.abstractmethod
@@ -69,6 +105,22 @@ class RegistryBackend(abc.ABC):
     @abc.abstractmethod
     def iter_blocks(self) -> Iterator[LedgerBlock]:
         """Every block in chain order."""
+
+    # -- quarantine ------------------------------------------------------------
+
+    def quarantine_trailing(self, kind: str,
+                            reason: str) -> Optional[dict]:
+        """Move the newest record (``kind="record"``) or ledger block
+        (``kind="block"``) into a quarantine area, preserving it for
+        forensics while the live tables return to a verifiable state.
+        Returns a description of what was quarantined, or ``None`` when
+        there was nothing to move.  Crash recovery's tool."""
+        raise RegistryError(
+            f"{type(self).__name__} does not support quarantine")
+
+    def quarantined(self) -> list[dict]:
+        """Every quarantined artefact, oldest first (default: none)."""
+        return []
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -101,6 +153,7 @@ class MemoryBackend(RegistryBackend):
     def __init__(self) -> None:
         self._records: list[RegistryRecord] = []
         self._blocks: list[LedgerBlock] = []
+        self._quarantine: list[dict] = []
         self._lock = threading.Lock()
 
     def append_record(self, record: RegistryRecord) -> int:
@@ -133,6 +186,54 @@ class MemoryBackend(RegistryBackend):
         with self._lock:
             return sorted({record.recipient for record in self._records})
 
+    def append_entry(self, record: RegistryRecord,
+                     block: LedgerBlock) -> int:
+        # Both appends under one lock acquisition: concurrent readers
+        # never observe a record without its block, matching the
+        # SQLite backend's single-transaction semantics.
+        with self._lock:
+            if block.index != len(self._blocks):
+                raise RegistryError(
+                    f"ledger append out of order: block {block.index} "
+                    f"onto a {len(self._blocks)}-block chain")
+            sequence = len(self._records)
+            record.sequence = sequence
+            undo = len(self._records)
+            self._records.append(record)
+            try:
+                # Same seam the SQLite backend exposes between its two
+                # inserts; here the fault rolls back the record append.
+                fault_point("registry.append.torn")
+                self._blocks.append(block)
+            except Exception:
+                del self._records[undo:]
+                raise
+            return sequence
+
+    def append_entries(self, entries) -> list[int]:
+        with self._lock:
+            undo_records = len(self._records)
+            undo_blocks = len(self._blocks)
+            try:
+                sequences = []
+                for record, block in entries:
+                    if block.index != len(self._blocks):
+                        raise RegistryError(
+                            f"ledger append out of order: block "
+                            f"{block.index} onto a "
+                            f"{len(self._blocks)}-block chain")
+                    record.sequence = len(self._records)
+                    sequences.append(record.sequence)
+                    self._records.append(record)
+                    fault_point("registry.append.torn")
+                    self._blocks.append(block)
+                return sequences
+            except Exception:
+                # All-or-nothing, like the SQLite transaction.
+                del self._records[undo_records:]
+                del self._blocks[undo_blocks:]
+                raise
+
     def append_block(self, block: LedgerBlock) -> None:
         with self._lock:
             if block.index != len(self._blocks):
@@ -153,3 +254,21 @@ class MemoryBackend(RegistryBackend):
         with self._lock:
             snapshot = list(self._blocks)
         return iter(snapshot)
+
+    def quarantine_trailing(self, kind: str,
+                            reason: str) -> Optional[dict]:
+        with self._lock:
+            source = self._records if kind == "record" else self._blocks
+            if not source:
+                return None
+            artefact = source.pop()
+            ref = (artefact.sequence if kind == "record"
+                   else artefact.index)
+            entry = {"kind": kind, "ref": ref,
+                     "payload": artefact.to_dict(), "reason": reason}
+            self._quarantine.append(entry)
+            return entry
+
+    def quarantined(self) -> list[dict]:
+        with self._lock:
+            return list(self._quarantine)

@@ -32,6 +32,16 @@ class RegistrySchemaError(RegistryError):
     code = "registry-schema"
 
 
+class RegistryUnavailableError(RegistryError):
+    """Registry storage failed like a failing disk would — an I/O
+    error, a lock timeout, a connection the filesystem yanked.  The
+    condition is transient by nature, so the service maps it to 503
+    with ``Retry-After`` and flips its health to ``degraded`` instead
+    of treating the daemon as broken."""
+
+    code = "registry-unavailable"
+
+
 class RegistryNotConfiguredError(RegistryError):
     """A registry operation was requested but no registry is attached
     (``wmxml serve`` without ``--registry``, ``WmXMLSystem`` without

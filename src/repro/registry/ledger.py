@@ -30,6 +30,7 @@ from dataclasses import dataclass, replace
 from typing import Iterable, Optional, Sequence
 
 from repro.core.crypto import KeyedPRF
+from repro.faults import fault_point
 from repro.registry.errors import ChainBrokenError, RegistryFormatError
 from repro.registry.records import RegistryRecord
 
@@ -131,7 +132,12 @@ def next_block(previous: Optional[LedgerBlock],
         timestamp=timestamp,
         seal="",
     )
-    return replace(draft, seal=seal_block_content(sealer, draft.content()))
+    # The "ledger.seal" fault point models silent seal corruption — a
+    # bit flipped between sealing and persistence.  verify_chain() must
+    # catch it, and crash recovery must quarantine it.
+    seal = fault_point("ledger.seal",
+                       value=seal_block_content(sealer, draft.content()))
+    return replace(draft, seal=seal)
 
 
 @dataclass

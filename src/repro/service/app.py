@@ -48,7 +48,9 @@ from typing import Optional
 from repro.api.system import SchemeLike, WmXMLSystem
 from repro.core.record import WatermarkRecord
 from repro.core.scheme import WatermarkingScheme
-from repro.registry import RegistryNotConfiguredError, WatermarkRegistry
+from repro.faults import fault_point
+from repro.registry import (RegistryNotConfiguredError,
+                            RegistryUnavailableError, WatermarkRegistry)
 from repro.semantics.shape import DocumentShape
 from repro.errors import WmXMLError, error_code, http_status_for
 from repro.perf.timers import StageTimer
@@ -72,11 +74,14 @@ class WmXMLService:
     def __init__(self, system: WmXMLSystem, *,
                  processes: Optional[int] = None,
                  max_body_bytes: int = protocol.MAX_BODY_BYTES,
-                 max_schemes: int = protocol.MAX_SCHEMES) -> None:
+                 max_schemes: int = protocol.MAX_SCHEMES,
+                 retry_after: int = 1) -> None:
         self.system = system
         self.processes = processes
         self.max_body_bytes = max_body_bytes
         self.max_schemes = max_schemes
+        #: Delta-seconds advertised in ``Retry-After`` on every 503.
+        self.retry_after = retry_after
         # ``max_schemes`` bounds *wire-registered* additions: schemes
         # the operator loaded at boot never count against it.
         self._scheme_ceiling = len(system.scheme_names()) + max_schemes
@@ -88,6 +93,49 @@ class WmXMLService:
         self._requests = 0
         self._errors = 0
         self._started = time.monotonic()
+        # Graceful degradation: flipped when registry storage fails
+        # like a failing disk; healthz probes self-heal it.  Embed and
+        # detect keep serving while degraded (embeds unrecorded);
+        # registry-only endpoints 503 with Retry-After.
+        self._degraded = False
+        # In-flight request accounting, so SIGTERM can drain running
+        # requests before the process exits (see :meth:`drain`).
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def begin_request(self) -> None:
+        with self._inflight_cv:
+            self._inflight += 1
+
+    def end_request(self) -> None:
+        with self._inflight_cv:
+            self._inflight -= 1
+            if self._inflight <= 0:
+                self._inflight_cv.notify_all()
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_cv:
+            return self._inflight
+
+    def drain(self, timeout: float = 5.0) -> bool:
+        """Wait until every in-flight request has been answered.
+
+        The SIGTERM half of graceful shutdown: the server stops
+        accepting, then drains, then closes — a request that was being
+        served when the signal arrived still gets its response.
+        Returns False if requests were still running at ``timeout``.
+        """
+        deadline = time.monotonic() + timeout
+        with self._inflight_cv:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._inflight_cv.wait(remaining)
+        return True
 
     # -- dispatch ------------------------------------------------------------
 
@@ -104,14 +152,22 @@ class WmXMLService:
         start = time.perf_counter()
         failed = False
         try:
+            # A fault here models any request-handling crash before
+            # routing; one after routing models a late failure with
+            # the work already done.  Either way the contract holds:
+            # an error envelope, never a dropped connection.
+            fault_point("service.dispatch")
             if len(body) > self.max_body_bytes:
                 raise OversizeBodyError(
                     f"request body of {len(body)} bytes exceeds the "
                     f"{self.max_body_bytes}-byte ceiling")
             status, payload, extra = self._route(method, path, body,
                                                  headers or {})
+            fault_point("service.response")
         except WmXMLError as error:
             failed = True
+            if isinstance(error, RegistryUnavailableError):
+                self._degraded = True
             status = http_status_for(error_code(error))
             payload = protocol.error_response(error)
             extra = {}
@@ -127,6 +183,12 @@ class WmXMLService:
         response_headers = {protocol.PROTOCOL_HEADER:
                             protocol.RESPONSE_FORMAT}
         response_headers.update(extra)
+        if status == 503:
+            # Every 503 is a transient condition by contract; tell
+            # clients when to come back instead of letting them
+            # hammer a struggling daemon.
+            response_headers.setdefault("Retry-After",
+                                        str(self.retry_after))
         with self._stats_lock:
             self._requests += 1
             self._errors += failed
@@ -198,16 +260,27 @@ class WmXMLService:
     # -- endpoints ------------------------------------------------------------
 
     def _healthz(self) -> dict:
+        # The health probe doubles as the self-heal path: a successful
+        # registry read clears the degraded flag, a failing one sets
+        # it.  Health always answers 200 — "degraded" is a state
+        # report, not an error.
         registry = self.system.registry
+        summary = None
+        if registry is not None:
+            try:
+                summary = {"records": registry.count(),
+                           "blocks": registry.backend.block_count()}
+                self._degraded = False
+            except RegistryUnavailableError as error:
+                self._degraded = True
+                summary = {"available": False, "error": str(error)}
         return {
-            "status": "ok",
+            "status": "degraded" if self._degraded else "ok",
             "schemes": self.system.scheme_names(),
             "key_fingerprint": self.system.key_fingerprint,
             "uptime_s": round(time.monotonic() - self._started, 3),
             "processes": self.processes,
-            "registry": (None if registry is None else
-                         {"records": registry.count(),
-                          "blocks": registry.backend.block_count()}),
+            "registry": summary,
         }
 
     def _stats(self) -> dict:
@@ -246,22 +319,45 @@ class WmXMLService:
         else:
             pipeline = self.system.pipeline(scheme)
             message = protocol.required_field(request, "message", str)
-        # Routed through the system (not the pipeline) so an attached
-        # registry records every copy that leaves over the wire.
         if batch:
             documents = _document_list(request)
-            results = self.system.embed_many(scheme, documents, message,
-                                             processes=self.processes,
-                                             output="xml",
-                                             recipient=recipient)
+            processes = self.processes
+        else:
+            documents = [protocol.required_field(request, "document", str)]
+            processes = None
+        # Routed through the system (not the pipeline) so an attached
+        # registry records every copy that leaves over the wire.  When
+        # registry storage is dark the daemon degrades instead of
+        # refusing: the embed still serves, flagged ``recorded: false``
+        # so the caller knows this copy left no ledger trace.
+        recorded: Optional[bool] = None
+        if self.system.registry is not None:
+            recorded = not self._degraded or self._registry_recovered()
+        if recorded is False:
+            results = pipeline.embed_many(documents, message,
+                                          processes=processes,
+                                          output="xml")
+        else:
+            try:
+                results = self.system.embed_many(
+                    scheme, documents, message, processes=processes,
+                    output="xml", recipient=recipient)
+            except RegistryUnavailableError:
+                # The batched append is all-or-nothing, so nothing was
+                # persisted; serve the embed unrecorded.  (Embedding
+                # is deterministic, so the re-run is bit-identical.)
+                self._degraded = True
+                recorded = False
+                results = pipeline.embed_many(documents, message,
+                                              processes=processes,
+                                              output="xml")
+        if batch:
             payload = {"results": [_embed_payload(item)
                                    for item in results]}
         else:
-            document = protocol.required_field(request, "document", str)
-            payload = _embed_payload(
-                self.system.embed_many(scheme, [document], message,
-                                       output="xml",
-                                       recipient=recipient)[0])
+            payload = _embed_payload(results[0])
+        if recorded is not None:
+            payload["recorded"] = recorded
         return 200, protocol.ok_response(payload), {
             protocol.FINGERPRINT_HEADER: pipeline.fingerprint}
 
@@ -306,7 +402,24 @@ class WmXMLService:
             raise RegistryNotConfiguredError(
                 "this daemon runs without a registry; restart it with "
                 "--registry path.db to persist and query issued copies")
+        if self._degraded and not self._registry_recovered():
+            # Registry-only endpoints answer 503 + Retry-After while
+            # storage is dark, without re-poking the failing backend
+            # on the full query path.
+            raise RegistryUnavailableError(
+                "registry storage is currently unavailable; the "
+                "daemon is serving in degraded mode — retry shortly")
         return registry
+
+    def _registry_recovered(self) -> bool:
+        """One cheap probe: a readable registry clears the flag."""
+        registry = self.system.registry
+        try:
+            registry.backend.record_count()
+        except RegistryUnavailableError:
+            return False
+        self._degraded = False
+        return True
 
     def _scheme_filter(self, query: dict) -> Optional[str]:
         """The ``scheme`` query param: a registered name (resolved to
@@ -610,10 +723,17 @@ class _Handler(BaseHTTPRequestHandler):
         body = self.rfile.read(length) if length else b""
         # HEAD is GET with the body suppressed (health probes use it).
         method = "GET" if self.command == "HEAD" else self.command
-        status, payload, headers = self.service.dispatch(
-            method, self.path, body, dict(self.headers))
-        self._respond(status, payload, headers,
-                      head_only=self.command == "HEAD")
+        # In-flight accounting brackets dispatch *and* the response
+        # write, so a SIGTERM drain only returns once the bytes of
+        # every running request are on the wire.
+        self.service.begin_request()
+        try:
+            status, payload, headers = self.service.dispatch(
+                method, self.path, body, dict(self.headers))
+            self._respond(status, payload, headers,
+                          head_only=self.command == "HEAD")
+        finally:
+            self.service.end_request()
 
     def _respond(self, status: int, payload: Optional[dict],
                  headers: dict, head_only: bool = False) -> None:
@@ -660,13 +780,17 @@ def make_server(service: WmXMLService, host: str = "127.0.0.1",
 
 @contextlib.contextmanager
 def running_server(service: WmXMLService, host: str = "127.0.0.1",
-                   port: int = 0, quiet: bool = True):
+                   port: int = 0, quiet: bool = True,
+                   drain_timeout: float = 5.0):
     """A served daemon for the scope of a ``with`` block.
 
-    The one start/stop choreography (serve on a thread, then
-    ``shutdown()`` *before* ``server_close()``, then join) shared by
-    the CLI, the bench's loopback stage and the tests — yields the
-    bound server so callers read ``server.server_address``.
+    The one start/stop choreography (serve on a thread, ``shutdown()``
+    to stop accepting, **drain in-flight requests**, then
+    ``server_close()`` and join) shared by the CLI, the bench's
+    loopback stage and the tests — yields the bound server so callers
+    read ``server.server_address``.  The drain step is what makes
+    SIGTERM graceful: a request being served when shutdown starts
+    still gets its response before the socket closes.
     """
     server = make_server(service, host=host, port=port, quiet=quiet)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
@@ -675,5 +799,6 @@ def running_server(service: WmXMLService, host: str = "127.0.0.1",
         yield server
     finally:
         server.shutdown()
+        service.drain(timeout=drain_timeout)
         server.server_close()
         thread.join(timeout=5)

@@ -18,9 +18,19 @@ bit-identical to a local ``Pipeline`` embed of the same text.
 
 Failure model: a connection refused (daemon still starting, restarting
 behind a supervisor) is retried ``retries`` times with exponential
-backoff before :class:`ServiceUnavailableError`; an error envelope from
-the daemon raises :class:`RemoteServiceError` carrying the server's
-stable ``code`` slug and HTTP status.  Both descend from
+backoff before :class:`ServiceUnavailableError` — refusal proves the
+request was never sent, so *every* request is safe to retry that way.
+A mid-request disconnect is different: the daemon may already have
+processed what it read, so only **idempotent** requests (GET/PUT, and
+the POST endpoints that don't append to the ledger: detect, trace) are
+retried; a disconnected embed raises ``connection-closed`` instead of
+risking a double-append.  A 503 answer (daemon degraded, registry
+storage dark) is retried honoring the server's ``Retry-After`` header
+(capped at :data:`RETRY_AFTER_CAP`) — safe even for embeds, because
+the daemon's batched single-transaction append persists nothing on
+failure.  An error envelope from the daemon raises
+:class:`RemoteServiceError` carrying the server's stable ``code`` slug
+and HTTP status.  Everything descends from
 :class:`~repro.errors.WmXMLError`, so the facade's one-handler contract
 holds across the wire.
 """
@@ -54,6 +64,40 @@ DocumentLike = Union[Document, str]
 #: doubling here, so a high retry count means "wait longer", never
 #: "sleep for hours".
 RETRY_DELAY_CAP = 2.0
+
+#: Ceiling on honoring a server-sent ``Retry-After`` (seconds): the
+#: client trusts the daemon's pacing hint but never lets a bogus or
+#: hostile header park it for minutes.
+RETRY_AFTER_CAP = 5.0
+
+#: POST endpoints that are read-only on the server (no ledger append),
+#: and therefore safe to retry after an ambiguous disconnect.
+IDEMPOTENT_POST_PATHS = frozenset(
+    {"/v1/detect", "/v1/detect/batch", "/v1/trace"})
+
+
+def _is_idempotent(method: str, path: str) -> bool:
+    """Whether a replay of this request cannot change server state.
+
+    GET/HEAD/PUT are idempotent by HTTP semantics (PUT /v1/schemes
+    re-registers the same artefact).  POST embeds append to the
+    provenance ledger — replaying one after an ambiguous disconnect
+    could double-append — so only the read-only POSTs qualify.
+    """
+    if method in ("GET", "HEAD", "PUT"):
+        return True
+    return (path.split("?", 1)[0].rstrip("/") or "/") \
+        in IDEMPOTENT_POST_PATHS
+
+
+def _retry_after_delay(header: Optional[str], fallback: float) -> float:
+    """The sleep a 503 asks for: the header's delta-seconds, capped."""
+    if header is not None:
+        try:
+            return min(max(float(header), 0.0), RETRY_AFTER_CAP)
+        except ValueError:
+            pass  # HTTP-date or garbage: use our own backoff
+    return min(fallback, RETRY_AFTER_CAP)
 
 
 class ServiceUnavailableError(ServiceError):
@@ -310,6 +354,7 @@ class WmXMLClient:
         request = urllib.request.Request(
             url, data=body, method=method,
             headers={"Content-Type": "application/json"})
+        idempotent = _is_idempotent(method, path)
         attempt = 0
         while True:
             try:
@@ -317,21 +362,45 @@ class WmXMLClient:
                         request, timeout=self.timeout) as response:
                     return self._decode(response.read())
             except urllib.error.HTTPError as error:
+                if error.code == 503 and attempt < self.retries:
+                    # The daemon is up but degraded (registry storage
+                    # dark, for instance) and told us when to come
+                    # back.  Safe for every endpoint: a 503'd append
+                    # persisted nothing (single-transaction batches).
+                    delay = _retry_after_delay(
+                        error.headers.get("Retry-After"),
+                        self.retry_delay * (2 ** attempt))
+                    error.close()
+                    time.sleep(delay)
+                    attempt += 1
+                    continue
                 raise _remote_error(error) from error
             except urllib.error.URLError as error:
                 reason = error.reason
-                # RemoteDisconnected (a ConnectionResetError subclass)
-                # means the daemon accepted then closed without
-                # answering — a restart in progress: retry like
-                # connection-refused, don't misdiagnose it below.
-                retryable = isinstance(
-                    reason, (ConnectionRefusedError,
-                             http.client.RemoteDisconnected))
+                # Connection refused proves the request was never
+                # sent: always safe to retry.  RemoteDisconnected (a
+                # ConnectionResetError subclass — the daemon accepted,
+                # read, then closed without answering) is ambiguous:
+                # the work may have happened, so only idempotent
+                # requests retry; a disconnected embed must NOT be
+                # replayed, or it could append twice to the ledger.
+                disconnected = isinstance(
+                    reason, http.client.RemoteDisconnected)
+                retryable = (isinstance(reason, ConnectionRefusedError)
+                             or (disconnected and idempotent))
                 if retryable and attempt < self.retries:
                     time.sleep(min(self.retry_delay * (2 ** attempt),
                                    RETRY_DELAY_CAP))
                     attempt += 1
                     continue
+                if disconnected and not idempotent:
+                    raise RemoteServiceError(
+                        "connection-closed",
+                        f"the daemon at {self.base_url} disconnected "
+                        f"mid-request; {method} {path} is not "
+                        "idempotent, so it was not retried — verify "
+                        "server-side state (e.g. /v1/records) before "
+                        "resending") from error
                 if (not retryable
                         and isinstance(reason, (BrokenPipeError,
                                                 ConnectionResetError))):
@@ -360,9 +429,26 @@ class WmXMLClient:
                     f"no response from {self.base_url} within "
                     f"{self.timeout}s") from error
             except (OSError, http.client.HTTPException) as error:
-                # Errors from response.read() escape urllib unwrapped
-                # (daemon killed between headers and body, truncated
-                # stream): still a WmXMLError, never a raw OSError.
+                # Errors after the request was sent escape urllib
+                # unwrapped (urllib only wraps *send*-side errors in
+                # URLError): a daemon killed before answering raises
+                # RemoteDisconnected right here, so the idempotency
+                # policy applies on this path too.
+                if isinstance(error, http.client.RemoteDisconnected):
+                    if idempotent and attempt < self.retries:
+                        time.sleep(min(
+                            self.retry_delay * (2 ** attempt),
+                            RETRY_DELAY_CAP))
+                        attempt += 1
+                        continue
+                    if not idempotent:
+                        raise RemoteServiceError(
+                            "connection-closed",
+                            f"the daemon at {self.base_url} "
+                            f"disconnected mid-request; {method} "
+                            f"{path} is not idempotent, so it was not "
+                            "retried — verify server-side state (e.g. "
+                            "/v1/records) before resending") from error
                 raise ServiceUnavailableError(
                     f"connection to {self.base_url} failed "
                     f"mid-response ({error})") from error

@@ -257,7 +257,7 @@ class TestPooledDetect:
             captured.extend(tasks)
             return [func(task) for task in tasks]
 
-        monkeypatch.setattr(parallel, "map_sharded", capture_and_run)
+        monkeypatch.setattr(parallel, "map_recovering", capture_and_run)
 
         reference = marked[0]
         copies = [(serialize(reference.document), reference.record)

@@ -1,0 +1,429 @@
+"""Graceful degradation: the daemon under injected failure.
+
+The contract this module locks down:
+
+* A fault inside dispatch or after routing becomes an **error
+  envelope**, never a dropped connection or a hung request.
+* Registry storage going dark flips the daemon to **degraded**:
+  ``/v1/healthz`` keeps answering 200 (status ``"degraded"``),
+  registry-only endpoints answer **503 + Retry-After**, and embeds
+  keep serving flagged ``"recorded": false``.  A successful registry
+  read self-heals back to ``"ok"``.
+* **SIGTERM drains**: a server shutdown completes in-flight requests
+  before closing the socket.
+* The **client** honors ``Retry-After`` on 503 (capped), retries
+  refused connections always, retries mid-request disconnects only
+  for idempotent requests, and refuses to auto-retry a disconnected
+  embed (the double-append hazard).
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import faults
+from repro.api import WmXMLSystem
+from repro.datasets import bibliography
+from repro.faults import injected
+from repro.registry import WatermarkRegistry
+from repro.service import (
+    REQUEST_FORMAT,
+    RemoteServiceError,
+    ServiceUnavailableError,
+    WmXMLClient,
+    WmXMLService,
+    running_server,
+)
+from repro.service.client import (
+    IDEMPOTENT_POST_PATHS,
+    RETRY_AFTER_CAP,
+    _is_idempotent,
+    _retry_after_delay,
+)
+from repro.xmlmodel import serialize
+
+import json
+
+KEY = "resilience-key"
+
+
+def _request_body(**fields) -> bytes:
+    return json.dumps({"format": REQUEST_FORMAT, **fields}).encode()
+
+
+def _doc_text(seed: int = 77) -> str:
+    return serialize(bibliography.generate_document(
+        bibliography.BibliographyConfig(books=40, editors=4, seed=seed)))
+
+
+def _service(tmp_path, **kwargs) -> WmXMLService:
+    registry = WatermarkRegistry.open(str(tmp_path / "reg.db"))
+    system = WmXMLSystem(KEY, registry=registry, issuer="resilience")
+    system.register("books", bibliography.default_scheme(2))
+    return WmXMLService(system, **kwargs)
+
+
+@pytest.fixture(autouse=True)
+def clean_slate():
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+# ---------------------------------------------------------------------------
+# Faults become envelopes
+# ---------------------------------------------------------------------------
+
+class TestFaultEnvelopes:
+    def test_dispatch_fault_is_an_error_envelope(self, tmp_path):
+        service = _service(tmp_path)
+        with injected("service.dispatch"):
+            status, payload, _ = service.dispatch("GET", "/v1/healthz")
+        assert status == 500
+        assert payload["ok"] is False
+        assert payload["error"]["code"] == "fault-injected"
+
+    def test_late_response_fault_is_an_error_envelope(self, tmp_path):
+        service = _service(tmp_path)
+        with injected("service.response"):
+            status, payload, _ = service.dispatch("GET", "/v1/healthz")
+        assert status == 500
+        assert payload["error"]["code"] == "fault-injected"
+
+    def test_delay_fault_still_answers(self, tmp_path):
+        service = _service(tmp_path)
+        with injected("service.dispatch", "delay", ms=10):
+            status, payload, _ = service.dispatch("GET", "/v1/healthz")
+        assert status == 200 and payload["ok"] is True
+
+
+# ---------------------------------------------------------------------------
+# Degraded mode: registry storage dark
+# ---------------------------------------------------------------------------
+
+class TestDegradedMode:
+    def test_dark_registry_503s_registry_endpoints(self, tmp_path):
+        service = _service(tmp_path)
+        with injected("registry.sqlite.read", error="sqlite"):
+            status, payload, headers = service.dispatch(
+                "GET", "/v1/records")
+            assert status == 503
+            assert payload["error"]["code"] == "registry-unavailable"
+            assert headers["Retry-After"] == "1"
+            # stays 503 without re-poking the dead backend each time
+            status, payload, headers = service.dispatch(
+                "GET", "/v1/records")
+            assert status == 503
+            assert headers["Retry-After"] == "1"
+
+    def test_retry_after_is_configurable(self, tmp_path):
+        service = _service(tmp_path, retry_after=7)
+        with injected("registry.sqlite.read", error="sqlite"):
+            status, _, headers = service.dispatch("GET", "/v1/records")
+        assert status == 503
+        assert headers["Retry-After"] == "7"
+
+    def test_healthz_reports_degraded_but_stays_200(self, tmp_path):
+        service = _service(tmp_path)
+        with injected("registry.sqlite.read", error="sqlite"):
+            status, payload, _ = service.dispatch("GET", "/v1/healthz")
+            assert status == 200
+            assert payload["status"] == "degraded"
+            assert payload["registry"]["available"] is False
+
+    def test_embed_serves_unrecorded_while_degraded(self, tmp_path):
+        service = _service(tmp_path)
+        text = _doc_text()
+        with injected("registry.sqlite.read", error="sqlite"):
+            service.dispatch("GET", "/v1/healthz")  # trip the flag
+            status, payload, _ = service.dispatch(
+                "POST", "/v1/embed",
+                _request_body(scheme="books", document=text,
+                              recipient="alice"))
+            assert status == 200
+            assert payload["recorded"] is False
+        # nothing reached the ledger
+        assert service.system.registry.count() == 0
+
+    def test_failed_append_degrades_and_serves_unrecorded(self, tmp_path):
+        service = _service(tmp_path)
+        text = _doc_text()
+        with injected("registry.sqlite.commit", error="sqlite", times=1):
+            status, payload, _ = service.dispatch(
+                "POST", "/v1/embed",
+                _request_body(scheme="books", document=text,
+                              recipient="alice"))
+        assert status == 200
+        assert payload["recorded"] is False
+        assert service.system.registry.count() == 0
+        # the batched append persisted nothing, so the retry is safe —
+        # and the recovered daemon records it exactly once
+        status, payload, _ = service.dispatch(
+            "POST", "/v1/embed",
+            _request_body(scheme="books", document=text,
+                          recipient="alice"))
+        assert status == 200
+        assert payload["recorded"] is True
+        assert service.system.registry.count() == 1
+        assert service.system.registry.verify_chain().intact
+
+    def test_recovery_self_heals(self, tmp_path):
+        service = _service(tmp_path)
+        with injected("registry.sqlite.read", error="sqlite"):
+            status, payload, _ = service.dispatch("GET", "/v1/healthz")
+            assert payload["status"] == "degraded"
+        # storage is back: the next probe clears the flag
+        status, payload, _ = service.dispatch("GET", "/v1/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        status, payload, _ = service.dispatch("GET", "/v1/records")
+        assert status == 200
+
+    def test_degraded_embed_output_matches_recorded_embed(self, tmp_path):
+        """Unrecorded serving is a flag, not a different embedding."""
+        service = _service(tmp_path)
+        text = _doc_text()
+        with injected("registry.sqlite.read", error="sqlite"):
+            service.dispatch("GET", "/v1/healthz")
+            _, degraded, _ = service.dispatch(
+                "POST", "/v1/embed",
+                _request_body(scheme="books", document=text,
+                              recipient="alice"))
+        _, recorded, _ = service.dispatch(
+            "POST", "/v1/embed",
+            _request_body(scheme="books", document=text,
+                          recipient="alice"))
+        assert degraded["recorded"] is False
+        assert recorded["recorded"] is True
+        assert degraded["xml"] == recorded["xml"]
+
+    def test_detect_keeps_serving_while_degraded(self, tmp_path):
+        service = _service(tmp_path)
+        text = _doc_text()
+        _, embed, _ = service.dispatch(
+            "POST", "/v1/embed",
+            _request_body(scheme="books", document=text,
+                          message="(c) wm"))
+        with injected("registry.sqlite.read", error="sqlite"):
+            service.dispatch("GET", "/v1/healthz")
+            status, payload, _ = service.dispatch(
+                "POST", "/v1/detect",
+                _request_body(scheme="books", document=embed["xml"],
+                              record=embed["record"],
+                              expected="(c) wm"))
+        assert status == 200
+        assert payload["result"]["detected"] is True
+
+    def test_no_registry_daemon_has_no_recorded_flag(self, tmp_path):
+        system = WmXMLSystem(KEY)
+        system.register("books", bibliography.default_scheme(2))
+        service = WmXMLService(system)
+        status, payload, _ = service.dispatch(
+            "POST", "/v1/embed",
+            _request_body(scheme="books", document=_doc_text(),
+                          message="(c) wm"))
+        assert status == 200
+        assert "recorded" not in payload
+
+
+# ---------------------------------------------------------------------------
+# In-flight accounting and drain
+# ---------------------------------------------------------------------------
+
+class TestDrain:
+    def test_idle_service_drains_immediately(self, tmp_path):
+        service = _service(tmp_path)
+        assert service.inflight == 0
+        assert service.drain(timeout=0.1) is True
+
+    def test_drain_waits_for_inflight_requests(self, tmp_path):
+        service = _service(tmp_path)
+        service.begin_request()
+        assert service.inflight == 1
+        assert service.drain(timeout=0.05) is False
+
+        def finish():
+            time.sleep(0.1)
+            service.end_request()
+
+        threading.Thread(target=finish).start()
+        assert service.drain(timeout=2.0) is True
+        assert service.inflight == 0
+
+    def test_shutdown_completes_inflight_request(self, tmp_path):
+        """The acceptance scenario: SIGTERM (= leaving running_server)
+        drains — a request being processed gets its response before
+        the socket closes."""
+        service = _service(tmp_path)
+        outcome = {}
+
+        with injected("service.response", "delay", ms=400, times=1):
+            with running_server(service, port=0, quiet=True) as server:
+                host, port = server.server_address[:2]
+                client = WmXMLClient(f"http://{host}:{port}")
+
+                def request():
+                    outcome["health"] = client.healthz()
+
+                thread = threading.Thread(target=request)
+                thread.start()
+                # let the request reach the (slowed) handler, then
+                # tear the server down around it
+                deadline = time.monotonic() + 2.0
+                while (service.inflight == 0
+                       and time.monotonic() < deadline):
+                    time.sleep(0.01)
+        thread.join(timeout=5)
+        assert outcome["health"]["status"] == "ok"
+
+
+# ---------------------------------------------------------------------------
+# Client: Retry-After, idempotency, disconnects
+# ---------------------------------------------------------------------------
+
+class TestRetryAfterParsing:
+    def test_honors_delta_seconds(self):
+        assert _retry_after_delay("2", fallback=10.0) == 2.0
+
+    def test_caps_hostile_header(self):
+        assert _retry_after_delay("9999", fallback=0.1) == RETRY_AFTER_CAP
+
+    def test_garbage_header_uses_fallback(self):
+        assert _retry_after_delay("Wed, 21 Oct 2026 07:28:00 GMT",
+                                  fallback=0.3) == 0.3
+
+    def test_missing_header_uses_capped_fallback(self):
+        assert _retry_after_delay(None, fallback=99.0) == RETRY_AFTER_CAP
+
+    def test_negative_header_clamps_to_zero(self):
+        assert _retry_after_delay("-5", fallback=1.0) == 0.0
+
+
+class TestIdempotencyClassification:
+    @pytest.mark.parametrize("method,path,expected", [
+        ("GET", "/v1/records?recipient=a", True),
+        ("PUT", "/v1/schemes/books", True),
+        ("POST", "/v1/detect", True),
+        ("POST", "/v1/detect/batch", True),
+        ("POST", "/v1/trace", True),
+        ("POST", "/v1/embed", False),
+        ("POST", "/v1/embed/batch", False),
+    ])
+    def test_classification(self, method, path, expected):
+        assert _is_idempotent(method, path) is expected
+
+    def test_embed_paths_never_listed_idempotent(self):
+        assert "/v1/embed" not in IDEMPOTENT_POST_PATHS
+        assert "/v1/embed/batch" not in IDEMPOTENT_POST_PATHS
+
+
+class TestClientAgainstDegradedDaemon:
+    def test_client_retries_503_honoring_retry_after(self, tmp_path):
+        service = _service(tmp_path, retry_after=0)
+        with running_server(service, port=0, quiet=True) as server:
+            host, port = server.server_address[:2]
+            client = WmXMLClient(f"http://{host}:{port}",
+                                 retries=3, retry_delay=0.01)
+            with injected("registry.sqlite.read", error="sqlite",
+                          times=1):
+                # first attempt 503s and trips degraded mode; the
+                # retry probes storage (now healthy) and succeeds
+                payload = client.records()
+        assert payload["total"] == 0
+
+    def test_client_surfaces_503_when_retries_exhausted(self, tmp_path):
+        service = _service(tmp_path, retry_after=0)
+        with running_server(service, port=0, quiet=True) as server:
+            host, port = server.server_address[:2]
+            client = WmXMLClient(f"http://{host}:{port}",
+                                 retries=1, retry_delay=0.01)
+            with injected("registry.sqlite.read", error="sqlite"):
+                with pytest.raises(RemoteServiceError) as excinfo:
+                    client.records()
+        assert excinfo.value.code == "registry-unavailable"
+        assert excinfo.value.http_status == 503
+
+
+class _DisconnectingServer:
+    """Accepts, reads the request, closes without answering —
+    the shape of a daemon killed mid-request."""
+
+    def __init__(self):
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.accepts = 0
+        self._stop = False
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    @property
+    def url(self) -> str:
+        host, port = self.sock.getsockname()
+        return f"http://{host}:{port}"
+
+    def _serve(self):
+        self.sock.settimeout(0.1)
+        while not self._stop:
+            try:
+                conn, _ = self.sock.accept()
+            except socket.timeout:
+                continue
+            self.accepts += 1
+            conn.settimeout(0.5)
+            try:
+                while conn.recv(65536):
+                    pass
+            except socket.timeout:
+                pass
+            except OSError:
+                pass
+            finally:
+                conn.close()
+
+    def close(self):
+        self._stop = True
+        self.thread.join(timeout=2)
+        self.sock.close()
+
+
+class TestClientDisconnects:
+    def test_disconnected_embed_is_not_retried(self):
+        server = _DisconnectingServer()
+        try:
+            client = WmXMLClient(server.url, scheme="books",
+                                 retries=3, retry_delay=0.01)
+            with pytest.raises(RemoteServiceError) as excinfo:
+                client.embed("<a/>", "(c) wm")
+            assert excinfo.value.code == "connection-closed"
+            assert "not idempotent" in str(excinfo.value)
+            assert "verify server-side state" in str(excinfo.value)
+            # exactly one connection: the embed was NOT replayed
+            assert server.accepts == 1
+        finally:
+            server.close()
+
+    def test_disconnected_get_is_retried(self):
+        server = _DisconnectingServer()
+        try:
+            client = WmXMLClient(server.url, retries=2, retry_delay=0.01)
+            with pytest.raises(ServiceUnavailableError):
+                client.records()
+            # idempotent: initial attempt + both retries
+            assert server.accepts == 3
+        finally:
+            server.close()
+
+    def test_disconnected_detect_is_retried(self):
+        server = _DisconnectingServer()
+        try:
+            client = WmXMLClient(server.url, scheme="books",
+                                 retries=1, retry_delay=0.01)
+            with pytest.raises(ServiceUnavailableError):
+                client.detect("<a/>", {"format": "bogus"})
+            assert server.accepts == 2
+        finally:
+            server.close()
