@@ -53,17 +53,28 @@ class WmXMLSystem:
     def __init__(self, secret_key: Union[str, bytes],
                  alpha: float = 1e-3,
                  registry: Optional[WatermarkRegistry] = None,
-                 issuer: str = "wmxml") -> None:
+                 issuer: str = "wmxml",
+                 *,
+                 tenant: Optional[str] = None,
+                 key_id: Optional[int] = None,
+                 seal_registry: bool = True) -> None:
         self._secret_key = secret_key
         self._prf = KeyedPRF(secret_key)
         self._fingerprint = self._prf.fingerprint()
         self.alpha = alpha
         self.issuer = issuer
         self.registry = registry
-        if registry is not None:
+        #: Tenancy identity (both ``None`` for the classic single-key
+        #: system): stamped into every record this system embeds, so a
+        #: detection can name which tenant and key generation made it.
+        self.tenant = tenant
+        self.key_id = key_id
+        if registry is not None and seal_registry:
             # Ledger seals derive from the system key under their own
             # purpose string, so the registry never holds a second
-            # secret.
+            # secret.  Tenant systems sharing one registry pass
+            # ``seal_registry=False``: the TenantDirectory attaches a
+            # rotation-stable sealer of its own instead.
             registry.attach_sealer(self._prf)
         self._schemes: dict[str, WatermarkingScheme] = {}
         # Registered deployments hit the O(1) name-keyed cache (evicted
@@ -308,6 +319,18 @@ class WmXMLSystem:
             return "bits:" + "".join(str(bit) for bit in message.bits)
         return message
 
+    def _stamp(self, record: WatermarkRecord) -> None:
+        """Mark a fresh record with this system's tenancy identity.
+
+        Single-key systems (``tenant``/``key_id`` both ``None``) leave
+        the record untouched, so their serialized form — and every
+        golden vector — stays byte-identical.
+        """
+        if self.tenant is not None:
+            record.tenant = self.tenant
+        if self.key_id is not None:
+            record.key_id = self.key_id
+
     def _record_embed(self, recipient: str, keying: str,
                       scheme_fingerprint: str, pipeline: Pipeline,
                       result: EmbeddingResult) -> Optional[RegistryRecord]:
@@ -325,7 +348,8 @@ class WmXMLSystem:
             document_xml=result.to_xml(),
             scheme_fingerprint=scheme_fingerprint,
             key_fingerprint=pipeline.key_fingerprint,
-            keying=keying, issuer=self.issuer)
+            keying=keying, issuer=self.issuer,
+            tenant=self.tenant, key_id=self.key_id)
 
     # -- conveniences ------------------------------------------------------------
 
@@ -342,12 +366,14 @@ class WmXMLSystem:
         if recipient is not None:
             pipeline = self.recipient_pipeline(scheme, recipient)
             result = pipeline.embed(document, recipient, in_place=in_place)
+            self._stamp(result.record)
             self._record_embed(recipient, "recipient",
                                self.scheme_fingerprint(scheme),
                                pipeline, result)
             return result
         pipeline = self.pipeline(scheme)
         result = pipeline.embed(document, message, in_place=in_place)
+        self._stamp(result.record)
         self._record_embed(self._message_identity(message), "system",
                            self.scheme_fingerprint(scheme), pipeline,
                            result)
@@ -371,6 +397,8 @@ class WmXMLSystem:
                                       in_place=in_place,
                                       processes=processes,
                                       output=output)
+        for result in results:
+            self._stamp(result.record)
         if self.registry is not None and results:
             # One batched append: a single SQLite transaction (one
             # fsync for the whole batch instead of one per record),
@@ -383,7 +411,8 @@ class WmXMLSystem:
                  "document_xml": result.to_xml(),
                  "scheme_fingerprint": scheme_fingerprint,
                  "key_fingerprint": pipeline.key_fingerprint,
-                 "keying": keying, "issuer": self.issuer}
+                 "keying": keying, "issuer": self.issuer,
+                 "tenant": self.tenant, "key_id": self.key_id}
                 for result in results])
         return results
 

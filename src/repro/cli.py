@@ -554,6 +554,13 @@ def build_service(args: argparse.Namespace):
     """The configured service for ``wmxml serve`` (separate for tests)."""
     from repro.service import WmXMLService
 
+    tenants_path = getattr(args, "tenants", None)
+    if (getattr(args, "key", None) is None) == (tenants_path is None):
+        raise SystemExit(
+            "pass exactly one of --key (single-tenant) or "
+            "--tenants tenants.json (multi-tenant)")
+    if tenants_path is not None:
+        return _build_tenant_service(args, tenants_path)
     system = WmXMLSystem(args.key, alpha=args.alpha,
                          registry=_registry_for(args),
                          issuer=getattr(args, "issuer", None) or "wmxml")
@@ -583,9 +590,17 @@ def build_service(args: argparse.Namespace):
             system.registry.last_recovery = system.registry.recover()
         except RegistryUnavailableError:
             boot_degraded = True
+    service = WmXMLService(system, processes=args.processes,
+                           **_service_limits(args))
+    if boot_degraded:
+        service._degraded = True
+    return service
+
+
+def _service_limits(args: argparse.Namespace) -> dict:
     # None means "use the WmXMLService default" — the protocol
     # constants stay the one source of truth for both ceilings.
-    limits = {
+    return {
         key: value
         for key, value in (("max_body_bytes",
                             getattr(args, "max_body_bytes", None)),
@@ -595,10 +610,90 @@ def build_service(args: argparse.Namespace):
                             getattr(args, "retry_after", None)))
         if value is not None
     }
-    service = WmXMLService(system, processes=args.processes, **limits)
+
+
+def _build_tenant_service(args: argparse.Namespace, tenants_path: str):
+    """The multi-tenant daemon: one tenants.json, many key namespaces.
+
+    ``--scheme`` files are offered to every tenant (each compiles them
+    under its own derived key); the shared registry gets the key map's
+    rotation-stable sealer and the same reopen-after-crash recovery as
+    the single-tenant path.
+    """
+    from repro.service import WmXMLService
+    from repro.tenants import (TenantConfigError, TenantDirectory,
+                               TenantsConfig)
+
+    try:
+        config = TenantsConfig.load(tenants_path)
+    except TenantConfigError as error:
+        raise SystemExit(f"bad tenants file {tenants_path!r}: {error}")
+    registry = _registry_for(args)
+    directory = TenantDirectory(
+        config, registry=registry, alpha=args.alpha,
+        issuer=getattr(args, "issuer", None) or "wmxml")
+    loaded: set[str] = set()
+    for spec in args.scheme_files:
+        name, path = _scheme_spec(spec)
+        if name in loaded:
+            raise SystemExit(
+                f"duplicate scheme name {name!r} (from {spec!r}); "
+                "disambiguate with NAME=path")
+        loaded.add(name)
+        try:
+            directory.register_all(name, WatermarkingScheme.load(path))
+        except OSError as error:
+            raise SystemExit(f"cannot read scheme {path!r}: {error}")
+        except WmXMLError as error:
+            raise SystemExit(f"bad scheme {path!r}: {error}")
+    boot_degraded = False
+    if registry is not None:
+        try:
+            registry.last_recovery = registry.recover()
+        except RegistryUnavailableError:
+            boot_degraded = True
+    service = WmXMLService(tenants=directory, processes=args.processes,
+                           **_service_limits(args))
     if boot_degraded:
         service._degraded = True
     return service
+
+
+def cmd_token(args: argparse.Namespace) -> int:
+    """Mint or verify bearer tokens against a tenants file."""
+    from repro.tenants import (TenantConfigError, TenantDirectory,
+                               TenantsConfig, UnauthorizedError)
+
+    try:
+        config = TenantsConfig.load(args.tenants)
+    except TenantConfigError as error:
+        raise SystemExit(f"bad tenants file {args.tenants!r}: {error}")
+    directory = TenantDirectory(config)
+    if args.token_command == "mint":
+        try:
+            token = directory.mint_token(
+                args.tenant, scopes=args.scopes or None,
+                ttl_s=args.ttl, key_id=args.key_id)
+        except WmXMLError as error:
+            raise SystemExit(
+                f"cannot mint token for {args.tenant!r}: {error}")
+        print(token)
+        return 0
+    token = args.token
+    if token == "-":
+        token = sys.stdin.read().strip()
+    try:
+        claims = directory.authenticate(token)
+    except UnauthorizedError as error:
+        print(f"error [unauthorized]: {error}", file=sys.stderr)
+        return 1
+    # Effective claims: the token's scopes intersected with what the
+    # tenants file currently grants — what the daemon would honour.
+    print(json.dumps({"tenant": claims.tenant,
+                      "scopes": sorted(claims.scopes),
+                      "key_id": claims.key_id,
+                      "expires_at": claims.expires_at}, indent=2))
+    return 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -620,17 +715,31 @@ def cmd_serve(args: argparse.Namespace) -> int:
                             drain_timeout=args.drain_timeout) as server:
             bound = True
             host, port = server.server_address[:2]
-            names = ", ".join(service.system.scheme_names()) or "(none)"
+            if service.tenants is not None:
+                # register_all gives every tenant the same boot-time
+                # schemes, so any tenant's namespace names them all.
+                first = service.tenants.tenant_names()[0]
+                names = ", ".join(
+                    service.tenants.scheme_names(first)) or "(none)"
+                registry = service.tenants.registry
+                tenant_note = (f", tenants="
+                               f"{len(service.tenants.tenant_names())}")
+            else:
+                names = ", ".join(
+                    service.system.scheme_names()) or "(none)"
+                registry = service.system.registry
+                tenant_note = ""
             # flush: supervisors (and the CI smoke script) parse the
             # banner for the bound port through a block-buffered pipe.
             registry_note = (f", registry={args.registry}"
                              if getattr(args, "registry", None) else "")
             print(f"wmxml serve: listening on http://{host}:{port} "
                   f"(schemes: {names}, "
-                  f"processes={args.processes or 1}{registry_note})",
+                  f"processes={args.processes or 1}"
+                  f"{tenant_note}{registry_note})",
                   flush=True)
-            recovery = (service.system.registry.last_recovery
-                        if service.system.registry is not None else None)
+            recovery = (getattr(registry, "last_recovery", None)
+                        if registry is not None else None)
             if recovery is not None and recovery.actions:
                 print(f"wmxml serve: crash recovery quarantined "
                       f"{len(recovery.actions)} torn trailing "
@@ -1027,14 +1136,24 @@ def build_parser() -> argparse.ArgumentParser:
                        required=True, metavar="[NAME=]PATH",
                        help="scheme.json to register (repeatable); the "
                        "registry name defaults to the file stem")
-    serve.add_argument("--key", "-k", required=True,
+    serve.add_argument("--key", "-k",
                        help="the owner's secret key (never leaves the "
-                       "daemon)")
+                       "daemon); single-tenant mode, mutually "
+                       "exclusive with --tenants")
+    serve.add_argument("--tenants", metavar="PATH.JSON",
+                       help="multi-tenant mode: serve the tenants in "
+                       "this wmxml-tenants-v1 file, each under its own "
+                       "derived key, with bearer-token auth ('wmxml "
+                       "token mint'), per-route scopes and per-tenant "
+                       "quotas; mutually exclusive with --key")
     serve.add_argument("--host", default="127.0.0.1",
-                       help="bind address; the daemon has NO built-in "
-                       "auth — anyone who can reach the port gets an "
-                       "embed/detect oracle under your key, so keep it "
-                       "on loopback or behind an authenticating proxy")
+                       help="bind address; a --key daemon has NO "
+                       "built-in auth (anyone who can reach the port "
+                       "gets an embed/detect oracle under your key), "
+                       "so keep it on loopback or behind an "
+                       "authenticating proxy — or run --tenants, "
+                       "where every endpoint except /v1/healthz "
+                       "demands a bearer token")
     serve.add_argument("--port", type=int, default=8420,
                        help="listen port (0 binds an ephemeral port)")
     serve.add_argument("--processes", type=int, default=None,
@@ -1067,6 +1186,40 @@ def build_parser() -> argparse.ArgumentParser:
                        "finish on SIGTERM/SIGINT before closing the "
                        "socket (default 5)")
     serve.set_defaults(handler=cmd_serve)
+
+    token = sub.add_parser(
+        "token",
+        help="mint/verify bearer tokens for a --tenants daemon")
+    token_sub = token.add_subparsers(dest="token_command", required=True)
+    mint = token_sub.add_parser(
+        "mint", help="mint a bearer token for one tenant")
+    mint.add_argument("--tenants", required=True, metavar="PATH.JSON",
+                      help="the wmxml-tenants-v1 file the daemon "
+                      "serves from (holds the signing keys)")
+    mint.add_argument("--tenant", required=True,
+                      help="which tenant the token authenticates as")
+    mint.add_argument("--scope", dest="scopes", action="append",
+                      metavar="SCOPE",
+                      help="restrict the token to these scopes "
+                      "(repeatable; default: every scope the tenants "
+                      "file grants — a token can narrow a grant, "
+                      "never widen it)")
+    mint.add_argument("--ttl", type=float, default=None,
+                      help="token lifetime in seconds (default: no "
+                      "expiry)")
+    mint.add_argument("--key-id", type=int, default=None,
+                      help="sign under this key generation (default: "
+                      "the active one)")
+    mint.set_defaults(handler=cmd_token)
+    token_verify = token_sub.add_parser(
+        "verify",
+        help="verify a token and print its effective claims")
+    token_verify.add_argument("--tenants", required=True,
+                              metavar="PATH.JSON")
+    token_verify.add_argument("token",
+                              help="the token, or '-' to read it from "
+                              "stdin")
+    token_verify.set_defaults(handler=cmd_token)
 
     records = sub.add_parser(
         "records",

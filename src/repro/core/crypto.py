@@ -86,6 +86,17 @@ class KeyedPRF:
         memo[memo_key] = value
         return value
 
+    def derive(self, purpose: str, *parts: str) -> bytes:
+        """A 32-byte subkey for ``purpose`` (HKDF-style expand step).
+
+        Domain-separated from every :meth:`digest` decision by a
+        dedicated label, so a derived subkey can itself key a new
+        :class:`KeyedPRF` (tenant keys, per-scheme keys, token-signing
+        keys) without ever colliding with a watermark decision made
+        under the parent key.
+        """
+        return self.digest("wmxml-hkdf-v1:" + purpose, *parts)
+
     def integer(self, purpose: str, *parts: str) -> int:
         """A uniform 64-bit integer derived from the inputs."""
         return int.from_bytes(self.digest(purpose, *parts)[:8], "big")

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Any
+from typing import Any, Optional
 
 from repro.errors import RecordFormatError
 from repro.rewriting.logical import LogicalQuery
@@ -92,9 +92,17 @@ class WatermarkRecord(VersionedDocument):
     shape_name: str
     key_fingerprint: str
     queries: list[WatermarkQuery] = field(default_factory=list)
+    #: Tenancy provenance, stamped by a multi-tenant ``WmXMLSystem``:
+    #: which tenant's derived key embedded this mark, and under which
+    #: master-key generation — the hooks that let detections keep
+    #: verifying after key rotation.  ``None``/``None`` for classic
+    #: single-key embeds, and *omitted* from the serialized form then,
+    #: so pre-tenancy records and golden vectors are byte-identical.
+    tenant: Optional[str] = None
+    key_id: Optional[int] = None
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "format": RECORD_FORMAT,
             "gamma": self.gamma,
             "nbits": self.nbits,
@@ -102,6 +110,11 @@ class WatermarkRecord(VersionedDocument):
             "key_fingerprint": self.key_fingerprint,
             "queries": [query.to_dict() for query in self.queries],
         }
+        if self.tenant is not None:
+            data["tenant"] = self.tenant
+        if self.key_id is not None:
+            data["key_id"] = self.key_id
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "WatermarkRecord":
@@ -114,6 +127,8 @@ class WatermarkRecord(VersionedDocument):
                 key_fingerprint=data["key_fingerprint"],
                 queries=[WatermarkQuery.from_dict(q)
                          for q in data["queries"]],
+                tenant=data.get("tenant"),
+                key_id=data.get("key_id"),
             )
         except RecordFormatError:
             raise

@@ -142,6 +142,17 @@ HTTP_STATUS_BY_CODE: dict[str, int] = {
     # registry storage answered like a failing disk (I/O error, lock
     # timeout): transient — clients should retry after a pause
     "registry-unavailable": 503,
+    # repro.tenants — multi-tenant auth, key hierarchy, and quotas
+    "tenant-error": 500,
+    "bad-tenant-config": 400,
+    # no credential / bad credential vs. a valid credential that lacks
+    # the right — the classic 401/403 split, kept distinct on purpose
+    "unauthorized": 401,
+    "forbidden": 403,
+    # token-bucket quota exhausted; responses carry Retry-After
+    "rate-limited": 429,
+    # a record names a key generation absent from the master-key map
+    "unknown-key": 400,
     # repro.faults — a deliberately injected fault fired
     "fault-injected": 500,
     "remote-error": 502,

@@ -264,6 +264,40 @@ def run_e9_bench(books: int = 200, repeats: int = 3,
             raise BenchError(
                 "service embed response diverged from the local pipeline")
 
+    # The same loopback embed against a multi-tenant daemon: bearer
+    # token verification + scope check + two token-bucket charges ride
+    # every request, and the gate proves that auth overhead stays in
+    # the noise next to service_embed_ms.  Output differs from the
+    # single-tenant daemon's by design (the tenant embeds under a
+    # *derived* subkey), so correctness is asserted by detection, not
+    # bit-identity.
+    from repro.tenants import TenantDirectory, TenantsConfig
+
+    tenant_config = TenantsConfig.from_dict({
+        "format": "wmxml-tenants-v1",
+        "keys": {"1": secret_key},
+        "tenants": {"bench": {}},
+    })
+    directory = TenantDirectory(tenant_config)
+    directory.register("bench", "bench", scheme)
+    with running_server(WmXMLService(tenants=directory)) as server:
+        auth_client = WmXMLClient(
+            f"http://127.0.0.1:{server.server_address[1]}",
+            scheme="bench", token=directory.mint_token("bench"))
+        auth_box: dict = {}
+
+        def do_service_auth_embed() -> None:
+            auth_box["result"] = auth_client.embed(batch_texts[0],
+                                                   message)
+
+        best("service_auth_embed_ms", do_service_auth_embed)
+        auth_verdict = auth_client.detect(auth_box["result"].xml,
+                                          auth_box["result"].record,
+                                          expected=message)
+        if not auth_verdict.detected:
+            raise BenchError(
+                "authenticated service embed failed to verify")
+
     # Registry/provenance stages.  Appending issuance receipts is pure
     # bookkeeping on the embed path, so its cost must stay flat —
     # measured against a *fresh* SQLite tmpfile per repeat (every

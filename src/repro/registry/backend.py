@@ -45,9 +45,17 @@ class RegistryBackend(abc.ABC):
     @abc.abstractmethod
     def find_records(self, recipient: Optional[str] = None,
                      scheme_fingerprint: Optional[str] = None,
-                     document_hash: Optional[str] = None
+                     document_hash: Optional[str] = None,
+                     tenant: Optional[str] = None
                      ) -> list[RegistryRecord]:
-        """All records matching every given filter, in sequence order."""
+        """All records matching every given filter, in sequence order.
+
+        ``tenant`` is the namespace filter multi-tenant daemons rely
+        on: passing a tenant name returns only that tenant's records —
+        a record with no tenant stamp belongs to the "" namespace, so
+        pre-tenancy rows never leak into any named tenant's view.
+        ``None`` (the default) disables the filter entirely.
+        """
 
     @abc.abstractmethod
     def recipients(self) -> list[str]:
@@ -130,12 +138,14 @@ class RegistryBackend(abc.ABC):
 
 def matches(record: RegistryRecord, recipient: Optional[str],
             scheme_fingerprint: Optional[str],
-            document_hash: Optional[str]) -> bool:
+            document_hash: Optional[str],
+            tenant: Optional[str] = None) -> bool:
     """The one filter predicate both backends implement.
 
     SQLite pushes these into indexed ``WHERE`` clauses; the test suite
     asserts both give identical answers, so this function is the
-    semantic contract.
+    semantic contract.  The tenant filter normalises an unstamped
+    record (``record.tenant is None``) to the ``""`` namespace.
     """
     if recipient is not None and record.recipient != recipient:
         return False
@@ -143,6 +153,8 @@ def matches(record: RegistryRecord, recipient: Optional[str],
             and record.scheme_fingerprint != scheme_fingerprint):
         return False
     if document_hash is not None and record.document_hash != document_hash:
+        return False
+    if tenant is not None and (record.tenant or "") != tenant:
         return False
     return True
 
@@ -175,12 +187,13 @@ class MemoryBackend(RegistryBackend):
 
     def find_records(self, recipient: Optional[str] = None,
                      scheme_fingerprint: Optional[str] = None,
-                     document_hash: Optional[str] = None
+                     document_hash: Optional[str] = None,
+                     tenant: Optional[str] = None
                      ) -> list[RegistryRecord]:
         with self._lock:
             return [record for record in self._records
                     if matches(record, recipient, scheme_fingerprint,
-                               document_hash)]
+                               document_hash, tenant)]
 
     def recipients(self) -> list[str]:
         with self._lock:

@@ -65,6 +65,15 @@ class RegistryRecord(VersionedDocument):
     #: Assigned by the backend on append (position in the corpus);
     #: ``None`` for a record not yet persisted.
     sequence: Optional[int] = None
+    #: Tenancy provenance (multi-tenant daemons): which tenant's
+    #: namespace this issuance belongs to, and which master-key
+    #: generation derived the embedding key.  ``None`` on single-key
+    #: systems and *omitted* from the serialized form then, so
+    #: pre-tenancy exports, ledger bindings, and content hashes are
+    #: unchanged.  Unlike ``sequence`` these are evidence, so they DO
+    #: participate in :meth:`content_hash`.
+    tenant: Optional[str] = None
+    key_id: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.keying not in KEYING_MODES:
@@ -84,6 +93,10 @@ class RegistryRecord(VersionedDocument):
             "issuer": self.issuer,
             "created_at": self.created_at,
         }
+        if self.tenant is not None:
+            data["tenant"] = self.tenant
+        if self.key_id is not None:
+            data["key_id"] = self.key_id
         if self.sequence is not None:
             data["sequence"] = self.sequence
         return data
@@ -102,6 +115,8 @@ class RegistryRecord(VersionedDocument):
                 issuer=data["issuer"],
                 created_at=data["created_at"],
                 sequence=data.get("sequence"),
+                tenant=data.get("tenant"),
+                key_id=data.get("key_id"),
             )
         except RegistryFormatError:
             raise

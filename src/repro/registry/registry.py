@@ -113,7 +113,8 @@ class WatermarkRegistry:
     def record_embed(self, recipient: str, record: WatermarkRecord,
                      document_xml: str, scheme_fingerprint: str,
                      key_fingerprint: str, keying: str,
-                     issuer: str) -> RegistryRecord:
+                     issuer: str, tenant: Optional[str] = None,
+                     key_id: Optional[int] = None) -> RegistryRecord:
         """Persist one embed: registry record + sealed ledger block."""
         entry = RegistryRecord(
             recipient=recipient,
@@ -124,6 +125,8 @@ class WatermarkRegistry:
             keying=keying,
             issuer=issuer,
             created_at=_utcnow(),
+            tenant=tenant,
+            key_id=key_id,
         )
         self.append(entry)
         return entry
@@ -148,6 +151,8 @@ class WatermarkRegistry:
             keying=embed["keying"],
             issuer=embed["issuer"],
             created_at=_utcnow(),
+            tenant=embed.get("tenant"),
+            key_id=embed.get("key_id"),
         ) for embed in embeds]
         return self.append_many(entries)
 
@@ -192,12 +197,13 @@ class WatermarkRegistry:
     def records(self, recipient: Optional[str] = None,
                 scheme_fingerprint: Optional[str] = None,
                 document_hash: Optional[str] = None,
+                tenant: Optional[str] = None,
                 offset: int = 0,
                 limit: Optional[int] = None) -> list[RegistryRecord]:
         """Filtered records in sequence order, with offset/limit paging."""
         found = self.backend.find_records(
             recipient=recipient, scheme_fingerprint=scheme_fingerprint,
-            document_hash=document_hash)
+            document_hash=document_hash, tenant=tenant)
         if offset:
             found = found[offset:]
         if limit is not None:
@@ -206,14 +212,15 @@ class WatermarkRegistry:
 
     def count(self, recipient: Optional[str] = None,
               scheme_fingerprint: Optional[str] = None,
-              document_hash: Optional[str] = None) -> int:
+              document_hash: Optional[str] = None,
+              tenant: Optional[str] = None) -> int:
         """Total matching records, ignoring paging."""
         if recipient is None and scheme_fingerprint is None \
-                and document_hash is None:
+                and document_hash is None and tenant is None:
             return self.backend.record_count()
         return len(self.backend.find_records(
             recipient=recipient, scheme_fingerprint=scheme_fingerprint,
-            document_hash=document_hash))
+            document_hash=document_hash, tenant=tenant))
 
     def recipients(self) -> list[str]:
         """Every distinct recipient identity, sorted."""

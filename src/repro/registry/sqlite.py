@@ -80,6 +80,7 @@ CREATE TABLE IF NOT EXISTS records (
     recipient           TEXT NOT NULL,
     scheme_fingerprint  TEXT NOT NULL,
     document_hash       TEXT NOT NULL,
+    tenant              TEXT NOT NULL DEFAULT '',
     payload             TEXT NOT NULL
 );
 CREATE INDEX IF NOT EXISTS idx_records_recipient
@@ -141,6 +142,22 @@ class SQLiteBackend(RegistryBackend):
             self._conn.execute("PRAGMA journal_mode = WAL")
             self._conn.execute("PRAGMA synchronous = NORMAL")
             self._conn.executescript(_SCHEMA)
+            # Additive within-v1 migration (same rule as the quarantine
+            # table: older code ignores the column, so no version
+            # bump): pre-tenancy databases lack ``records.tenant`` —
+            # add it, defaulting every existing row to the "" (single-
+            # tenant) namespace, then index it.  The index lives here
+            # rather than in _SCHEMA because it must come after the
+            # ALTER on old databases.
+            columns = {info[1] for info in self._conn.execute(
+                "PRAGMA table_info(records)")}
+            if "tenant" not in columns:
+                self._conn.execute(
+                    "ALTER TABLE records ADD COLUMN tenant TEXT "
+                    "NOT NULL DEFAULT ''")
+            self._conn.execute(
+                "CREATE INDEX IF NOT EXISTS idx_records_tenant "
+                "ON records (tenant)")
             row = self._conn.execute(
                 "SELECT value FROM registry_meta WHERE key = 'schema_version'"
             ).fetchone()
@@ -194,10 +211,11 @@ class SQLiteBackend(RegistryBackend):
         record.sequence = sequence
         self._conn.execute(
             "INSERT INTO records (sequence, recipient, "
-            "scheme_fingerprint, document_hash, payload) "
-            "VALUES (?, ?, ?, ?, ?)",
+            "scheme_fingerprint, document_hash, tenant, payload) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
             (sequence, record.recipient, record.scheme_fingerprint,
-             record.document_hash, json.dumps(record.to_dict())))
+             record.document_hash, record.tenant or "",
+             json.dumps(record.to_dict())))
         return sequence
 
     def _insert_block(self, block: LedgerBlock) -> None:
@@ -263,12 +281,14 @@ class SQLiteBackend(RegistryBackend):
 
     def find_records(self, recipient: Optional[str] = None,
                      scheme_fingerprint: Optional[str] = None,
-                     document_hash: Optional[str] = None
+                     document_hash: Optional[str] = None,
+                     tenant: Optional[str] = None
                      ) -> list[RegistryRecord]:
         clauses, params = [], []
         for column, value in (("recipient", recipient),
                               ("scheme_fingerprint", scheme_fingerprint),
-                              ("document_hash", document_hash)):
+                              ("document_hash", document_hash),
+                              ("tenant", tenant)):
             if value is not None:
                 clauses.append(f"{column} = ?")
                 params.append(value)

@@ -33,18 +33,26 @@ with the daemon's configured worker-process count.
 :meth:`WmXMLService.dispatch` is a pure ``(method, path, body) ->
 (status, payload, headers)`` function with no socket I/O, so the whole
 routing/error-mapping surface is unit-testable without a server.
+
+Constructed with ``tenants=`` (a :class:`~repro.tenants.TenantDirectory`)
+instead of a single system, the same daemon serves many tenants: every
+endpoint except ``/v1/healthz`` demands a bearer token, scopes gate each
+route (401/403), token buckets answer 429 + ``Retry-After``, and
+schemes, records, trace and stats are namespaced per tenant.
 """
 
 from __future__ import annotations
 
 import contextlib
 import json
+import math
 import threading
 import time
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
+from repro import __version__
 from repro.api.system import SchemeLike, WmXMLSystem
 from repro.core.record import WatermarkRecord
 from repro.core.scheme import WatermarkingScheme
@@ -55,6 +63,10 @@ from repro.semantics.shape import DocumentShape
 from repro.errors import WmXMLError, error_code, http_status_for
 from repro.perf.timers import StageTimer
 from repro.service import protocol
+from repro.tenants import TenantDirectory
+from repro.tenants.errors import (ForbiddenError, RateLimitedError,
+                                  UnauthorizedError)
+from repro.tenants.tokens import TokenClaims
 from repro.xmlmodel.parser import parse
 from repro.service.protocol import (
     MalformedRequestError,
@@ -69,22 +81,53 @@ from repro.api.pipeline import DETECTION_STRATEGIES
 
 
 class WmXMLService:
-    """Routing, error mapping and stats for one ``WmXMLSystem``."""
+    """Routing, error mapping and stats for one ``WmXMLSystem``.
 
-    def __init__(self, system: WmXMLSystem, *,
+    Two construction modes, mutually exclusive:
+
+    * ``WmXMLService(system)`` — the classic single-tenant daemon: one
+      key, one scheme namespace, no authentication.  Behaviour is
+      byte-for-byte what it was before tenancy existed.
+    * ``WmXMLService(tenants=directory)`` — multi-tenant: every
+      endpoint except ``/v1/healthz`` requires a bearer token, scopes
+      gate each route, token buckets rate-limit each tenant, and
+      schemes/records/trace/stats are namespaced per tenant.
+    """
+
+    def __init__(self, system: Optional[WmXMLSystem] = None, *,
+                 tenants: Optional[TenantDirectory] = None,
                  processes: Optional[int] = None,
                  max_body_bytes: int = protocol.MAX_BODY_BYTES,
                  max_schemes: int = protocol.MAX_SCHEMES,
                  retry_after: int = 1) -> None:
+        if (system is None) == (tenants is None):
+            raise ValueError(
+                "pass exactly one of system= or tenants=")
         self.system = system
+        self.tenants = tenants
         self.processes = processes
         self.max_body_bytes = max_body_bytes
         self.max_schemes = max_schemes
         #: Delta-seconds advertised in ``Retry-After`` on every 503.
         self.retry_after = retry_after
         # ``max_schemes`` bounds *wire-registered* additions: schemes
-        # the operator loaded at boot never count against it.
-        self._scheme_ceiling = len(system.scheme_names()) + max_schemes
+        # the operator loaded at boot never count against it.  Tenant
+        # mode tracks one ceiling per namespace.
+        if system is not None:
+            self._scheme_ceiling = len(system.scheme_names()) + max_schemes
+            self._scheme_ceilings = {}
+        else:
+            self._scheme_ceiling = max_schemes
+            self._scheme_ceilings = {
+                name: len(tenants.scheme_names(name)) + max_schemes
+                for name in tenants.tenant_names()}
+        # Which tenant the request thread authenticated as, for stats
+        # attribution after dispatch's try/except collapses the path.
+        self._local = threading.local()
+        self._tenant_counters = {
+            name: {"requests": 0, "errors": 0, "embedded_documents": 0}
+            for name in (tenants.tenant_names()
+                         if tenants is not None else ())}
         # Serialises the ceiling check + insert of PUT /v1/schemes so
         # concurrent PUTs cannot race past the ceiling.
         self._registry_lock = threading.Lock()
@@ -151,6 +194,7 @@ class WmXMLService:
         label = f"{method} {_endpoint_label(path)}"
         start = time.perf_counter()
         failed = False
+        self._local.tenant = None
         try:
             # A fault here models any request-handling crash before
             # routing; one after routing models a late failure with
@@ -171,6 +215,12 @@ class WmXMLService:
             status = http_status_for(error_code(error))
             payload = protocol.error_response(error)
             extra = {}
+            if isinstance(error, RateLimitedError):
+                # 429 carries the bucket's exact refill time (whole
+                # seconds, at least 1) so the client SDK knows when
+                # the retry can succeed.
+                extra = {"Retry-After":
+                         str(max(1, math.ceil(error.retry_after)))}
         except Exception as error:  # noqa: BLE001
             # Anything a wire-reachable path raises that is not a
             # WmXMLError (e.g. a KeyError from a half-valid artefact)
@@ -189,10 +239,15 @@ class WmXMLService:
             # hammer a struggling daemon.
             response_headers.setdefault("Retry-After",
                                         str(self.retry_after))
+        tenant = getattr(self._local, "tenant", None)
         with self._stats_lock:
             self._requests += 1
             self._errors += failed
             self._timer.record(label, time.perf_counter() - start)
+            if tenant is not None:
+                counters = self._tenant_counters[tenant]
+                counters["requests"] += 1
+                counters["errors"] += failed
         return status, payload, response_headers
 
     def note_refusal(self, method: str, path: str) -> None:
@@ -216,46 +271,96 @@ class WmXMLService:
         query = urllib.parse.parse_qs(query_string)
         path = path.rstrip("/") or "/"
         if path == "/v1/healthz":
+            # Health stays open in tenant mode: load balancers and
+            # orchestrators probe it without credentials, and it
+            # reveals no tenant data.
             _require_method(method, "GET")
             return 200, protocol.ok_response(self._healthz()), {}
+        auth = self._authenticate(method, path, headers)
         if path == "/v1/stats":
             _require_method(method, "GET")
-            return 200, protocol.ok_response(self._stats()), {}
+            return 200, protocol.ok_response(self._stats(auth)), {}
         if path == "/v1/embed":
             _require_method(method, "POST")
-            return self._embed(protocol.parse_request(body), batch=False)
+            return self._embed(protocol.parse_request(body), batch=False,
+                               auth=auth)
         if path == "/v1/embed/batch":
             _require_method(method, "POST")
-            return self._embed(protocol.parse_request(body), batch=True)
+            return self._embed(protocol.parse_request(body), batch=True,
+                               auth=auth)
         if path == "/v1/detect":
             _require_method(method, "POST")
-            return self._detect(protocol.parse_request(body), batch=False)
+            return self._detect(protocol.parse_request(body), batch=False,
+                                auth=auth)
         if path == "/v1/detect/batch":
             _require_method(method, "POST")
-            return self._detect(protocol.parse_request(body), batch=True)
+            return self._detect(protocol.parse_request(body), batch=True,
+                                auth=auth)
         if path == "/v1/records":
             _require_method(method, "GET")
-            return self._records(query)
+            return self._records(query, auth)
         if path == "/v1/ledger/verify":
             _require_method(method, "GET")
             return self._ledger_verify()
         if path == "/v1/trace":
             _require_method(method, "POST")
-            return self._trace(protocol.parse_request(body))
+            return self._trace(protocol.parse_request(body), auth)
         if path == "/v1/schemes":
             _require_method(method, "GET")
             return 200, protocol.ok_response(
-                {"schemes": self.system.list_schemes()}), {}
+                {"schemes": self._system_for(auth).list_schemes()}), {}
         if path.startswith("/v1/schemes/"):
             name = urllib.parse.unquote(path[len("/v1/schemes/"):])
             if method == "GET":
-                return self._get_scheme(name, headers)
+                return self._get_scheme(name, headers, auth)
             if method == "PUT":
-                return self._put_scheme(name, body)
+                return self._put_scheme(name, body, auth)
             raise MethodNotAllowedError(
                 f"{method} not allowed on /v1/schemes/{{name}} "
                 "(use GET or PUT)")
         raise NotFoundError(f"no such endpoint: {method} {path}")
+
+    # -- auth / tenancy ------------------------------------------------------------
+
+    def _authenticate(self, method: str, path: str,
+                      headers: dict) -> Optional[TokenClaims]:
+        """The tenant-mode gate: token -> scopes -> request bucket.
+
+        Single-tenant daemons return ``None`` without looking at the
+        headers, so the pre-tenancy wire behaviour is untouched.  The
+        order is deliberate: a missing credential is 401 before a
+        missing scope is 403 before an empty bucket is 429 — and only
+        an *authenticated* request is charged or counted against its
+        tenant.
+        """
+        if self.tenants is None:
+            return None
+        claims = self.tenants.authenticate(_bearer_token(headers))
+        scope = _required_scope(method, path)
+        if scope is not None and scope not in claims.scopes:
+            raise ForbiddenError(
+                f"token for tenant {claims.tenant!r} lacks the "
+                f"{scope!r} scope required by {method} {path} "
+                f"(granted: {sorted(claims.scopes)})")
+        # Attribute before charging: a 429 is the tenant's own
+        # traffic, so it must land in that tenant's error counter.
+        self._local.tenant = claims.tenant
+        self.tenants.charge_request(claims.tenant)
+        return claims
+
+    def _system_for(self, auth: Optional[TokenClaims],
+                    key_id: Optional[int] = None) -> WmXMLSystem:
+        """The system serving this request: the single-tenant one, or
+        the authenticated tenant's system under ``key_id`` (``None``
+        = the active generation)."""
+        if self.tenants is None:
+            return self.system
+        return self.tenants.system(auth.tenant, key_id=key_id)
+
+    def _registry_source(self) -> Optional[WatermarkRegistry]:
+        if self.tenants is not None:
+            return self.tenants.registry
+        return self.system.registry
 
     # -- endpoints ------------------------------------------------------------
 
@@ -264,7 +369,7 @@ class WmXMLService:
         # registry read clears the degraded flag, a failing one sets
         # it.  Health always answers 200 — "degraded" is a state
         # report, not an error.
-        registry = self.system.registry
+        registry = self._registry_source()
         summary = None
         if registry is not None:
             try:
@@ -274,16 +379,24 @@ class WmXMLService:
             except RegistryUnavailableError as error:
                 self._degraded = True
                 summary = {"available": False, "error": str(error)}
-        return {
+        payload = {
             "status": "degraded" if self._degraded else "ok",
-            "schemes": self.system.scheme_names(),
-            "key_fingerprint": self.system.key_fingerprint,
+            "version": __version__,
             "uptime_s": round(time.monotonic() - self._started, 3),
             "processes": self.processes,
             "registry": summary,
         }
+        if self.tenants is None:
+            payload["schemes"] = self.system.scheme_names()
+            payload["key_fingerprint"] = self.system.key_fingerprint
+        else:
+            # No per-tenant detail on the open probe: just the master
+            # key fingerprint (a public hash) and the population size.
+            payload["key_fingerprint"] = self.tenants.keys.fingerprint()
+            payload["tenants"] = len(self.tenants.tenant_names())
+        return payload
 
-    def _stats(self) -> dict:
+    def _stats(self, auth: Optional[TokenClaims] = None) -> dict:
         with self._stats_lock:
             endpoints = {
                 name: {"calls": stats.calls,
@@ -291,9 +404,20 @@ class WmXMLService:
                        "mean_ms": stats.mean_ms}
                 for name, stats in self._timer.stages.items()
             }
-            return {"requests": self._requests, "errors": self._errors,
-                    "uptime_s": round(time.monotonic() - self._started, 3),
-                    "endpoints": endpoints}
+            payload = {"requests": self._requests,
+                       "errors": self._errors,
+                       "version": __version__,
+                       "uptime_s": round(time.monotonic()
+                                         - self._started, 3),
+                       "endpoints": endpoints}
+            if auth is not None:
+                counters = dict(self._tenant_counters[auth.tenant])
+                payload["tenant"] = {
+                    "name": auth.tenant,
+                    **counters,
+                    "quota": self.tenants.quota_snapshot(auth.tenant),
+                }
+            return payload
 
     def _scheme_argument(self, request: dict) -> SchemeLike:
         scheme = request.get("scheme")
@@ -307,17 +431,19 @@ class WmXMLService:
             f"request field 'scheme' must be a name or an object, got "
             f"{type(scheme).__name__}")
 
-    def _embed(self, request: dict,
-               batch: bool) -> tuple[int, dict, dict]:
+    def _embed(self, request: dict, batch: bool,
+               auth: Optional[TokenClaims] = None
+               ) -> tuple[int, dict, dict]:
+        system = self._system_for(auth)
         scheme = self._scheme_argument(request)
         recipient = _request_recipient(request)
         if recipient is not None:
             # Fingerprinted issuance: the recipient id is the message
             # (self-describing evidence) under the derived key.
-            pipeline = self.system.recipient_pipeline(scheme, recipient)
+            pipeline = system.recipient_pipeline(scheme, recipient)
             message = recipient
         else:
-            pipeline = self.system.pipeline(scheme)
+            pipeline = system.pipeline(scheme)
             message = protocol.required_field(request, "message", str)
         if batch:
             documents = _document_list(request)
@@ -325,13 +451,18 @@ class WmXMLService:
         else:
             documents = [protocol.required_field(request, "document", str)]
             processes = None
+        if auth is not None:
+            # The document bucket charges per embedded copy, before
+            # any compute is spent — a 429'd batch costs the daemon
+            # nothing but the parse.
+            self.tenants.charge_documents(auth.tenant, len(documents))
         # Routed through the system (not the pipeline) so an attached
         # registry records every copy that leaves over the wire.  When
         # registry storage is dark the daemon degrades instead of
         # refusing: the embed still serves, flagged ``recorded: false``
         # so the caller knows this copy left no ledger trace.
         recorded: Optional[bool] = None
-        if self.system.registry is not None:
+        if self._registry_source() is not None:
             recorded = not self._degraded or self._registry_recovered()
         if recorded is False:
             results = pipeline.embed_many(documents, message,
@@ -339,7 +470,7 @@ class WmXMLService:
                                           output="xml")
         else:
             try:
-                results = self.system.embed_many(
+                results = system.embed_many(
                     scheme, documents, message, processes=processes,
                     output="xml", recipient=recipient)
             except RegistryUnavailableError:
@@ -358,12 +489,19 @@ class WmXMLService:
             payload = _embed_payload(results[0])
         if recorded is not None:
             payload["recorded"] = recorded
+        if auth is not None:
+            payload["tenant"] = auth.tenant
+            payload["key_id"] = system.key_id
+            with self._stats_lock:
+                self._tenant_counters[auth.tenant][
+                    "embedded_documents"] += len(documents)
         return 200, protocol.ok_response(payload), {
             protocol.FINGERPRINT_HEADER: pipeline.fingerprint}
 
-    def _detect(self, request: dict,
-                batch: bool) -> tuple[int, dict, dict]:
-        pipeline = self.system.pipeline(self._scheme_argument(request))
+    def _detect(self, request: dict, batch: bool,
+                auth: Optional[TokenClaims] = None
+                ) -> tuple[int, dict, dict]:
+        scheme = self._scheme_argument(request)
         expected = request.get("expected")
         if expected is not None and not isinstance(expected, str):
             raise MalformedRequestError(
@@ -377,6 +515,13 @@ class WmXMLService:
         if batch:
             documents = _document_list(request)
             records = _record_list(request, len(documents))
+        else:
+            documents = [protocol.required_field(request, "document",
+                                                 str)]
+            records = [WatermarkRecord.from_dict(
+                protocol.required_field(request, "record", dict))]
+        pipeline = self._detect_system(auth, records).pipeline(scheme)
+        if batch:
             outcomes = pipeline.detect_many(
                 list(zip(documents, records)), expected=expected,
                 shape=shape, strategy=strategy,
@@ -384,20 +529,38 @@ class WmXMLService:
             payload = {"results": [outcome.to_dict()
                                    for outcome in outcomes]}
         else:
-            document = protocol.required_field(request, "document", str)
-            record = WatermarkRecord.from_dict(
-                protocol.required_field(request, "record", dict))
             outcome = pipeline.detect_many(
-                [(document, record)], expected=expected, shape=shape,
-                strategy=strategy)[0]
+                [(documents[0], records[0])], expected=expected,
+                shape=shape, strategy=strategy)[0]
             payload = {"result": outcome.to_dict()}
         return 200, protocol.ok_response(payload), {
             protocol.FINGERPRINT_HEADER: pipeline.fingerprint}
 
+    def _detect_system(self, auth: Optional[TokenClaims],
+                       records: list) -> WmXMLSystem:
+        """The system whose key can verify these records.
+
+        Tenant mode resolves each record's stamped generation (a
+        record from another tenant's namespace is 403, a forged
+        ``key_id`` is refused by the key map); a batch that mixes
+        generations would silently mis-verify under a single key, so
+        it is rejected outright.  Unstamped records verify under the
+        caller's active generation.
+        """
+        if self.tenants is None:
+            return self.system
+        systems = {self.tenants.system_for_record(auth.tenant, record)
+                   for record in records}
+        if len(systems) > 1:
+            raise MalformedRequestError(
+                "detect batch mixes records from different key "
+                "generations; split the batch per key_id")
+        return systems.pop()
+
     # -- registry endpoints ------------------------------------------------------------
 
     def _registry(self) -> WatermarkRegistry:
-        registry = self.system.registry
+        registry = self._registry_source()
         if registry is None:
             raise RegistryNotConfiguredError(
                 "this daemon runs without a registry; restart it with "
@@ -413,7 +576,7 @@ class WmXMLService:
 
     def _registry_recovered(self) -> bool:
         """One cheap probe: a readable registry clears the flag."""
-        registry = self.system.registry
+        registry = self._registry_source()
         try:
             registry.backend.record_count()
         except RegistryUnavailableError:
@@ -421,32 +584,66 @@ class WmXMLService:
         self._degraded = False
         return True
 
-    def _scheme_filter(self, query: dict) -> Optional[str]:
-        """The ``scheme`` query param: a registered name (resolved to
-        its fingerprint) or a raw pipeline fingerprint."""
+    def _scheme_filters(self, query: dict,
+                        auth: Optional[TokenClaims]
+                        ) -> Optional[list[str]]:
+        """The ``scheme`` query param as registry fingerprints: a
+        registered name resolves to its fingerprint(s), anything else
+        passes through as a raw pipeline fingerprint.
+
+        Tenant mode resolves a name across *every* key generation —
+        records embedded before a rotation carry the older
+        generation's fingerprint, and a tenant asking for "their
+        scheme" means all of them.
+        """
         value = _single_param(query, "scheme")
         if value is None:
             return None
+        if self.tenants is not None:
+            if value in self.tenants.scheme_names(auth.tenant):
+                return self.tenants.scheme_fingerprints(
+                    auth.tenant, value)
+            return [value]
         if value in self.system.scheme_names():
-            return self.system.scheme_fingerprint(value)
-        return value
+            return [self.system.scheme_fingerprint(value)]
+        return [value]
 
-    def _records(self, query: dict) -> tuple[int, dict, dict]:
+    def _records(self, query: dict,
+                 auth: Optional[TokenClaims] = None
+                 ) -> tuple[int, dict, dict]:
         registry = self._registry()
         recipient = _single_param(query, "recipient")
-        scheme_fingerprint = self._scheme_filter(query)
+        fingerprints = self._scheme_filters(query, auth)
         document_hash = _single_param(query, "document_hash")
+        tenant = auth.tenant if auth is not None else None
         offset = _int_param(query, "offset", 0)
         limit = _int_param(query, "limit", 100)
         if offset < 0 or limit < 0:
             raise MalformedRequestError(
                 "'offset' and 'limit' must be non-negative")
-        entries = registry.records(
-            recipient=recipient, scheme_fingerprint=scheme_fingerprint,
-            document_hash=document_hash, offset=offset, limit=limit)
-        total = registry.count(
-            recipient=recipient, scheme_fingerprint=scheme_fingerprint,
-            document_hash=document_hash)
+        if fingerprints is None or len(fingerprints) == 1:
+            fingerprint = fingerprints[0] if fingerprints else None
+            entries = registry.records(
+                recipient=recipient, scheme_fingerprint=fingerprint,
+                document_hash=document_hash, tenant=tenant,
+                offset=offset, limit=limit)
+            total = registry.count(
+                recipient=recipient, scheme_fingerprint=fingerprint,
+                document_hash=document_hash, tenant=tenant)
+        else:
+            # A rotated scheme spans several fingerprints; merge the
+            # per-generation result sets back into sequence order and
+            # page the merge by hand.
+            merged = []
+            for fingerprint in fingerprints:
+                merged.extend(registry.records(
+                    recipient=recipient,
+                    scheme_fingerprint=fingerprint,
+                    document_hash=document_hash, tenant=tenant))
+            merged.sort(key=lambda entry: entry.sequence
+                        if entry.sequence is not None else 0)
+            total = len(merged)
+            entries = merged[offset:offset + limit]
         return 200, protocol.ok_response({
             "records": [entry.to_dict() for entry in entries],
             "total": total, "offset": offset, "limit": limit,
@@ -460,7 +657,9 @@ class WmXMLService:
         return 200, protocol.ok_response(
             {"ledger": verification.to_dict()}), {}
 
-    def _trace(self, request: dict) -> tuple[int, dict, dict]:
+    def _trace(self, request: dict,
+               auth: Optional[TokenClaims] = None
+               ) -> tuple[int, dict, dict]:
         self._registry()
         scheme = self._scheme_argument(request)
         document = parse(
@@ -477,19 +676,29 @@ class WmXMLService:
             raise MalformedRequestError(
                 f"unknown detection strategy {strategy!r}; choices: "
                 f"{DETECTION_STRATEGIES}")
-        trace = self.system.trace(
-            scheme, document, shape=_request_shape(request),
-            strategy=strategy, recipients=recipients)
+        if auth is not None:
+            # The directory's trace never leaves the tenant's registry
+            # namespace and sweeps every key generation of the scheme.
+            trace = self.tenants.trace(
+                auth.tenant, scheme, document,
+                shape=_request_shape(request), strategy=strategy,
+                recipients=recipients)
+        else:
+            trace = self.system.trace(
+                scheme, document, shape=_request_shape(request),
+                strategy=strategy, recipients=recipients)
         return 200, protocol.ok_response({"trace": trace.to_dict()}), {
             protocol.FINGERPRINT_HEADER:
-                self.system.scheme_fingerprint(scheme)}
+                self._system_for(auth).scheme_fingerprint(scheme)}
 
-    def _get_scheme(self, name: str,
-                    headers: dict) -> tuple[int, Optional[dict], dict]:
+    def _get_scheme(self, name: str, headers: dict,
+                    auth: Optional[TokenClaims] = None
+                    ) -> tuple[int, Optional[dict], dict]:
         # Atomic pair: a concurrent PUT must not pair the old body
         # with the new ETag (which would pin conditional GETs to the
         # stale scheme) — and repeat polls hit the fingerprint cache.
-        scheme, fingerprint = self.system.scheme_with_fingerprint(name)
+        scheme, fingerprint = self._system_for(auth) \
+            .scheme_with_fingerprint(name)
         etag = f'"{fingerprint}"'
         response_headers = {"ETag": etag,
                             protocol.FINGERPRINT_HEADER: fingerprint}
@@ -499,24 +708,39 @@ class WmXMLService:
             {"name": name, "scheme": scheme.to_dict(),
              "fingerprint": fingerprint}), response_headers
 
-    def _put_scheme(self, name: str,
-                    body: bytes) -> tuple[int, dict, dict]:
+    def _put_scheme(self, name: str, body: bytes,
+                    auth: Optional[TokenClaims] = None
+                    ) -> tuple[int, dict, dict]:
         # The body is the wmxml-scheme-v1 artefact itself (it carries
         # its own format tag), not a request envelope.
         scheme = WatermarkingScheme.from_dict(protocol.parse_json(body))
         with self._registry_lock:
-            registered = self.system.scheme_names()
-            if (name not in registered
-                    and len(registered) >= self._scheme_ceiling):
-                raise RegistryFullError(
-                    f"registry holds {len(registered)} schemes "
-                    f"({self.max_schemes} wire-registered allowed); "
-                    "replace an existing name or raise --max-schemes")
-            self.system.add_scheme(name, scheme)
+            if auth is not None:
+                registered = self.tenants.scheme_names(auth.tenant)
+                ceiling = self._scheme_ceilings[auth.tenant]
+                if (name not in registered
+                        and len(registered) >= ceiling):
+                    raise RegistryFullError(
+                        f"tenant {auth.tenant!r} holds "
+                        f"{len(registered)} schemes "
+                        f"({self.max_schemes} wire-registered "
+                        "allowed); replace an existing name or raise "
+                        "--max-schemes")
+                self.tenants.register(auth.tenant, name, scheme)
+            else:
+                registered = self.system.scheme_names()
+                if (name not in registered
+                        and len(registered) >= self._scheme_ceiling):
+                    raise RegistryFullError(
+                        f"registry holds {len(registered)} schemes "
+                        f"({self.max_schemes} wire-registered "
+                        "allowed); replace an existing name or raise "
+                        "--max-schemes")
+                self.system.add_scheme(name, scheme)
         # Fingerprint the object we registered, not the name: a
         # concurrent PUT to the same name must not leak its fingerprint
         # into our response/ETag.
-        fingerprint = self.system.scheme_fingerprint(scheme)
+        fingerprint = self._system_for(auth).scheme_fingerprint(scheme)
         return 200, protocol.ok_response(
             {"registered": name, "fingerprint": fingerprint}), {
                 "ETag": f'"{fingerprint}"',
@@ -527,6 +751,46 @@ def _require_method(method: str, allowed: str) -> None:
     if method != allowed:
         raise MethodNotAllowedError(
             f"{method} not allowed here (use {allowed})")
+
+
+def _bearer_token(headers: dict) -> Optional[str]:
+    """The token of an ``Authorization: Bearer <token>`` header.
+
+    ``None`` when the header is absent (the verifier turns that into
+    a 401 with its own message); a present-but-malformed header is
+    refused here with a hint at the expected shape.
+    """
+    for key, value in headers.items():
+        if key.lower() == "authorization":
+            kind, _, token = value.strip().partition(" ")
+            token = token.strip()
+            if kind.lower() != "bearer" or not token:
+                raise UnauthorizedError(
+                    "Authorization header must be 'Bearer <token>'")
+            return token
+    return None
+
+
+def _required_scope(method: str, path: str) -> Optional[str]:
+    """The scope a route demands, or ``None`` for any valid token.
+
+    ``/v1/stats`` needs only authentication (every tenant may read
+    its own counters); unknown paths also map to ``None`` so probing
+    an invalid URL with a valid token answers 404, while probing it
+    without one answers 401 — the URL space is not enumerable
+    anonymously.
+    """
+    if path in ("/v1/embed", "/v1/embed/batch"):
+        return "embed"
+    if path in ("/v1/detect", "/v1/detect/batch"):
+        return "detect"
+    if path == "/v1/trace":
+        return "trace"
+    if path in ("/v1/records", "/v1/ledger/verify"):
+        return "records"
+    if path == "/v1/schemes" or path.startswith("/v1/schemes/"):
+        return "schemes-write" if method == "PUT" else "schemes"
+    return None
 
 
 #: Routed paths get their own stats bucket; everything else collapses

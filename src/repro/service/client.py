@@ -25,10 +25,11 @@ processed what it read, so only **idempotent** requests (GET/PUT, and
 the POST endpoints that don't append to the ledger: detect, trace) are
 retried; a disconnected embed raises ``connection-closed`` instead of
 risking a double-append.  A 503 answer (daemon degraded, registry
-storage dark) is retried honoring the server's ``Retry-After`` header
+storage dark) or a 429 (a multi-tenant daemon rate-limiting this
+tenant) is retried honoring the server's ``Retry-After`` header
 (capped at :data:`RETRY_AFTER_CAP`) — safe even for embeds, because
 the daemon's batched single-transaction append persists nothing on
-failure.  An error envelope from the daemon raises
+failure and a 429 is refused before any work happens.  An error envelope from the daemon raises
 :class:`RemoteServiceError` carrying the server's stable ``code`` slug
 and HTTP status.  Everything descends from
 :class:`~repro.errors.WmXMLError`, so the facade's one-handler contract
@@ -135,10 +136,13 @@ class WmXMLClient:
     """A remote pipeline bound to one daemon (and usually one scheme)."""
 
     def __init__(self, base_url: str, scheme: Union[str, dict, None] = None,
-                 *, timeout: float = 30.0, retries: int = 3,
-                 retry_delay: float = 0.1) -> None:
+                 *, token: Optional[str] = None, timeout: float = 30.0,
+                 retries: int = 3, retry_delay: float = 0.1) -> None:
         self.base_url = base_url.rstrip("/")
         self.scheme = scheme
+        #: Bearer token for a multi-tenant daemon (``wmxml token
+        #: mint``); single-tenant daemons ignore the header entirely.
+        self.token = token
         self.timeout = timeout
         self.retries = retries
         self.retry_delay = retry_delay
@@ -351,9 +355,11 @@ class WmXMLClient:
     def _send(self, method: str, path: str,
               body: Optional[bytes]) -> dict:
         url = f"{self.base_url}{path}"
+        headers = {"Content-Type": "application/json"}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
         request = urllib.request.Request(
-            url, data=body, method=method,
-            headers={"Content-Type": "application/json"})
+            url, data=body, method=method, headers=headers)
         idempotent = _is_idempotent(method, path)
         attempt = 0
         while True:
@@ -362,11 +368,13 @@ class WmXMLClient:
                         request, timeout=self.timeout) as response:
                     return self._decode(response.read())
             except urllib.error.HTTPError as error:
-                if error.code == 503 and attempt < self.retries:
+                if error.code in (503, 429) and attempt < self.retries:
                     # The daemon is up but degraded (registry storage
-                    # dark, for instance) and told us when to come
-                    # back.  Safe for every endpoint: a 503'd append
-                    # persisted nothing (single-transaction batches).
+                    # dark, for instance) or rate-limiting this tenant,
+                    # and told us when to come back.  Safe for every
+                    # endpoint: a 503'd append persisted nothing
+                    # (single-transaction batches), and a 429 is
+                    # refused before any work happens.
                     delay = _retry_after_delay(
                         error.headers.get("Retry-After"),
                         self.retry_delay * (2 ** attempt))

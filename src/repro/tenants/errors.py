@@ -1,0 +1,63 @@
+"""Errors raised by the multi-tenant auth/quota layer.
+
+The 401/403/429 split follows HTTP semantics exactly:
+
+* :class:`UnauthorizedError` (401) — no credential, or a credential
+  that does not verify (bad signature, expired, unknown key id,
+  unknown tenant).  The caller should obtain a valid token.
+* :class:`ForbiddenError` (403) — the credential is valid but does not
+  grant the attempted operation (missing scope, or it names another
+  tenant's data).  Retrying with the same token cannot succeed.
+* :class:`RateLimitedError` (429) — the tenant's token bucket is
+  empty; ``retry_after`` says how long until the next token refills,
+  and the service surfaces it as a ``Retry-After`` header.
+
+All descend from :class:`~repro.errors.WmXMLError` with stable ``code``
+slugs, so they travel through the service error envelopes and the CLI's
+``--result`` JSON like every other error in the system.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WmXMLError
+
+
+class TenantError(WmXMLError):
+    """Base class for tenancy-layer failures."""
+
+    code = "tenant-error"
+
+
+class TenantConfigError(TenantError, ValueError):
+    """A ``wmxml-tenants-v1`` configuration artefact is malformed."""
+
+    code = "bad-tenant-config"
+
+
+class UnauthorizedError(TenantError):
+    """Missing or invalid bearer credential (HTTP 401)."""
+
+    code = "unauthorized"
+
+
+class ForbiddenError(TenantError):
+    """Valid credential, but the operation is not granted (HTTP 403)."""
+
+    code = "forbidden"
+
+
+class RateLimitedError(TenantError):
+    """Tenant quota exhausted (HTTP 429); carries ``retry_after``."""
+
+    code = "rate-limited"
+
+    def __init__(self, message: str, *, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        #: Seconds until the bucket refills enough to admit the request.
+        self.retry_after = float(retry_after)
+
+
+class UnknownKeyError(TenantError):
+    """A record or token names a key id missing from the master map."""
+
+    code = "unknown-key"

@@ -1,0 +1,129 @@
+"""The master-key map: key generations and per-tenant subkey derivation.
+
+One deployment holds an ordered map of ``key id -> master secret``.
+Every key the system actually uses is *derived* from a master secret
+with :meth:`KeyedPRF.derive` (HKDF-style domain-separated expansion):
+
+* ``tenant_key(tenant)`` — keys that tenant's :class:`WmXMLSystem`, so
+  two tenants on one daemon can never produce or verify each other's
+  marks even though they share a process and a registry;
+* ``scheme_key(tenant, scheme)`` — one more derivation level down, for
+  callers that want a distinct key per deployment artefact;
+* ``token_key()`` — signs bearer tokens (never used for watermarking);
+* ``sealer()`` — seals the provenance ledger.
+
+Rotation appends a new key id (``rotate``); it never removes old ids,
+because records embedded under key generation *N* can only verify under
+the subkeys of generation *N* — the key id rides every envelope and
+:class:`WatermarkRecord` so a detection knows which generation to use.
+The ledger sealer is pinned to the *lowest* key id for the same reason:
+the hash chain written before a rotation must stay verifiable after it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro.core.crypto import KeyedPRF
+
+from .errors import TenantConfigError, UnknownKeyError
+
+Secret = Union[str, bytes]
+
+
+class MasterKeyMap:
+    """Ordered ``key id -> master secret`` map with subkey derivation."""
+
+    def __init__(self, keys: Mapping[int, Secret],
+                 active: Optional[int] = None) -> None:
+        if not keys:
+            raise TenantConfigError("master-key map must not be empty")
+        prfs: Dict[int, KeyedPRF] = {}
+        for key_id, secret in keys.items():
+            if not isinstance(key_id, int) or isinstance(key_id, bool) \
+                    or key_id < 1:
+                raise TenantConfigError(
+                    f"key id must be a positive integer, got {key_id!r}")
+            if not secret:
+                raise TenantConfigError(
+                    f"master secret for key id {key_id} is empty")
+            prfs[key_id] = KeyedPRF(secret)
+        self._prfs = dict(sorted(prfs.items()))
+        if active is None:
+            active = max(self._prfs)
+        if active not in self._prfs:
+            raise TenantConfigError(
+                f"active key id {active} is not in the key map "
+                f"(known: {sorted(self._prfs)})")
+        self._active = active
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def active_id(self) -> int:
+        """The key generation new embeds and tokens are issued under."""
+        return self._active
+
+    def key_ids(self) -> List[int]:
+        """All known generations, oldest first."""
+        return list(self._prfs)
+
+    def __contains__(self, key_id: object) -> bool:
+        return key_id in self._prfs
+
+    def fingerprint(self, key_id: Optional[int] = None) -> str:
+        """Public fingerprint of one master key (safe to log)."""
+        return self._prf(key_id).fingerprint()
+
+    # -- derivation ------------------------------------------------------------
+
+    def _prf(self, key_id: Optional[int]) -> KeyedPRF:
+        if key_id is None:
+            key_id = self._active
+        try:
+            return self._prfs[key_id]
+        except KeyError:
+            raise UnknownKeyError(
+                f"unknown key id {key_id}; known generations: "
+                f"{sorted(self._prfs)}") from None
+
+    def derive(self, purpose: str, *parts: str,
+               key_id: Optional[int] = None) -> bytes:
+        """A subkey for ``purpose`` under one master generation."""
+        return self._prf(key_id).derive(purpose, *parts)
+
+    def tenant_key(self, tenant: str,
+                   key_id: Optional[int] = None) -> bytes:
+        """The subkey that keys ``tenant``'s watermarking system."""
+        return self.derive("tenant-key", tenant, key_id=key_id)
+
+    def scheme_key(self, tenant: str, scheme: str,
+                   key_id: Optional[int] = None) -> bytes:
+        """A per-(tenant, scheme) subkey — one derivation level deeper."""
+        parent = KeyedPRF(self.tenant_key(tenant, key_id=key_id))
+        return parent.derive("scheme-key", scheme)
+
+    def token_key(self, key_id: Optional[int] = None) -> bytes:
+        """The HMAC key that signs bearer tokens for one generation."""
+        return self.derive("token-sign", key_id=key_id)
+
+    def sealer(self) -> KeyedPRF:
+        """The ledger-sealing PRF, pinned to the oldest generation.
+
+        Blocks sealed before a rotation must verify after it, so the
+        seal key cannot follow ``active_id``; ids are never removed,
+        making the lowest id a stable anchor for the chain's lifetime.
+        """
+        oldest = min(self._prfs)
+        return KeyedPRF(self.derive("ledger-seal", key_id=oldest))
+
+    # -- rotation ------------------------------------------------------------
+
+    def rotate(self, secret: Secret) -> int:
+        """Add a new generation and make it active; returns its id."""
+        if not secret:
+            raise TenantConfigError("rotated master secret is empty")
+        new_id = max(self._prfs) + 1
+        self._prfs[new_id] = KeyedPRF(secret)
+        self._active = new_id
+        return new_id

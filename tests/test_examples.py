@@ -29,4 +29,6 @@ def test_example_runs(script):
 def test_examples_present():
     names = {path.name for path in EXAMPLES}
     assert {"quickstart.py", "job_agent.py", "digital_library.py",
-            "figure1_reorganization.py", "traitor_tracing.py"} <= names
+            "figure1_reorganization.py", "traitor_tracing.py",
+            "watermarking_service.py",
+            "multi_tenant_service.py"} <= names
